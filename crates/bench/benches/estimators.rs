@@ -1,0 +1,66 @@
+//! Criterion micro-benchmark backing Fig. 9: per-query latency of the four
+//! SimRank estimators on the Net co-authorship stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use usim_bench::{dataset, random_pairs, Scale};
+use usim_core::{
+    BaselineEstimator, SamplingEstimator, SimRankConfig, SimRankEstimator, SpeedupEstimator,
+    TwoPhaseEstimator,
+};
+
+fn bench_estimators(c: &mut Criterion) {
+    let graph = dataset("Net", Scale::Ci);
+    let pairs = random_pairs(&graph, 8, 0xbe9c);
+    let config = SimRankConfig::default().with_samples(200).with_seed(1);
+
+    let mut group = c.benchmark_group("estimators_net");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+
+    let baseline = BaselineEstimator::new(&graph, config);
+    group.bench_function("baseline", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[index % pairs.len()];
+            index += 1;
+            baseline.try_similarity(u, v).unwrap_or(0.0)
+        })
+    });
+
+    let mut sampling = SamplingEstimator::new(&graph, config);
+    group.bench_function("sampling", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[index % pairs.len()];
+            index += 1;
+            sampling.similarity(u, v)
+        })
+    });
+
+    let mut two_phase = TwoPhaseEstimator::new(&graph, config);
+    group.bench_function("sr_ts_l1", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[index % pairs.len()];
+            index += 1;
+            two_phase.similarity(u, v)
+        })
+    });
+
+    let mut speedup = SpeedupEstimator::new(&graph, config);
+    group.bench_function("sr_sp_l1", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[index % pairs.len()];
+            index += 1;
+            speedup.similarity(u, v)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

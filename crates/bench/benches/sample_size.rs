@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark backing Fig. 11: SR-SP latency as a function of
+//! the number of sampled walks N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use usim_bench::{dataset, random_pairs, Scale};
+use usim_core::{SimRankConfig, SimRankEstimator, SpeedupEstimator};
+
+fn bench_sample_size(c: &mut Criterion) {
+    let graph = dataset("Net", Scale::Ci);
+    let pairs = random_pairs(&graph, 8, 0x5a);
+    let mut group = c.benchmark_group("sr_sp_samples");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    for n_samples in [100usize, 500, 1000] {
+        let config = SimRankConfig::default().with_samples(n_samples).with_seed(2);
+        let mut estimator = SpeedupEstimator::new(&graph, config);
+        group.bench_with_input(BenchmarkId::from_parameter(n_samples), &n_samples, |b, _| {
+            let mut index = 0usize;
+            b.iter(|| {
+                let (u, v) = pairs[index % pairs.len()];
+                index += 1;
+                estimator.similarity(u, v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_size);
+criterion_main!(benches);

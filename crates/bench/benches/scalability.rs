@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark backing Fig. 12: SR-TS latency as the R-MAT
+//! graph grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use usim_bench::random_pairs;
+use usim_core::{SimRankConfig, SimRankEstimator, TwoPhaseEstimator};
+use usim_datasets::RmatGenerator;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sr_ts_rmat");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    for num_edges in [20_000usize, 80_000] {
+        let graph = RmatGenerator {
+            scale: 13,
+            num_edges,
+            seed: 0x5ca1e,
+            ..Default::default()
+        }
+        .generate();
+        let pairs = random_pairs(&graph, 8, 0x5ca1e);
+        let config = SimRankConfig::default().with_samples(200).with_seed(3);
+        let mut estimator = TwoPhaseEstimator::new(&graph, config);
+        group.bench_with_input(BenchmarkId::from_parameter(num_edges), &num_edges, |b, _| {
+            let mut index = 0usize;
+            b.iter(|| {
+                let (u, v) = pairs[index % pairs.len()];
+                index += 1;
+                estimator.similarity(u, v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

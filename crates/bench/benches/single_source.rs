@@ -1,0 +1,40 @@
+//! Criterion ablation of the single-source extension: answering a top-k
+//! query with one shared-instantiation single-source pass versus |V|
+//! independent SR-SP single-pair queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use usim_bench::{dataset, Scale};
+use usim_core::{top_k_similar_to, SimRankConfig, SingleSourceEstimator, SpeedupEstimator};
+
+fn bench_single_source(c: &mut Criterion) {
+    let graph = dataset("Net", Scale::Ci);
+    let config = SimRankConfig::default().with_samples(200).with_seed(6);
+    let source = 1u32;
+    let k = 10;
+
+    let mut group = c.benchmark_group("top_k_net");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+
+    group.bench_function("single_source_pass", |b| {
+        let mut estimator = SingleSourceEstimator::new(&graph, config);
+        b.iter(|| estimator.top_k(source, k))
+    });
+
+    // The pairwise route costs one SR-SP query per candidate; restrict it to
+    // 300 candidates so one bench iteration stays under a second (the
+    // single-source pass above still covers every vertex of the graph, which
+    // only widens its advantage).
+    group.bench_function("pairwise_sr_sp_300_candidates", |b| {
+        let mut estimator = SpeedupEstimator::new(&graph, config);
+        let candidates: Vec<u32> = graph.vertices().take(300).collect();
+        b.iter(|| top_k_similar_to(&mut estimator, source, candidates.iter().copied(), k))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_source);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion ablation of the Section VI-D sharing technique: plain Sampling
+//! versus SR-SP at the same number of samples (the paper claims 1–2 orders of
+//! magnitude).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use usim_bench::{dataset, random_pairs, Scale};
+use usim_core::{SamplingEstimator, SimRankConfig, SimRankEstimator, SpeedupEstimator};
+
+fn bench_speedup_ablation(c: &mut Criterion) {
+    let graph = dataset("Net", Scale::Ci);
+    let pairs = random_pairs(&graph, 8, 0xab1a);
+    let config = SimRankConfig::default().with_samples(1000).with_seed(4);
+    let mut group = c.benchmark_group("sampling_vs_speedup_n1000");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+
+    let mut sampling = SamplingEstimator::new(&graph, config);
+    group.bench_function("per_walk_sampling", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[index % pairs.len()];
+            index += 1;
+            sampling.similarity(u, v)
+        })
+    });
+
+    let mut speedup = SpeedupEstimator::new(&graph, config);
+    group.bench_function("shared_bitvector_propagation", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            let (u, v) = pairs[index % pairs.len()];
+            index += 1;
+            speedup.similarity(u, v)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_ablation);
+criterion_main!(benches);

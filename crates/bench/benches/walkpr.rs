@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark of the exact walk-probability machinery
+//! (`WalkPr` and the single-source `TransPr` restriction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwalk::transpr::{transition_rows_from, TransPrOptions};
+use rwalk::walk::Walk;
+use rwalk::walkpr::walk_probability;
+use std::time::Duration;
+use usim_bench::{dataset, Scale};
+use ugraph::UncertainGraphBuilder;
+
+fn bench_walkpr(c: &mut Criterion) {
+    let fig1 = UncertainGraphBuilder::new(5)
+        .arc(0, 2, 0.8)
+        .arc(0, 3, 0.5)
+        .arc(1, 0, 0.8)
+        .arc(1, 2, 0.9)
+        .arc(2, 0, 0.7)
+        .arc(2, 3, 0.6)
+        .arc(3, 4, 0.6)
+        .arc(3, 1, 0.8)
+        .build()
+        .unwrap();
+    let walk = Walk::from_vertices(vec![0, 2, 0, 2, 3, 1, 2, 3, 1]);
+
+    let mut group = c.benchmark_group("walkpr");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(500));
+    group.warm_up_time(Duration::from_millis(100));
+    group.bench_function("table1_walk_probability", |b| {
+        b.iter(|| walk_probability(&fig1, &walk))
+    });
+
+    // Exact single-source enumeration is exponential in the depth; depth 3
+    // keeps one iteration in the tens of milliseconds so `cargo bench` stays
+    // tractable (depth 5 on the same graph takes ~23 s per call).
+    let net = dataset("Net", Scale::Ci);
+    group.bench_function("transition_rows_net_n3", |b| {
+        b.iter(|| transition_rows_from(&net, 1, 3, &TransPrOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walkpr);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig. 8 reproduction: convergence of the SimRank similarity with the
+//! number of iterations `n`.
+//!
+//! For random vertex pairs of PPI1, PPI2, Net and Condmat, the binary
+//! computes the full meeting-probability profile up to `n = 10` and reports
+//! the average and maximum `s⁽ⁿ⁾` for every `n`.  The paper computes the
+//! profiles with the Baseline algorithm; on the denser datasets the exact
+//! enumeration to depth 10 is infeasible, so the SR-SP estimator (exact phase
+//! `l = 2`, `N = 1000`) is used there — the quantity being plotted (the
+//! truncated SimRank as a function of `n`) is the same.
+
+use usim_bench::{dataset, fmt3, pairs_from_env, random_pairs, scale_from_env, Table};
+use usim_core::{SimRankConfig, SpeedupEstimator};
+
+fn main() {
+    let scale = scale_from_env();
+    let num_pairs = pairs_from_env(100);
+    let max_horizon = 10;
+    println!("Fig. 8: effect of the number of iterations n on the SimRank similarity\n");
+
+    let mut average_table = Table::new(&[
+        "n", "PPI1", "PPI2", "Net", "Condmat",
+    ]);
+    let mut maximum_table = Table::new(&[
+        "n", "PPI1", "PPI2", "Net", "Condmat",
+    ]);
+    let mut averages: Vec<Vec<f64>> = Vec::new();
+    let mut maxima: Vec<Vec<f64>> = Vec::new();
+
+    for name in ["PPI1", "PPI2", "Net", "Condmat"] {
+        let graph = dataset(name, scale);
+        let config = SimRankConfig::default()
+            .with_horizon(max_horizon)
+            .with_phase_switch(2)
+            .with_samples(1000)
+            .with_seed(0xf18);
+        let mut estimator = SpeedupEstimator::new(&graph, config);
+        let pairs = random_pairs(&graph, num_pairs, 0xc0171e46);
+        let mut per_horizon_average = vec![0.0; max_horizon];
+        let mut per_horizon_maximum = vec![0.0f64; max_horizon];
+        for &(u, v) in &pairs {
+            let profile = estimator.profile(u, v);
+            for n in 1..=max_horizon {
+                let score = profile.score_at_horizon(n);
+                per_horizon_average[n - 1] += score;
+                per_horizon_maximum[n - 1] = per_horizon_maximum[n - 1].max(score);
+            }
+        }
+        for value in &mut per_horizon_average {
+            *value /= pairs.len() as f64;
+        }
+        averages.push(per_horizon_average);
+        maxima.push(per_horizon_maximum);
+        println!("computed {name} over {} pairs", pairs.len());
+    }
+
+    for n in 1..=max_horizon {
+        average_table.row(&[
+            n.to_string(),
+            fmt3(averages[0][n - 1]),
+            fmt3(averages[1][n - 1]),
+            fmt3(averages[2][n - 1]),
+            fmt3(averages[3][n - 1]),
+        ]);
+        maximum_table.row(&[
+            n.to_string(),
+            fmt3(maxima[0][n - 1]),
+            fmt3(maxima[1][n - 1]),
+            fmt3(maxima[2][n - 1]),
+            fmt3(maxima[3][n - 1]),
+        ]);
+    }
+    println!("\n(a) Average SimRank similarity vs n:");
+    average_table.print();
+    println!("\n(b) Maximum SimRank similarity vs n:");
+    maximum_table.print();
+    println!("\nThe similarities should stabilise after about 5 iterations (Theorem 2).");
+}

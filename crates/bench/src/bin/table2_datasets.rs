@@ -1,0 +1,51 @@
+//! Table II reproduction: summary of the datasets used in the experiments.
+//!
+//! Prints, for every dataset of the registry, the size of the synthetic
+//! stand-in generated at the current scale next to the size published in the
+//! paper's Table II.
+
+use usim_bench::{registry, scale_from_env, Table};
+use ugraph::stats::uncertain_graph_stats;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table II: datasets (scale = {scale:?}; set USIM_SCALE=paper for published sizes)\n");
+    let mut table = Table::new(&[
+        "Dataset",
+        "|V| (generated)",
+        "|E| (generated)",
+        "avg degree",
+        "mean P(e)",
+        "|V| (paper)",
+        "|E| (paper)",
+    ]);
+    for spec in registry(scale) {
+        // The largest paper-scale datasets take a long time to generate; skip
+        // them unless explicitly requested.
+        if spec.num_edges > 20_000_000 {
+            table.row(&[
+                spec.name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                spec.paper_vertices.to_string(),
+                spec.paper_edges.to_string(),
+            ]);
+            continue;
+        }
+        let graph = spec.generate();
+        let stats = uncertain_graph_stats(&graph);
+        table.row(&[
+            spec.name.to_string(),
+            graph.num_vertices().to_string(),
+            // Arcs are stored in both directions; report undirected edges.
+            (graph.num_arcs() / 2).to_string(),
+            format!("{:.2}", stats.topology.average_out_degree),
+            format!("{:.3}", stats.mean_probability),
+            spec.paper_vertices.to_string(),
+            spec.paper_edges.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,268 @@
+//! Shared infrastructure of the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (Section VII) has a
+//! corresponding binary in `src/bin/` that regenerates it; the helpers here
+//! keep those binaries short: dataset construction at a configurable scale,
+//! random vertex-pair selection, wall-clock measurement, relative-error
+//! computation against the Baseline, and fixed-width table printing.
+//!
+//! All binaries run at a laptop-friendly "CI" scale by default; set the
+//! environment variable `USIM_SCALE=paper` to use the published dataset
+//! sizes (slow) and `USIM_PAIRS` to override the number of random query
+//! pairs (the paper averages over 1000).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use usim_datasets::registry::{ci_registry, find_spec, paper_registry, DatasetSpec};
+use ugraph::{UncertainGraph, VertexId};
+
+/// Experiment scale: the laptop-friendly default or the paper's sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down datasets and pair counts (the default).
+    Ci,
+    /// The sizes published in Table II (slow).
+    Paper,
+}
+
+/// Reads the scale from the `USIM_SCALE` environment variable.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("USIM_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") => Scale::Paper,
+        _ => Scale::Ci,
+    }
+}
+
+/// Number of random query pairs per configuration: `USIM_PAIRS` or the given
+/// default.
+pub fn pairs_from_env(default: usize) -> usize {
+    std::env::var("USIM_PAIRS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The dataset registry for a scale.
+pub fn registry(scale: Scale) -> Vec<DatasetSpec> {
+    match scale {
+        Scale::Ci => ci_registry(),
+        Scale::Paper => paper_registry(),
+    }
+}
+
+/// Generates a dataset by name at the given scale.
+///
+/// # Panics
+///
+/// Panics if the name is not in the registry.
+pub fn dataset(name: &str, scale: Scale) -> UncertainGraph {
+    let specs = registry(scale);
+    let spec = find_spec(&specs, name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}; known: PPI1, PPI2, PPI3, Condmat, Net, DBLP"));
+    spec.generate()
+}
+
+/// Selects `count` random vertex pairs (distinct endpoints, both with at
+/// least one in-arc so SimRank has something to work with).
+pub fn random_pairs(graph: &UncertainGraph, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| graph.in_degree(v) > 0)
+        .collect();
+    assert!(candidates.len() >= 2, "graph has fewer than two non-isolated vertices");
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = candidates[rng.gen_range(0..candidates.len())];
+        let v = candidates[rng.gen_range(0..candidates.len())];
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+/// Measures the wall-clock time of a closure.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Average wall-clock time per item of a per-pair workload.
+pub fn average_millis(total: Duration, items: usize) -> f64 {
+    if items == 0 {
+        0.0
+    } else {
+        total.as_secs_f64() * 1000.0 / items as f64
+    }
+}
+
+/// Relative error `|estimate − exact| / exact`, treating near-zero exact
+/// values as "no information" (returns `None`).
+pub fn relative_error(estimate: f64, exact: f64) -> Option<f64> {
+    if exact.abs() < 1e-9 {
+        None
+    } else {
+        Some((estimate - exact).abs() / exact.abs())
+    }
+}
+
+/// Mean of the defined relative errors of a set of (estimate, exact) pairs.
+pub fn mean_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    let errors: Vec<f64> = pairs
+        .iter()
+        .filter_map(|&(estimate, exact)| relative_error(estimate, exact))
+        .collect();
+    if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+}
+
+/// Simple fixed-width table printer used by every experiment binary.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let format_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(cell, width)| format!("{cell:>width$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to standard output.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with three decimal places (the precision used in the
+/// paper's tables).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_pairs_env_defaults() {
+        // Without the env vars set, the defaults apply.
+        std::env::remove_var("USIM_SCALE");
+        std::env::remove_var("USIM_PAIRS");
+        assert_eq!(scale_from_env(), Scale::Ci);
+        assert_eq!(pairs_from_env(42), 42);
+    }
+
+    #[test]
+    fn datasets_are_available_at_ci_scale() {
+        let g = dataset("Net", Scale::Ci);
+        assert!(g.num_vertices() > 100);
+        assert!(g.num_arcs() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        let _ = dataset("nope", Scale::Ci);
+    }
+
+    #[test]
+    fn random_pairs_are_valid() {
+        let g = dataset("Net", Scale::Ci);
+        let pairs = random_pairs(&g, 50, 7);
+        assert_eq!(pairs.len(), 50);
+        for (u, v) in pairs {
+            assert_ne!(u, v);
+            assert!(g.in_degree(u) > 0);
+            assert!(g.in_degree(v) > 0);
+        }
+    }
+
+    #[test]
+    fn relative_error_handles_zero_exact() {
+        assert_eq!(relative_error(0.5, 0.0), None);
+        assert!((relative_error(0.55, 0.5).unwrap() - 0.1).abs() < 1e-12);
+        let mre = mean_relative_error(&[(0.55, 0.5), (0.9, 1.0), (0.3, 0.0)]);
+        assert!((mre - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_and_formatting() {
+        let (value, duration) = measure(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(average_millis(duration, 1) >= 0.0);
+        assert_eq!(average_millis(Duration::from_secs(1), 0), 0.0);
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_ms(1.005), "1.00");
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut table = Table::new(&["algo", "time"]);
+        table.row(&["Baseline".to_string(), "1.00".to_string()]);
+        table.row(&["SR-SP".to_string(), "0.10".to_string()]);
+        let rendered = table.render();
+        assert!(rendered.contains("Baseline"));
+        assert!(rendered.contains("SR-SP"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut table = Table::new(&["a", "b"]);
+        table.row(&["only one".to_string()]);
+    }
+}

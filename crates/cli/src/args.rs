@@ -1,0 +1,211 @@
+//! A small declarative command-line argument parser.
+//!
+//! The workspace's dependency policy keeps third-party crates to the approved
+//! list, so the CLI parses its own arguments: every command declares the
+//! option names (which take a value) and switch names (which do not) it
+//! accepts, positional arguments are collected in order, and anything
+//! unrecognised is an error rather than being silently ignored.
+
+use crate::CliError;
+use std::collections::{HashMap, HashSet};
+use std::str::FromStr;
+
+/// The accepted options and switches of one subcommand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArgSpec<'a> {
+    /// Names (without the leading `--`) of options that take a value.
+    pub options: &'a [&'a str],
+    /// Names (without the leading `--`) of boolean switches.
+    pub switches: &'a [&'a str],
+}
+
+/// Parsed arguments of one subcommand invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Arguments {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    switches: HashSet<String>,
+}
+
+impl Arguments {
+    /// Parses `tokens` against `spec`.
+    ///
+    /// Options may be written `--name value` or `--name=value`; switches are
+    /// bare `--name`.  Unknown `--…` tokens and options missing their value
+    /// are reported as errors.
+    pub fn parse(tokens: &[String], spec: &ArgSpec<'_>) -> Result<Self, CliError> {
+        let mut parsed = Arguments::default();
+        let mut index = 0usize;
+        while index < tokens.len() {
+            let token = &tokens[index];
+            if let Some(name) = token.strip_prefix("--") {
+                let (name, inline_value) = match name.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (name, None),
+                };
+                if spec.switches.contains(&name) {
+                    if inline_value.is_some() {
+                        return Err(CliError::new(format!("switch --{name} does not take a value")));
+                    }
+                    parsed.switches.insert(name.to_string());
+                } else if spec.options.contains(&name) {
+                    let value = match inline_value {
+                        Some(v) => v,
+                        None => {
+                            index += 1;
+                            tokens
+                                .get(index)
+                                .cloned()
+                                .ok_or_else(|| CliError::new(format!("option --{name} requires a value")))?
+                        }
+                    };
+                    if parsed.options.insert(name.to_string(), value).is_some() {
+                        return Err(CliError::new(format!("option --{name} given more than once")));
+                    }
+                } else {
+                    return Err(CliError::new(format!("unknown option --{name}")));
+                }
+            } else {
+                parsed.positional.push(token.clone());
+            }
+            index += 1;
+        }
+        Ok(parsed)
+    }
+
+    /// The `index`-th positional argument, if present.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+
+    /// The `index`-th positional argument, or an error naming what is missing.
+    pub fn require_positional(&self, index: usize, what: &str) -> Result<&str, CliError> {
+        self.positional(index)
+            .ok_or_else(|| CliError::new(format!("missing required argument: {what}")))
+    }
+
+    /// Number of positional arguments.
+    pub fn num_positional(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// The raw value of an option, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// Parses an option into `T`, using `default` when the option is absent.
+    pub fn parse_option<T: FromStr>(&self, name: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.option(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|e| CliError::new(format!("invalid value for --{name}: {e}"))),
+        }
+    }
+
+    /// Parses a required option into `T`.
+    pub fn require_option<T: FromStr>(&self, name: &str) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self
+            .option(name)
+            .ok_or_else(|| CliError::new(format!("missing required option --{name}")))?;
+        raw.parse::<T>()
+            .map_err(|e| CliError::new(format!("invalid value for --{name}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    const SPEC: ArgSpec<'_> = ArgSpec {
+        options: &["k", "seed", "out"],
+        switches: &["verbose"],
+    };
+
+    #[test]
+    fn parses_positionals_options_and_switches() {
+        let args = Arguments::parse(
+            &tokens(&["graph.tsv", "--k", "5", "--verbose", "--seed=9"]),
+            &SPEC,
+        )
+        .unwrap();
+        assert_eq!(args.positional(0), Some("graph.tsv"));
+        assert_eq!(args.num_positional(), 1);
+        assert_eq!(args.option("k"), Some("5"));
+        assert_eq!(args.parse_option::<u64>("seed", 0).unwrap(), 9);
+        assert!(args.switch("verbose"));
+        assert!(!args.switch("quiet"));
+        assert_eq!(args.parse_option::<usize>("missing-is-default", 7).unwrap_or(7), 7);
+    }
+
+    #[test]
+    fn defaults_apply_when_options_are_absent() {
+        let args = Arguments::parse(&tokens(&["g.tsv"]), &SPEC).unwrap();
+        assert_eq!(args.parse_option::<usize>("k", 10).unwrap(), 10);
+        assert!(args.option("out").is_none());
+    }
+
+    #[test]
+    fn unknown_option_is_an_error() {
+        let err = Arguments::parse(&tokens(&["--bogus", "1"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn option_without_value_is_an_error() {
+        let err = Arguments::parse(&tokens(&["--k"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn duplicate_option_is_an_error() {
+        let err = Arguments::parse(&tokens(&["--k", "1", "--k", "2"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn switch_with_value_is_an_error() {
+        let err = Arguments::parse(&tokens(&["--verbose=yes"]), &SPEC).unwrap_err();
+        assert!(err.to_string().contains("does not take a value"));
+    }
+
+    #[test]
+    fn invalid_numeric_value_is_reported() {
+        let args = Arguments::parse(&tokens(&["--k", "abc"]), &SPEC).unwrap();
+        let err = args.parse_option::<usize>("k", 1).unwrap_err();
+        assert!(err.to_string().contains("--k"));
+        let err = args.require_option::<usize>("k").unwrap_err();
+        assert!(err.to_string().contains("--k"));
+    }
+
+    #[test]
+    fn missing_required_pieces_are_reported() {
+        let args = Arguments::parse(&tokens(&[]), &SPEC).unwrap();
+        assert!(args
+            .require_positional(0, "the graph file")
+            .unwrap_err()
+            .to_string()
+            .contains("graph file"));
+        assert!(args
+            .require_option::<u64>("seed")
+            .unwrap_err()
+            .to_string()
+            .contains("--seed"));
+    }
+}

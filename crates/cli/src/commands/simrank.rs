@@ -1,0 +1,155 @@
+//! `usim simrank` — SimRank similarity of one vertex pair.
+//!
+//! By default the two-phase (SR-TS) estimator answers the query; `--algorithm`
+//! selects another family, and `--compare` runs every family (including the
+//! uncertainty-blind SimRank-II and Du et al.'s SimRank-III baselines) and
+//! prints a comparison table with per-algorithm timings.
+
+use crate::args::{ArgSpec, Arguments};
+use crate::estimators::{config_from_args, AlgorithmKind, CONFIG_OPTIONS};
+use crate::graphio::load_graph;
+use crate::table::{fmt_millis, fmt_score, TextTable};
+use crate::CliError;
+use std::time::Instant;
+
+const BASE_OPTIONS: &[&str] = &["source", "target", "algorithm", "format"];
+
+fn spec() -> ArgSpec<'static> {
+    // The full option list is the union of the command's own options and the
+    // shared SimRank configuration options.
+    static ALL: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    let options = ALL.get_or_init(|| {
+        let mut all = BASE_OPTIONS.to_vec();
+        all.extend_from_slice(CONFIG_OPTIONS);
+        all
+    });
+    ArgSpec {
+        options,
+        switches: &["compare"],
+    }
+}
+
+/// Runs the command.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Arguments::parse(tokens, &spec())?;
+    let path = args.require_positional(0, "the graph file")?;
+    let source_label: u64 = args.require_option("source")?;
+    let target_label: u64 = args.require_option("target")?;
+    let config = config_from_args(&args)?;
+
+    let loaded = load_graph(path, args.option("format"))?;
+    let u = loaded.vertex_for_label(source_label)?;
+    let v = loaded.vertex_for_label(target_label)?;
+
+    if args.switch("compare") {
+        let mut table = TextTable::new(&["algorithm", "s(u, v)", "time (ms)"]);
+        for kind in AlgorithmKind::all() {
+            let start = Instant::now();
+            let mut estimator = kind.build(&loaded.graph, config);
+            let score = estimator.similarity(u, v);
+            table.row(vec![
+                kind.display_name().to_string(),
+                fmt_score(score),
+                fmt_millis(start.elapsed()),
+            ]);
+        }
+        let mut output = format!(
+            "s({source_label}, {target_label}) on {path} (c = {}, n = {}, N = {})\n\n",
+            config.decay, config.horizon, config.num_samples
+        );
+        output.push_str(&table.render());
+        return Ok(output);
+    }
+
+    let kind = AlgorithmKind::parse(args.option("algorithm").unwrap_or("two-phase"))?;
+    let start = Instant::now();
+    let mut estimator = kind.build(&loaded.graph, config);
+    let score = estimator.similarity(u, v);
+    Ok(format!(
+        "s({source_label}, {target_label}) = {} [{}; {} ms]\n",
+        fmt_score(score),
+        kind.display_name(),
+        fmt_millis(start.elapsed()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_file(name: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("usim_cli_simrank_{}_{name}", std::process::id()));
+        std::fs::write(
+            &path,
+            "0 2 0.8\n0 3 0.5\n1 0 0.8\n1 2 0.9\n2 0 0.7\n2 3 0.6\n3 4 0.6\n3 1 0.8\n",
+        )
+        .unwrap();
+        path
+    }
+
+    fn tokens(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn single_algorithm_query_prints_a_score() {
+        let path = fig1_file("single.tsv");
+        let output = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--target",
+            "1",
+            "--algorithm",
+            "baseline",
+        ]))
+        .unwrap();
+        assert!(output.starts_with("s(0, 1) = 0."));
+        assert!(output.contains("Baseline"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn comparison_table_lists_every_algorithm() {
+        let path = fig1_file("compare.tsv");
+        let output = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--source",
+            "1",
+            "--target",
+            "2",
+            "--samples",
+            "100",
+            "--compare",
+        ]))
+        .unwrap();
+        for name in ["Baseline", "Sampling", "SR-TS", "SR-SP", "SimRank-III", "SimRank-II"] {
+            assert!(output.contains(name), "missing {name} in:\n{output}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_vertex_label_is_a_clean_error() {
+        let path = fig1_file("badvertex.tsv");
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--target",
+            "999",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("999"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_required_options_are_errors() {
+        let path = fig1_file("missing.tsv");
+        assert!(run(&tokens(&[path.to_str().unwrap()])).is_err());
+        assert!(run(&tokens(&[path.to_str().unwrap(), "--source", "0"])).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

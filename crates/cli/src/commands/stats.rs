@@ -1,0 +1,85 @@
+//! `usim stats` — topology and probability statistics of a graph file.
+
+use crate::args::{ArgSpec, Arguments};
+use crate::graphio::load_graph;
+use crate::table::TextTable;
+use crate::CliError;
+use ugraph::stats::uncertain_graph_stats;
+
+const SPEC: ArgSpec<'_> = ArgSpec {
+    options: &["format"],
+    switches: &[],
+};
+
+/// Runs the command.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Arguments::parse(tokens, &SPEC)?;
+    let path = args.require_positional(0, "the graph file")?;
+    let loaded = load_graph(path, args.option("format"))?;
+    let stats = uncertain_graph_stats(&loaded.graph);
+
+    let mut table = TextTable::new(&["statistic", "value"]);
+    let mut push = |name: &str, value: String| {
+        table.row(vec![name.to_string(), value]);
+    };
+    push("vertices", stats.topology.num_vertices.to_string());
+    push("arcs", stats.topology.num_arcs.to_string());
+    push(
+        "average out-degree",
+        format!("{:.3}", stats.topology.average_out_degree),
+    );
+    push("max out-degree", stats.topology.max_out_degree.to_string());
+    push("max in-degree", stats.topology.max_in_degree.to_string());
+    push("sink vertices (no out-arcs)", stats.topology.num_sinks.to_string());
+    push("source vertices (no in-arcs)", stats.topology.num_sources.to_string());
+    push("mean arc probability", format!("{:.4}", stats.mean_probability));
+    push("min arc probability", format!("{:.4}", stats.min_probability));
+    push("max arc probability", format!("{:.4}", stats.max_probability));
+    push("expected arcs Σ P(e)", format!("{:.1}", stats.expected_num_arcs));
+
+    let mut output = format!("{path}\n\n");
+    output.push_str(&table.render());
+    output.push_str("\narc probability histogram (10 equal-width buckets over (0, 1]):\n");
+    let max_count = stats.probability_histogram.iter().copied().max().unwrap_or(0);
+    for (bucket, &count) in stats.probability_histogram.iter().enumerate() {
+        let low = bucket as f64 / 10.0;
+        let high = low + 0.1;
+        let bar_width = if max_count == 0 {
+            0
+        } else {
+            (count * 40).div_ceil(max_count)
+        };
+        output.push_str(&format!(
+            "  ({low:.1}, {high:.1}]  {count:>8}  {}\n",
+            "#".repeat(bar_width)
+        ));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("usim_cli_stats_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn reports_counts_and_histogram() {
+        let path = temp_file("g.tsv");
+        std::fs::write(&path, "0 1 0.25\n1 2 0.75\n2 0 1.0\n2 1 0.95\n").unwrap();
+        let output = run(&[path.to_str().unwrap().to_string()]).unwrap();
+        assert!(output.contains("vertices"));
+        assert!(output.contains('3'));
+        assert!(output.contains("histogram"));
+        assert!(output.contains('#'));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_argument_is_an_error() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.to_string().contains("graph file"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Loading and saving uncertain graphs in the formats the CLI understands.
+//!
+//! Two formats are supported: the whitespace-separated text edge list of
+//! [`ugraph::io`] (`source target probability` per line) and the binary
+//! format of [`ugraph::binfmt`].  The format is chosen by file extension
+//! (`.bin` / `.usim` → binary, everything else → text) unless overridden with
+//! `--format`.
+//!
+//! Text edge lists may use arbitrary (non-contiguous) vertex labels; they are
+//! compacted on load and the CLI keeps the label table so queries and output
+//! always speak the file's original labels.
+
+use crate::CliError;
+use ugraph::binfmt;
+use ugraph::io::{read_edge_list_file, write_edge_list_file, ReadOptions};
+use ugraph::{UncertainGraph, VertexId};
+
+/// On-disk graph format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Whitespace-separated text edge list.
+    Text,
+    /// Binary format with checksum ([`ugraph::binfmt`]).
+    Binary,
+}
+
+impl GraphFormat {
+    /// Chooses a format from an optional `--format` value and the file path.
+    pub fn detect(path: &str, explicit: Option<&str>) -> Result<Self, CliError> {
+        match explicit {
+            Some("text") => Ok(GraphFormat::Text),
+            Some("binary") => Ok(GraphFormat::Binary),
+            Some(other) => Err(CliError::new(format!(
+                "unknown graph format {other:?}; expected \"text\" or \"binary\""
+            ))),
+            None => {
+                let lower = path.to_ascii_lowercase();
+                if lower.ends_with(".bin") || lower.ends_with(".usim") {
+                    Ok(GraphFormat::Binary)
+                } else {
+                    Ok(GraphFormat::Text)
+                }
+            }
+        }
+    }
+}
+
+/// A graph loaded by the CLI, together with the original vertex labels of the
+/// input file.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The parsed graph with compact vertex ids `0..n`.
+    pub graph: UncertainGraph,
+    /// `labels[v]` is the label vertex `v` had in the input file.
+    pub labels: Vec<u64>,
+}
+
+impl LoadedGraph {
+    /// Maps an original file label to the compact vertex id.
+    pub fn vertex_for_label(&self, label: u64) -> Result<VertexId, CliError> {
+        self.labels
+            .iter()
+            .position(|&l| l == label)
+            .map(|i| i as VertexId)
+            .ok_or_else(|| CliError::new(format!("vertex {label} does not appear in the graph")))
+    }
+
+    /// Maps a compact vertex id back to its original label.
+    pub fn label_of(&self, vertex: VertexId) -> u64 {
+        self.labels[vertex as usize]
+    }
+}
+
+/// Loads a graph from `path`, honouring an optional explicit `--format`.
+pub fn load_graph(path: &str, explicit_format: Option<&str>) -> Result<LoadedGraph, CliError> {
+    match GraphFormat::detect(path, explicit_format)? {
+        GraphFormat::Binary => {
+            let graph = binfmt::read_binary_file(path)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let labels = (0..graph.num_vertices() as u64).collect();
+            Ok(LoadedGraph { graph, labels })
+        }
+        GraphFormat::Text => {
+            let result = read_edge_list_file(path, &ReadOptions::default())
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            Ok(LoadedGraph {
+                graph: result.graph,
+                labels: result.labels,
+            })
+        }
+    }
+}
+
+/// Writes a graph to `path`, honouring an optional explicit `--format`.
+pub fn save_graph(
+    graph: &UncertainGraph,
+    path: &str,
+    explicit_format: Option<&str>,
+) -> Result<GraphFormat, CliError> {
+    let format = GraphFormat::detect(path, explicit_format)?;
+    match format {
+        GraphFormat::Binary => binfmt::write_binary_file(graph, path)
+            .map_err(|e| CliError::new(format!("{path}: {e}")))?,
+        GraphFormat::Text => write_edge_list_file(graph, path)
+            .map_err(|e| CliError::new(format!("{path}: {e}")))?,
+    }
+    Ok(format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::UncertainGraphBuilder;
+
+    fn sample_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(3)
+            .arc(0, 1, 0.5)
+            .arc(1, 2, 0.25)
+            .arc(2, 0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("usim_cli_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn format_detection_prefers_explicit_over_extension() {
+        assert_eq!(GraphFormat::detect("g.bin", None).unwrap(), GraphFormat::Binary);
+        assert_eq!(GraphFormat::detect("g.usim", None).unwrap(), GraphFormat::Binary);
+        assert_eq!(GraphFormat::detect("g.tsv", None).unwrap(), GraphFormat::Text);
+        assert_eq!(
+            GraphFormat::detect("g.bin", Some("text")).unwrap(),
+            GraphFormat::Text
+        );
+        assert!(GraphFormat::detect("g.tsv", Some("parquet")).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_via_the_cli_helpers() {
+        let path = temp_path("roundtrip.tsv");
+        let path_str = path.to_str().unwrap();
+        save_graph(&sample_graph(), path_str, None).unwrap();
+        let loaded = load_graph(path_str, None).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_arcs(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_roundtrip_via_the_cli_helpers() {
+        let path = temp_path("roundtrip.bin");
+        let path_str = path.to_str().unwrap();
+        let format = save_graph(&sample_graph(), path_str, None).unwrap();
+        assert_eq!(format, GraphFormat::Binary);
+        let loaded = load_graph(path_str, None).unwrap();
+        assert_eq!(loaded.graph.num_arcs(), 3);
+        assert_eq!(loaded.label_of(2), 2);
+        assert_eq!(loaded.vertex_for_label(1).unwrap(), 1);
+        assert!(loaded.vertex_for_label(99).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn label_mapping_survives_non_compact_text_files() {
+        let path = temp_path("labels.tsv");
+        std::fs::write(&path, "10 20 0.5\n20 30 0.75\n").unwrap();
+        let loaded = load_graph(path.to_str().unwrap(), None).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        let v10 = loaded.vertex_for_label(10).unwrap();
+        let v30 = loaded.vertex_for_label(30).unwrap();
+        assert_ne!(v10, v30);
+        assert_eq!(loaded.label_of(v10), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load_graph("/nonexistent/usim/graph.tsv", None).unwrap_err();
+        assert!(err.to_string().contains("graph.tsv"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Library backing the `usim` command-line tool.
+//!
+//! The binary in `src/main.rs` forwards its arguments to [`run`]; every
+//! subcommand returns its output as a `String`, so the whole CLI is testable
+//! without spawning processes.
+//!
+//! ```text
+//! usim datasets                                list the Table II dataset registry
+//! usim generate  --dataset Net --out net.tsv   generate a synthetic dataset
+//! usim stats     GRAPH                         topology / probability statistics
+//! usim simrank   GRAPH --source U --target V   single-pair SimRank query
+//! usim topk      GRAPH --source U --k 10       most similar vertices to a source
+//! usim topk-pairs GRAPH --k 10                 most similar vertex pairs
+//! usim matrices  GRAPH --steps 3               k-step transition probability matrices
+//! usim convert   IN OUT                        convert between text and binary formats
+//! usim er        --records 300                 entity-resolution case study
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+pub mod estimators;
+pub mod graphio;
+pub mod table;
+
+use std::fmt;
+
+/// Error type shared by every subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ugraph::GraphError> for CliError {
+    fn from(e: ugraph::GraphError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+impl From<rwalk::transpr::TransPrError> for CliError {
+    fn from(e: rwalk::transpr::TransPrError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+/// Dispatches a full command line (without the program name) to the matching
+/// subcommand and returns its textual output.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "version" | "--version" | "-V" => Ok(format!("usim {}\n", env!("CARGO_PKG_VERSION"))),
+        "datasets" => commands::datasets::run(rest),
+        "generate" => commands::generate::run(rest),
+        "stats" => commands::stats::run(rest),
+        "simrank" => commands::simrank::run(rest),
+        "topk" => commands::topk::run(rest),
+        "topk-pairs" => commands::pairs::run(rest),
+        "matrices" => commands::matrices::run(rest),
+        "convert" => commands::convert::run(rest),
+        "er" => commands::er::run(rest),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}; run `usim help` for the list of commands"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> String {
+    concat!(
+        "usim — SimRank on uncertain graphs (reproduction of Zhu, Zou & Li, ICDE 2016)\n",
+        "\n",
+        "USAGE:\n",
+        "    usim <COMMAND> [ARGS]\n",
+        "\n",
+        "COMMANDS:\n",
+        "    datasets     List the synthetic dataset registry (Table II stand-ins)\n",
+        "    generate     Generate a synthetic uncertain graph and write it to a file\n",
+        "    stats        Print topology and probability statistics of a graph file\n",
+        "    simrank      SimRank similarity of one vertex pair (all estimators available)\n",
+        "    topk         The k vertices most similar to a source vertex\n",
+        "    topk-pairs   The k most similar vertex pairs of a graph\n",
+        "    matrices     k-step transition probability matrices W(1)..W(K)\n",
+        "    convert      Convert a graph between the text and binary formats\n",
+        "    er           Entity-resolution case study on a synthetic record graph\n",
+        "    help         Show this message\n",
+        "    version      Show the version\n",
+        "\n",
+        "GRAPH FILES:\n",
+        "    Text edge lists have one `source target probability` triple per line\n",
+        "    (probability optional, defaults to 1.0; `#` starts a comment).  Files\n",
+        "    ending in .bin or .usim use the binary format; --format text|binary\n",
+        "    overrides the extension-based detection.\n",
+        "\n",
+        "SIMRANK OPTIONS (shared by simrank, topk, topk-pairs, er):\n",
+        "    --decay C          decay factor c in (0,1)        [default 0.6]\n",
+        "    --horizon N        walk horizon n                  [default 5]\n",
+        "    --samples N        sampled walks per query vertex  [default 1000]\n",
+        "    --phase-switch L   exact steps of SR-TS / SR-SP    [default 1]\n",
+        "    --seed S           RNG seed                        [default fixed]\n",
+        "    --direction in|out walk direction                  [default in]\n",
+        "\n",
+        "Run `usim <COMMAND> --help` semantics are not supported; see README.md for\n",
+        "per-command examples.\n",
+    )
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_arguments_prints_usage() {
+        let output = run(&[]).unwrap();
+        assert!(output.contains("USAGE"));
+        assert!(output.contains("topk-pairs"));
+    }
+
+    #[test]
+    fn help_and_version() {
+        assert!(run(&tokens(&["help"])).unwrap().contains("COMMANDS"));
+        assert!(run(&tokens(&["--help"])).unwrap().contains("COMMANDS"));
+        let version = run(&tokens(&["version"])).unwrap();
+        assert!(version.starts_with("usim "));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&tokens(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_conversions_preserve_messages() {
+        let graph_error = ugraph::GraphError::Io("disk on fire".into());
+        let cli: CliError = graph_error.into();
+        assert!(cli.to_string().contains("disk on fire"));
+        let io_error = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let cli: CliError = io_error.into();
+        assert!(cli.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,18 @@
+//! The `usim` command-line tool.
+//!
+//! All logic lives in the `usim_cli` library crate so it can be unit-tested;
+//! this binary only forwards the process arguments and sets the exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match usim_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("run `usim help` for usage");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end tests of the `usim` binary: spawn the compiled executable and
+//! check its output and exit codes, covering the full
+//! generate → inspect → query → convert workflow a user would run.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn usim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_usim"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the usim binary")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("usim_cli_e2e_{}_{name}", std::process::id()))
+}
+
+fn write_fig1(path: &PathBuf) {
+    std::fs::write(
+        path,
+        "0 2 0.8\n0 3 0.5\n1 0 0.8\n1 2 0.9\n2 0 0.7\n2 3 0.6\n3 4 0.6\n3 1 0.8\n",
+    )
+    .unwrap();
+}
+
+#[test]
+fn help_is_printed_without_arguments_and_on_request() {
+    let bare = usim(&[]);
+    assert!(bare.status.success());
+    assert!(stdout(&bare).contains("USAGE"));
+
+    let help = usim(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_commands_fail_with_a_helpful_message_and_nonzero_exit() {
+    let output = usim(&["frobnicate"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("frobnicate"));
+    assert!(stderr(&output).contains("usim help"));
+}
+
+#[test]
+fn datasets_lists_the_registry() {
+    let output = usim(&["datasets"]);
+    assert!(output.status.success());
+    let text = stdout(&output);
+    assert!(text.contains("PPI1"));
+    assert!(text.contains("DBLP"));
+}
+
+#[test]
+fn simrank_and_topk_queries_work_on_a_text_graph() {
+    let graph = temp("fig1.tsv");
+    write_fig1(&graph);
+    let graph_path = graph.to_str().unwrap();
+
+    let single = usim(&[
+        "simrank", graph_path, "--source", "0", "--target", "1", "--algorithm", "baseline",
+    ]);
+    assert!(single.status.success(), "stderr: {}", stderr(&single));
+    assert!(stdout(&single).contains("s(0, 1) = 0."));
+
+    let compare = usim(&[
+        "simrank", graph_path, "--source", "1", "--target", "2", "--samples", "100", "--compare",
+    ]);
+    assert!(compare.status.success());
+    assert!(stdout(&compare).contains("SR-SP"));
+
+    let topk = usim(&["topk", graph_path, "--source", "0", "--k", "3", "--samples", "300"]);
+    assert!(topk.status.success(), "stderr: {}", stderr(&topk));
+    assert!(stdout(&topk).contains("top-3"));
+
+    let pairs = usim(&["topk-pairs", graph_path, "--k", "2", "--algorithm", "baseline"]);
+    assert!(pairs.status.success());
+    assert!(stdout(&pairs).contains("most similar pairs"));
+
+    std::fs::remove_file(&graph).unwrap();
+}
+
+#[test]
+fn generate_stats_convert_pipeline() {
+    let text = temp("generated.tsv");
+    let binary = temp("generated.bin");
+
+    let generate = usim(&[
+        "generate",
+        "--rmat-scale",
+        "7",
+        "--edges",
+        "600",
+        "--seed",
+        "5",
+        "--out",
+        text.to_str().unwrap(),
+    ]);
+    assert!(generate.status.success(), "stderr: {}", stderr(&generate));
+    assert!(stdout(&generate).contains("R-MAT"));
+
+    let stats = usim(&["stats", text.to_str().unwrap()]);
+    assert!(stats.status.success());
+    assert!(stdout(&stats).contains("mean arc probability"));
+
+    let convert = usim(&["convert", text.to_str().unwrap(), binary.to_str().unwrap()]);
+    assert!(convert.status.success());
+    assert!(stdout(&convert).contains("Binary"));
+
+    let stats_binary = usim(&["stats", binary.to_str().unwrap()]);
+    assert!(stats_binary.status.success());
+    // The binary file describes the same graph, so the arc count lines match.
+    let arcs_line = |s: &str| {
+        s.lines()
+            .find(|l| l.trim_start().starts_with("arcs"))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(arcs_line(&stdout(&stats)), arcs_line(&stdout(&stats_binary)));
+
+    std::fs::remove_file(&text).unwrap();
+    std::fs::remove_file(&binary).unwrap();
+}
+
+#[test]
+fn matrices_command_reports_transition_structure() {
+    let graph = temp("matrices.tsv");
+    write_fig1(&graph);
+    let output = usim(&["matrices", graph.to_str().unwrap(), "--steps", "3"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("W(1)..W(3)"));
+    std::fs::remove_file(&graph).unwrap();
+}
+
+#[test]
+fn query_against_a_missing_file_fails_cleanly() {
+    let output = usim(&[
+        "simrank",
+        "/nonexistent/usim/graph.tsv",
+        "--source",
+        "0",
+        "--target",
+        "1",
+    ]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("error:"));
+}

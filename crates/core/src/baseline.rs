@@ -1,0 +1,393 @@
+//! The Baseline algorithm (Section VI-A of the paper): exact `n`-th SimRank
+//! from exact k-step transition probabilities.
+
+use crate::config::{SimRankConfig, WalkDirection};
+use crate::meeting::MeetingProfile;
+use crate::SimRankEstimator;
+use rwalk::transpr::{transition_matrices, transition_rows_from, TransPrError, TransPrOptions};
+use std::path::Path;
+use umatrix::{ColumnStore, DenseMatrix, IoStats};
+use ugraph::{UncertainGraph, VertexId};
+
+/// Returns the graph the walk machinery should run on for the configured
+/// direction: the transpose for in-neighbor walks (the SimRank convention),
+/// the graph itself for forward walks.
+pub(crate) fn working_graph(graph: &UncertainGraph, direction: WalkDirection) -> UncertainGraph {
+    match direction {
+        WalkDirection::InNeighbors => graph.transpose(),
+        WalkDirection::OutNeighbors => graph.clone(),
+    }
+}
+
+/// Exact single-pair SimRank on an uncertain graph (the paper's Baseline).
+///
+/// For a query `(u, v)` the estimator enumerates all walks of length up to
+/// `n` starting at `u` and at `v` (the single-source restriction of
+/// `TransPr`), obtains the exact transition rows `Pr(u →ₖ ·)` and
+/// `Pr(v →ₖ ·)`, forms the meeting probabilities `m(k)(u, v)` and combines
+/// them with Eq. (12).  The cost grows like `d^n` per query (`d` = average
+/// degree), which is why the paper proposes the sampling-based algorithms for
+/// large dense graphs.
+#[derive(Debug, Clone)]
+pub struct BaselineEstimator {
+    graph: UncertainGraph,
+    config: SimRankConfig,
+    options: TransPrOptions,
+}
+
+impl BaselineEstimator {
+    /// Creates a Baseline estimator for `graph` under `config`.
+    pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
+        config.validate();
+        BaselineEstimator {
+            graph: working_graph(graph, config.direction),
+            config,
+            options: TransPrOptions::default(),
+        }
+    }
+
+    /// Overrides the `TransPr` options (walk budget, shortcut, pruning).
+    pub fn with_transpr_options(mut self, options: TransPrOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimRankConfig {
+        &self.config
+    }
+
+    /// Exact meeting probabilities `m(0), …, m(n)` for a pair, or an error if
+    /// the walk budget is exceeded.
+    pub fn try_profile(&self, u: VertexId, v: VertexId) -> Result<MeetingProfile, TransPrError> {
+        let n = self.config.horizon;
+        let rows_u = transition_rows_from(&self.graph, u, n, &self.options)?;
+        let rows_v = if u == v {
+            rows_u.clone()
+        } else {
+            transition_rows_from(&self.graph, v, n, &self.options)?
+        };
+        let meeting: Vec<f64> = (0..=n).map(|k| rows_u[k].dot(&rows_v[k])).collect();
+        Ok(MeetingProfile::new(meeting, self.config.decay))
+    }
+
+    /// Exact meeting probabilities; panics if the walk budget is exceeded.
+    pub fn profile(&self, u: VertexId, v: VertexId) -> MeetingProfile {
+        self.try_profile(u, v)
+            .expect("TransPr walk budget exceeded; raise TransPrOptions::max_walks")
+    }
+
+    /// Exact `s⁽ⁿ⁾(u, v)`, or an error if the walk budget is exceeded.
+    pub fn try_similarity(&self, u: VertexId, v: VertexId) -> Result<f64, TransPrError> {
+        Ok(self.try_profile(u, v)?.score())
+    }
+
+    /// All-pairs `s⁽ⁿ⁾` as a dense matrix, computed from the full transition
+    /// matrices.  Only feasible for small graphs; used by the ground-truth
+    /// comparisons and the measure-comparison experiment.
+    pub fn try_similarity_matrix(&self) -> Result<DenseMatrix, TransPrError> {
+        let n_vertices = self.graph.num_vertices();
+        let n = self.config.horizon;
+        let c = self.config.decay;
+        let tm = transition_matrices(&self.graph, n, &self.options)?;
+        let mut result = DenseMatrix::zeros(n_vertices, n_vertices);
+        // k = 0 term: (1 - c) on the diagonal.
+        for i in 0..n_vertices {
+            result[(i, i)] = 1.0 - c;
+        }
+        let mut c_pow = 1.0;
+        for k in 1..=n {
+            c_pow *= c;
+            let weight = if k == n { c_pow } else { (1.0 - c) * c_pow };
+            let wk = tm.step(k);
+            // meeting matrix at step k is W(k) * W(k)^T.
+            let meeting = wk.matmul(&wk.transpose());
+            result.add_scaled(&meeting, weight);
+        }
+        // The diagonal of the k = n term plus the geometric tail should give
+        // exactly s(u, u) = combine(m(k) = 1 for all k); no correction needed
+        // because the construction above mirrors Eq. (12) entry-wise.
+        Ok(result)
+    }
+}
+
+impl SimRankEstimator for BaselineEstimator {
+    fn similarity(&mut self, u: VertexId, v: VertexId) -> f64 {
+        self.try_similarity(u, v)
+            .expect("TransPr walk budget exceeded; raise TransPrOptions::max_walks")
+    }
+
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+}
+
+/// The external-memory variant of the Baseline algorithm.
+///
+/// The paper stores each `W(k)` column-by-column on disk and reads two
+/// columns per step of a query, for `O(n·|V|/B)` I/Os per pair.  This struct
+/// materialises the transition matrices once (via `TransPr`), writes them to
+/// [`ColumnStore`] files (one per step, storing `W(k)ᵀ` so that one column
+/// read yields one source row), and then answers queries purely from disk,
+/// exposing the I/O counters so the efficiency experiment can report them.
+#[derive(Debug)]
+pub struct ExternalBaseline {
+    stores: Vec<ColumnStore>,
+    config: SimRankConfig,
+    num_vertices: usize,
+}
+
+impl ExternalBaseline {
+    /// Builds the on-disk transition matrices for `graph` under `config`,
+    /// placing one file per step in `directory`.
+    pub fn build<P: AsRef<Path>>(
+        graph: &UncertainGraph,
+        config: SimRankConfig,
+        directory: P,
+        block_size: usize,
+    ) -> Result<Self, TransPrError> {
+        config.validate();
+        let working = working_graph(graph, config.direction);
+        let tm = transition_matrices(&working, config.horizon, &TransPrOptions::default())?;
+        let n_vertices = working.num_vertices();
+        let directory = directory.as_ref();
+        let mut stores = Vec::with_capacity(config.horizon);
+        for k in 1..=config.horizon {
+            let path = directory.join(format!("transition_step_{k}.col"));
+            let store = ColumnStore::create(&path, n_vertices, n_vertices, block_size)
+                .expect("failed to create transition matrix store");
+            // Column u of the store holds row u of W(k).
+            let wk = tm.step(k);
+            let mut column = vec![0.0; n_vertices];
+            for u in 0..n_vertices {
+                column.copy_from_slice(wk.row(u));
+                store
+                    .write_column(u, &column)
+                    .expect("failed to write transition matrix column");
+            }
+            store.reset_io_stats();
+            stores.push(store);
+        }
+        Ok(ExternalBaseline {
+            stores,
+            config,
+            num_vertices: n_vertices,
+        })
+    }
+
+    /// Exact meeting probabilities read back from disk.
+    pub fn profile(&self, u: VertexId, v: VertexId) -> MeetingProfile {
+        let n = self.config.horizon;
+        let mut meeting = Vec::with_capacity(n + 1);
+        meeting.push(if u == v { 1.0 } else { 0.0 });
+        let mut row_u = vec![0.0; self.num_vertices];
+        let mut row_v = vec![0.0; self.num_vertices];
+        for store in &self.stores {
+            store
+                .read_column(u as usize, &mut row_u)
+                .expect("failed to read transition matrix column");
+            store
+                .read_column(v as usize, &mut row_v)
+                .expect("failed to read transition matrix column");
+            meeting.push(row_u.iter().zip(&row_v).map(|(a, b)| a * b).sum());
+        }
+        MeetingProfile::new(meeting, self.config.decay)
+    }
+
+    /// Aggregate I/O statistics across all per-step stores.
+    pub fn io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for store in &self.stores {
+            let s = store.io_stats();
+            total.columns_read += s.columns_read;
+            total.columns_written += s.columns_written;
+            total.blocks_read += s.blocks_read;
+            total.blocks_written += s.blocks_written;
+        }
+        total
+    }
+
+    /// Deletes the backing files.
+    pub fn delete(self) -> std::io::Result<()> {
+        for store in self.stores {
+            store.delete()?;
+        }
+        Ok(())
+    }
+}
+
+impl SimRankEstimator for ExternalBaseline {
+    fn similarity(&mut self, u: VertexId, v: VertexId) -> f64 {
+        self.profile(u, v).score()
+    }
+
+    fn name(&self) -> &'static str {
+        "Baseline (external)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deterministic::simrank_all_pairs;
+    use ugraph::UncertainGraphBuilder;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn self_similarity_is_maximal_and_symmetric() {
+        let g = fig1_graph();
+        let estimator = BaselineEstimator::new(&g, SimRankConfig::default());
+        for u in g.vertices() {
+            let s_uu = estimator.try_similarity(u, u).unwrap();
+            assert!(s_uu > 0.0 && s_uu <= 1.0 + 1e-12);
+            for v in g.vertices() {
+                let s_uv = estimator.try_similarity(u, v).unwrap();
+                let s_vu = estimator.try_similarity(v, u).unwrap();
+                assert!((s_uv - s_vu).abs() < 1e-12, "symmetry failed for ({u},{v})");
+                assert!(s_uv <= s_uu + 1e-12 || s_uv <= 1.0 + 1e-12);
+                assert!((0.0..=1.0 + 1e-12).contains(&s_uv));
+            }
+        }
+    }
+
+    #[test]
+    fn certain_graph_matches_deterministic_simrank() {
+        // Theorem 3: with all probabilities 1, uncertain SimRank equals
+        // classic SimRank on the skeleton.
+        let g = fig1_graph().certain();
+        let config = SimRankConfig::default().with_horizon(5);
+        let estimator = BaselineEstimator::new(&g, config);
+        let det = simrank_all_pairs(g.skeleton(), config.decay, config.horizon);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let uncertain = estimator.try_similarity(u, v).unwrap();
+                let deterministic = det[(u as usize, v as usize)];
+                assert!(
+                    (uncertain - deterministic).abs() < 1e-9,
+                    "pair ({u},{v}): uncertain {uncertain}, deterministic {deterministic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncertainty_changes_similarities() {
+        // SimRank-I vs SimRank-II in the paper's terminology: the uncertain
+        // measure differs from classic SimRank on the skeleton.
+        let g = fig1_graph();
+        let config = SimRankConfig::default();
+        let estimator = BaselineEstimator::new(&g, config);
+        let det = simrank_all_pairs(g.skeleton(), config.decay, config.horizon);
+        let mut max_difference: f64 = 0.0;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u == v {
+                    continue;
+                }
+                let uncertain = estimator.try_similarity(u, v).unwrap();
+                max_difference =
+                    max_difference.max((uncertain - det[(u as usize, v as usize)]).abs());
+            }
+        }
+        assert!(max_difference > 1e-3, "uncertainty had no effect: {max_difference}");
+    }
+
+    #[test]
+    fn similarity_matrix_matches_single_pair_queries() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_horizon(4);
+        let estimator = BaselineEstimator::new(&g, config);
+        let matrix = estimator.try_similarity_matrix().unwrap();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let single = estimator.try_similarity(u, v).unwrap();
+                let entry = matrix[(u as usize, v as usize)];
+                assert!(
+                    (single - entry).abs() < 1e-10,
+                    "pair ({u},{v}): single {single}, matrix {entry}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_scores_match_similarity_and_horizon_truncation_is_consistent() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_horizon(6);
+        let estimator = BaselineEstimator::new(&g, config);
+        let profile = estimator.profile(0, 1);
+        assert_eq!(profile.horizon(), 6);
+        let full = estimator.try_similarity(0, 1).unwrap();
+        assert!((profile.score() - full).abs() < 1e-12);
+        // Truncation to horizon 3 equals an estimator configured with n = 3.
+        let shorter = BaselineEstimator::new(&g, SimRankConfig::default().with_horizon(3));
+        let direct = shorter.try_similarity(0, 1).unwrap();
+        assert!((profile.score_at_horizon(3) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_direction_differs_from_reverse() {
+        let g = fig1_graph();
+        let reverse = BaselineEstimator::new(&g, SimRankConfig::default());
+        let forward = BaselineEstimator::new(
+            &g,
+            SimRankConfig::default().with_direction(WalkDirection::OutNeighbors),
+        );
+        let mut differs = false;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let a = reverse.try_similarity(u, v).unwrap();
+                let b = forward.try_similarity(u, v).unwrap();
+                if (a - b).abs() > 1e-6 {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs, "walk direction should matter on an asymmetric graph");
+    }
+
+    #[test]
+    fn external_baseline_matches_in_memory_and_counts_io() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_horizon(4);
+        let in_memory = BaselineEstimator::new(&g, config);
+        let dir = std::env::temp_dir().join(format!("usim_external_baseline_{}", std::process::id()));
+        let external = ExternalBaseline::build(&g, config, &dir, 4096).unwrap();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let a = in_memory.try_similarity(u, v).unwrap();
+                let b = external.profile(u, v).score();
+                assert!((a - b).abs() < 1e-10, "pair ({u},{v}): {a} vs {b}");
+            }
+        }
+        let io = external.io_stats();
+        // 25 pairs * 4 steps * 2 columns per step.
+        assert_eq!(io.columns_read, 25 * 4 * 2);
+        assert!(io.blocks_read >= io.columns_read);
+        external.delete().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let g = fig1_graph();
+        let mut estimator: Box<dyn SimRankEstimator> =
+            Box::new(BaselineEstimator::new(&g, SimRankConfig::default()));
+        assert_eq!(estimator.name(), "Baseline");
+        let s = estimator.similarity(0, 1);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error bounds of the paper (Theorems 2 and 4, Corollary 1, Lemma 4) and
+//! the sample-size calculator they imply.
+
+/// Theorem 2: the truncation error of the `n`-th SimRank,
+/// `|s⁽ⁿ⁾(u, v) − s(u, v)| ≤ c^{n+1}`.
+pub fn theorem2_error_bound(decay: f64, horizon: usize) -> f64 {
+    assert!(decay > 0.0 && decay < 1.0, "the decay factor must lie in (0, 1)");
+    decay.powi(horizon as i32 + 1)
+}
+
+/// Lemma 4: the number of sampled walk pairs needed so that each meeting
+/// probability is within `epsilon` of its expectation with probability at
+/// least `1 − delta`: `N ≥ (3/ε²)·ln(2/δ)`.
+pub fn required_samples(epsilon: f64, delta: f64) -> usize {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    ((3.0 / (epsilon * epsilon)) * (2.0 / delta).ln()).ceil() as usize
+}
+
+/// Theorem 4: with `N ≥ (3/ε²)·ln(2/δ)` samples, the Sampling algorithm's
+/// error satisfies `|s⁽ⁿ⁾ − ŝ⁽ⁿ⁾| ≤ ε(c − cⁿ)` with probability `≥ 1 − δ`.
+pub fn theorem4_error_bound(epsilon: f64, decay: f64, horizon: usize) -> f64 {
+    assert!(decay > 0.0 && decay < 1.0, "the decay factor must lie in (0, 1)");
+    epsilon * (decay - decay.powi(horizon as i32))
+}
+
+/// Corollary 1: the two-phase algorithm with phase switch `l` satisfies
+/// `|s⁽ⁿ⁾ − ŝ⁽ⁿ⁾| ≤ ε(c^{l+1} − cⁿ)` with probability `≥ 1 − δ`.
+pub fn corollary1_error_bound(epsilon: f64, decay: f64, phase_switch: usize, horizon: usize) -> f64 {
+    assert!(decay > 0.0 && decay < 1.0, "the decay factor must lie in (0, 1)");
+    assert!(
+        phase_switch < horizon,
+        "the phase switch must be below the horizon for the bound to be meaningful"
+    );
+    epsilon * (decay.powi(phase_switch as i32 + 1) - decay.powi(horizon as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem2_bound_decays_geometrically() {
+        let b5 = theorem2_error_bound(0.6, 5);
+        let b6 = theorem2_error_bound(0.6, 6);
+        assert!((b5 - 0.6f64.powi(6)).abs() < 1e-15);
+        assert!((b6 / b5 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_samples_matches_formula() {
+        // epsilon = 0.1, delta = 0.05: 3/0.01 * ln(40) = 300 * 3.688... = 1107.
+        let n = required_samples(0.1, 0.05);
+        assert_eq!(n, ((3.0 / 0.01) * (2.0f64 / 0.05).ln()).ceil() as usize);
+        assert!(n >= 1100 && n <= 1110);
+        // Halving epsilon quadruples the requirement.
+        let n2 = required_samples(0.05, 0.05);
+        assert!((n2 as f64 / n as f64 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn two_phase_bound_improves_on_sampling_bound() {
+        let epsilon = 0.1;
+        let c = 0.6;
+        let n = 5;
+        let sampling = theorem4_error_bound(epsilon, c, n);
+        for l in 1..n {
+            let two_phase = corollary1_error_bound(epsilon, c, l, n);
+            assert!(two_phase < sampling, "l = {l}");
+        }
+        // l = 1 gives a factor-of-c improvement:
+        let ratio = corollary1_error_bound(epsilon, c, 1, n) / sampling;
+        assert!(ratio < c + 0.05);
+    }
+
+    #[test]
+    fn bounds_are_nonnegative() {
+        assert!(theorem4_error_bound(0.2, 0.6, 5) >= 0.0);
+        assert!(corollary1_error_bound(0.2, 0.6, 2, 5) >= 0.0);
+        assert!(theorem2_error_bound(0.9, 1) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn rejects_bad_decay() {
+        let _ = theorem2_error_bound(1.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase switch")]
+    fn rejects_phase_switch_at_horizon() {
+        let _ = corollary1_error_bound(0.1, 0.6, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        let _ = required_samples(0.1, 1.5);
+    }
+}

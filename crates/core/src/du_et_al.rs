@@ -1,0 +1,167 @@
+//! Du et al.'s probabilistic SimRank (the paper's SimRank-III baseline).
+//!
+//! The prior work [7] (Du et al., *Probabilistic SimRank computation over
+//! uncertain graphs*, Information Sciences 2015) assumes that the k-step
+//! transition probability matrix of an uncertain graph is the k-th power of
+//! the expected one-step matrix, `W(k) = (W(1))^k`.  Section IV of the
+//! reproduced paper shows this is wrong whenever a walk can leave the same
+//! vertex twice (the transitions are correlated through the shared possible
+//! world), and the measure-comparison experiment (Fig. 7 / Table III) uses
+//! this estimator as the SimRank-III column.
+//!
+//! The estimator below is therefore *deliberately* the incorrect-by-design
+//! baseline: it computes the exact expected one-step matrix and then treats
+//! the walk as Markovian with that matrix.
+
+use crate::baseline::working_graph;
+use crate::config::SimRankConfig;
+use crate::meeting::MeetingProfile;
+use crate::SimRankEstimator;
+use rwalk::expected::expected_one_step_matrix;
+use umatrix::{SparseMatrix, SparseVector};
+use ugraph::{UncertainGraph, VertexId};
+
+/// The SimRank-III estimator: uncertain SimRank under the (unsound)
+/// assumption `W(k) = (W(1))^k`.
+#[derive(Debug, Clone)]
+pub struct DuEtAlEstimator {
+    transition: SparseMatrix,
+    config: SimRankConfig,
+}
+
+impl DuEtAlEstimator {
+    /// Creates the estimator for `graph` under `config`.
+    pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
+        config.validate();
+        let working = working_graph(graph, config.direction);
+        DuEtAlEstimator {
+            transition: expected_one_step_matrix(&working),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimRankConfig {
+        &self.config
+    }
+
+    /// Meeting probabilities under the Markovian assumption.
+    pub fn profile(&self, u: VertexId, v: VertexId) -> MeetingProfile {
+        let n = self.config.horizon;
+        let mut meeting = Vec::with_capacity(n + 1);
+        meeting.push(if u == v { 1.0 } else { 0.0 });
+        let mut row_u = SparseVector::unit(u, 1.0);
+        let mut row_v = SparseVector::unit(v, 1.0);
+        for _ in 1..=n {
+            row_u = self.transition.vecmat(&row_u);
+            row_v = self.transition.vecmat(&row_v);
+            meeting.push(row_u.dot(&row_v));
+        }
+        MeetingProfile::new(meeting, self.config.decay)
+    }
+}
+
+impl SimRankEstimator for DuEtAlEstimator {
+    fn similarity(&mut self, u: VertexId, v: VertexId) -> f64 {
+        self.profile(u, v).score()
+    }
+
+    fn name(&self) -> &'static str {
+        "SimRank-III (Du et al.)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineEstimator;
+    use crate::deterministic::simrank_all_pairs;
+    use ugraph::UncertainGraphBuilder;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_exact_measure_up_to_two_steps() {
+        // W(1) and W(2) = (W(1))^2 are still exact, so for horizon n <= 2 the
+        // Du et al. estimator coincides with the Baseline.
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_horizon(2);
+        let baseline = BaselineEstimator::new(&g, config);
+        let mut du = DuEtAlEstimator::new(&g, config);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let exact = baseline.try_similarity(u, v).unwrap();
+                let approx = du.similarity(u, v);
+                assert!(
+                    (exact - approx).abs() < 1e-10,
+                    "pair ({u},{v}) at n = 2: {exact} vs {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differs_from_the_exact_measure_for_longer_horizons() {
+        // The unsound Markov assumption starts to matter at k = 3.
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_horizon(5);
+        let baseline = BaselineEstimator::new(&g, config);
+        let mut du = DuEtAlEstimator::new(&g, config);
+        let mut max_difference: f64 = 0.0;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let exact = baseline.try_similarity(u, v).unwrap();
+                let approx = du.similarity(u, v);
+                max_difference = max_difference.max((exact - approx).abs());
+            }
+        }
+        assert!(
+            max_difference > 1e-4,
+            "SimRank-III should deviate from the exact measure, max diff {max_difference}"
+        );
+    }
+
+    #[test]
+    fn certain_graph_recovers_classic_simrank() {
+        let g = fig1_graph().certain();
+        let config = SimRankConfig::default();
+        let mut du = DuEtAlEstimator::new(&g, config);
+        let det = simrank_all_pairs(g.skeleton(), config.decay, config.horizon);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let approx = du.similarity(u, v);
+                let exact = det[(u as usize, v as usize)];
+                assert!(
+                    (approx - exact).abs() < 1e-9,
+                    "pair ({u},{v}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_symmetric_and_in_range() {
+        let g = fig1_graph();
+        let mut du = DuEtAlEstimator::new(&g, SimRankConfig::default());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let s = du.similarity(u, v);
+                assert!((0.0..=1.0 + 1e-12).contains(&s));
+                assert!((s - du.similarity(v, u)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(du.name(), "SimRank-III (Du et al.)");
+    }
+}

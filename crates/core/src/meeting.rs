@@ -1,0 +1,167 @@
+//! Meeting probabilities and their combination into SimRank scores.
+//!
+//! All four estimators of the paper reduce SimRank to the *meeting
+//! probabilities*
+//!
+//! ```text
+//! m(k)(u, v) = Σ_w Pr_G(u →ₖ w) · Pr_G(v →ₖ w),      k = 0, 1, …, n,
+//! ```
+//!
+//! and then combine them identically (Eq. 12 / 14 / 15 of the paper):
+//!
+//! ```text
+//! s⁽ⁿ⁾(u, v) = cⁿ · m(n)(u, v) + (1 − c) · Σ_{k=0}^{n−1} cᵏ · m(k)(u, v).
+//! ```
+//!
+//! The estimators differ only in how each `m(k)` is obtained (exactly,
+//! sampled, or mixed), so this module centralises the combination step and a
+//! small [`MeetingProfile`] value that the experiment harness uses to report
+//! per-step contributions.
+
+/// Combines meeting probabilities `m(0), …, m(n)` (index = step) into the
+/// `n`-th SimRank score using the paper's Eq. (12).
+///
+/// # Panics
+///
+/// Panics if fewer than two values are given (`n ≥ 1` requires `m(0)` and
+/// `m(1)`), or if `decay` is outside `(0, 1)`.
+pub fn combine_meeting_probabilities(meeting: &[f64], decay: f64) -> f64 {
+    assert!(
+        meeting.len() >= 2,
+        "need meeting probabilities for steps 0..=n with n >= 1"
+    );
+    assert!(
+        decay > 0.0 && decay < 1.0,
+        "the decay factor must lie in (0, 1), got {decay}"
+    );
+    let n = meeting.len() - 1;
+    let mut score = decay.powi(n as i32) * meeting[n];
+    let mut c_pow = 1.0;
+    for &m in &meeting[..n] {
+        score += (1.0 - decay) * c_pow * m;
+        c_pow *= decay;
+    }
+    score
+}
+
+/// Meeting probabilities of one vertex pair, step by step, together with the
+/// resulting SimRank score.  Produced by the estimators' `profile` methods so
+/// the convergence experiment (Fig. 8) and the tests can inspect per-step
+/// values.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeetingProfile {
+    /// `m(k)` for `k = 0, …, n` (index = step).
+    pub meeting: Vec<f64>,
+    /// The decay factor used for the combination.
+    pub decay: f64,
+}
+
+impl MeetingProfile {
+    /// Creates a profile from per-step meeting probabilities.
+    pub fn new(meeting: Vec<f64>, decay: f64) -> Self {
+        MeetingProfile { meeting, decay }
+    }
+
+    /// The horizon `n`.
+    pub fn horizon(&self) -> usize {
+        self.meeting.len() - 1
+    }
+
+    /// The combined SimRank score `s⁽ⁿ⁾`.
+    pub fn score(&self) -> f64 {
+        combine_meeting_probabilities(&self.meeting, self.decay)
+    }
+
+    /// The SimRank score truncated to a smaller horizon `n' ≤ n` — used by
+    /// the convergence experiment to report `s⁽¹⁾, s⁽²⁾, …` from a single
+    /// profile.
+    pub fn score_at_horizon(&self, horizon: usize) -> f64 {
+        assert!(horizon >= 1 && horizon <= self.horizon(), "horizon out of range");
+        combine_meeting_probabilities(&self.meeting[..=horizon], self.decay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vertices_reach_one_in_the_limit() {
+        // For u == v, every m(k) is at least ... well, m(0) = 1; if all
+        // m(k) = 1 the combination telescopes to 1 regardless of n.
+        let meeting = vec![1.0; 6];
+        let s = combine_meeting_probabilities(&meeting, 0.6);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_meeting_probabilities_give_zero_similarity_except_m0() {
+        // Distinct vertices that can never meet: only the k = 0 term (which
+        // is 0 for distinct vertices) contributes.
+        let meeting = vec![0.0; 6];
+        assert_eq!(combine_meeting_probabilities(&meeting, 0.6), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_combination() {
+        // n = 2, c = 0.5, m = [0, 0.3, 0.2]:
+        // s = c^2 * 0.2 + (1-c) * (c^0 * 0 + c^1 * 0.3) = 0.05 + 0.075 = 0.125.
+        let s = combine_meeting_probabilities(&[0.0, 0.3, 0.2], 0.5);
+        assert!((s - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combination_is_monotone_in_each_meeting_probability() {
+        let base = vec![0.0, 0.2, 0.1, 0.05];
+        let s0 = combine_meeting_probabilities(&base, 0.6);
+        for k in 0..base.len() {
+            let mut bumped = base.clone();
+            bumped[k] += 0.01;
+            assert!(combine_meeting_probabilities(&bumped, 0.6) > s0);
+        }
+    }
+
+    #[test]
+    fn profile_scores_and_truncation() {
+        let profile = MeetingProfile::new(vec![1.0, 0.4, 0.3, 0.2], 0.6);
+        assert_eq!(profile.horizon(), 3);
+        let full = profile.score();
+        assert!((full - combine_meeting_probabilities(&[1.0, 0.4, 0.3, 0.2], 0.6)).abs() < 1e-15);
+        let truncated = profile.score_at_horizon(2);
+        assert!(
+            (truncated - combine_meeting_probabilities(&[1.0, 0.4, 0.3], 0.6)).abs() < 1e-15
+        );
+        // Successive horizons differ by at most c^{n+1} (Theorem 2 both are
+        // within c^{n+1} of the limit; adjacent ones within 2c^{n+1} — here we
+        // just check they are close).
+        assert!((full - truncated).abs() <= 0.6f64.powi(3) + 1e-12);
+    }
+
+    #[test]
+    fn profiles_serialise_with_their_decay() {
+        let profile = MeetingProfile::new(vec![1.0, 0.25], 0.6);
+        let json = serde_json::to_string(&profile).unwrap();
+        let restored: MeetingProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, profile);
+        assert!((restored.score() - profile.score()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps 0..=n")]
+    fn too_few_values_panic() {
+        let _ = combine_meeting_probabilities(&[1.0], 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn bad_decay_panics() {
+        let _ = combine_meeting_probabilities(&[1.0, 0.5], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon out of range")]
+    fn truncation_out_of_range_panics() {
+        let profile = MeetingProfile::new(vec![1.0, 0.4], 0.6);
+        let _ = profile.score_at_horizon(5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Top-k similarity queries, used by the case studies (Fig. 13 / Fig. 14 of
+//! the paper: top-20 similar protein pairs, top-5 proteins similar to a query
+//! protein).
+
+use crate::SimRankEstimator;
+use ugraph::VertexId;
+
+/// A vertex together with its similarity score to the query vertex.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScoredVertex {
+    /// The candidate vertex.
+    pub vertex: VertexId,
+    /// Its similarity to the query vertex.
+    pub score: f64,
+}
+
+/// A vertex pair together with its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScoredPair {
+    /// The vertex pair (stored with the smaller id first).
+    pub pair: (VertexId, VertexId),
+    /// Its similarity.
+    pub score: f64,
+}
+
+fn sort_descending_by_score<T>(items: &mut [T], score: impl Fn(&T) -> f64, tie: impl Fn(&T) -> u64) {
+    items.sort_by(|a, b| {
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| tie(a).cmp(&tie(b)))
+    });
+}
+
+/// Returns the `k` candidates most similar to `query`, in decreasing score
+/// order (ties broken by vertex id for determinism).  The query vertex itself
+/// is skipped if it appears among the candidates.
+pub fn top_k_similar_to<E: SimRankEstimator + ?Sized>(
+    estimator: &mut E,
+    query: VertexId,
+    candidates: impl IntoIterator<Item = VertexId>,
+    k: usize,
+) -> Vec<ScoredVertex> {
+    let mut scored: Vec<ScoredVertex> = candidates
+        .into_iter()
+        .filter(|&v| v != query)
+        .map(|v| ScoredVertex {
+            vertex: v,
+            score: estimator.similarity(query, v),
+        })
+        .collect();
+    sort_descending_by_score(&mut scored, |s| s.score, |s| s.vertex as u64);
+    scored.truncate(k);
+    scored
+}
+
+/// Returns the `k` most similar pairs among the given candidate pairs, in
+/// decreasing score order.  Self-pairs are skipped; each unordered pair is
+/// evaluated once.
+pub fn top_k_pairs<E: SimRankEstimator + ?Sized>(
+    estimator: &mut E,
+    pairs: impl IntoIterator<Item = (VertexId, VertexId)>,
+    k: usize,
+) -> Vec<ScoredPair> {
+    let mut seen = std::collections::HashSet::new();
+    let mut scored: Vec<ScoredPair> = Vec::new();
+    for (a, b) in pairs {
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if !seen.insert(key) {
+            continue;
+        }
+        scored.push(ScoredPair {
+            pair: key,
+            score: estimator.similarity(key.0, key.1),
+        });
+    }
+    sort_descending_by_score(
+        &mut scored,
+        |s| s.score,
+        |s| (s.pair.0 as u64) << 32 | s.pair.1 as u64,
+    );
+    scored.truncate(k);
+    scored
+}
+
+/// Enumerates every unordered vertex pair of a graph with `num_vertices`
+/// vertices — convenience for exhaustive top-k pair queries on small graphs.
+pub fn all_pairs(num_vertices: usize) -> impl Iterator<Item = (VertexId, VertexId)> {
+    (0..num_vertices as VertexId).flat_map(move |u| {
+        ((u + 1)..num_vertices as VertexId).map(move |v| (u, v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake estimator with a fixed similarity table, for deterministic
+    /// testing of the ranking logic.
+    struct TableEstimator {
+        table: Vec<Vec<f64>>,
+        calls: usize,
+    }
+
+    impl SimRankEstimator for TableEstimator {
+        fn similarity(&mut self, u: VertexId, v: VertexId) -> f64 {
+            self.calls += 1;
+            self.table[u as usize][v as usize]
+        }
+
+        fn name(&self) -> &'static str {
+            "table"
+        }
+    }
+
+    fn table() -> TableEstimator {
+        // 4 vertices; symmetric scores.
+        let table = vec![
+            vec![1.0, 0.9, 0.2, 0.5],
+            vec![0.9, 1.0, 0.3, 0.3],
+            vec![0.2, 0.3, 1.0, 0.8],
+            vec![0.5, 0.3, 0.8, 1.0],
+        ];
+        TableEstimator { table, calls: 0 }
+    }
+
+    #[test]
+    fn top_k_similar_to_ranks_and_truncates() {
+        let mut estimator = table();
+        let result = top_k_similar_to(&mut estimator, 0, 0..4, 2);
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].vertex, 1);
+        assert!((result[0].score - 0.9).abs() < 1e-12);
+        assert_eq!(result[1].vertex, 3);
+        // The query itself was skipped.
+        assert!(result.iter().all(|s| s.vertex != 0));
+    }
+
+    #[test]
+    fn top_k_larger_than_candidates_returns_all() {
+        let mut estimator = table();
+        let result = top_k_similar_to(&mut estimator, 2, 0..4, 10);
+        assert_eq!(result.len(), 3);
+        assert_eq!(result[0].vertex, 3);
+    }
+
+    #[test]
+    fn top_k_pairs_dedupes_and_ranks() {
+        let mut estimator = table();
+        let pairs = vec![(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3), (2, 2)];
+        let result = top_k_pairs(&mut estimator, pairs, 3);
+        assert_eq!(result.len(), 3);
+        assert_eq!(result[0].pair, (0, 1));
+        assert_eq!(result[1].pair, (2, 3));
+        // Each unordered pair was evaluated exactly once, self-pair skipped.
+        assert_eq!(estimator.calls, 4);
+    }
+
+    #[test]
+    fn ties_are_broken_by_vertex_id() {
+        struct Constant;
+        impl SimRankEstimator for Constant {
+            fn similarity(&mut self, _: VertexId, _: VertexId) -> f64 {
+                0.5
+            }
+            fn name(&self) -> &'static str {
+                "constant"
+            }
+        }
+        let result = top_k_similar_to(&mut Constant, 0, [3, 1, 2], 3);
+        let order: Vec<VertexId> = result.iter().map(|s| s.vertex).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scored_items_serialise_for_result_archives() {
+        let vertex = ScoredVertex { vertex: 7, score: 0.5 };
+        let json = serde_json::to_string(&vertex).unwrap();
+        assert_eq!(serde_json::from_str::<ScoredVertex>(&json).unwrap(), vertex);
+        let pair = ScoredPair { pair: (1, 9), score: 0.25 };
+        let json = serde_json::to_string(&pair).unwrap();
+        assert_eq!(serde_json::from_str::<ScoredPair>(&json).unwrap(), pair);
+    }
+
+    #[test]
+    fn all_pairs_enumeration() {
+        let pairs: Vec<_> = all_pairs(4).collect();
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(0, 3)));
+        assert!(pairs.iter().all(|&(a, b)| a < b));
+        assert_eq!(all_pairs(0).count(), 0);
+        assert_eq!(all_pairs(1).count(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Preferential-attachment co-authorship network generator (the Net, Condmat
+//! and DBLP stand-ins).
+//!
+//! Co-authorship networks have heavy-tailed degree distributions, which a
+//! Barabási–Albert style preferential-attachment process reproduces.  The
+//! paper assigns uncertainty to the (deterministic) co-authorship edges
+//! "using the method in [44]", which derives an edge probability from the
+//! collaboration strength; we model the number of joint papers `w` as a
+//! geometric variable and set `p = 1 − exp(−w/μ)`, the standard exponential
+//! soft-threshold used in the uncertain-graph literature.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugraph::{DuplicatePolicy, UncertainGraph, UncertainGraphBuilder, VertexId};
+
+/// Configuration of the co-authorship generator.
+#[derive(Debug, Clone)]
+pub struct CoauthorGenerator {
+    /// Number of authors (vertices).
+    pub num_authors: usize,
+    /// Number of earlier authors each new author collaborates with
+    /// (preferential attachment parameter `m`).
+    pub edges_per_author: usize,
+    /// Mean of the geometric distribution of joint-paper counts.
+    pub mean_joint_papers: f64,
+    /// The `μ` of the `p = 1 − exp(−w/μ)` uncertainty assigner.
+    pub mu: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoauthorGenerator {
+    fn default() -> Self {
+        CoauthorGenerator {
+            num_authors: 1588, // "Net" of Table II
+            edges_per_author: 3,
+            mean_joint_papers: 2.0,
+            mu: 2.0,
+            seed: 0xc0a0,
+        }
+    }
+}
+
+impl CoauthorGenerator {
+    /// A small configuration for tests and quick runs.
+    pub fn small(seed: u64) -> Self {
+        CoauthorGenerator {
+            num_authors: 400,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The uncertainty assigner of [44]: collaboration strength `w` maps to
+    /// existence probability `1 − exp(−w/μ)`.
+    pub fn weight_to_probability(&self, weight: f64) -> f64 {
+        (1.0 - (-weight / self.mu).exp()).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// Generates the uncertain co-authorship network (symmetric arcs).
+    pub fn generate(&self) -> UncertainGraph {
+        assert!(self.num_authors >= 2, "need at least two authors");
+        assert!(self.edges_per_author >= 1, "each author needs a collaborator");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Preferential attachment: keep a multiset of endpoints; new vertices
+        // attach to `edges_per_author` vertices sampled from it.
+        let mut endpoint_pool: Vec<VertexId> = vec![0, 1];
+        let mut edges: Vec<(VertexId, VertexId)> = vec![(0, 1)];
+        for v in 2..self.num_authors as VertexId {
+            let mut attached: Vec<VertexId> = Vec::with_capacity(self.edges_per_author);
+            let mut guard = 0usize;
+            while attached.len() < self.edges_per_author.min(v as usize) && guard < 100 {
+                guard += 1;
+                let pick = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+                if pick != v && !attached.contains(&pick) {
+                    attached.push(pick);
+                }
+            }
+            for &u in &attached {
+                edges.push((u, v));
+                endpoint_pool.push(u);
+                endpoint_pool.push(v);
+            }
+        }
+
+        // Collaboration strength and uncertainty.
+        let mut staged = Vec::with_capacity(edges.len() * 2);
+        for (u, v) in edges {
+            // Geometric number of joint papers with the configured mean.
+            let q = 1.0 / self.mean_joint_papers.max(1.0);
+            let mut papers = 1usize;
+            while rng.gen::<f64>() > q && papers < 50 {
+                papers += 1;
+            }
+            let p = self.weight_to_probability(papers as f64);
+            staged.push((u, v, p));
+            staged.push((v, u, p));
+        }
+        UncertainGraphBuilder::new(self.num_authors)
+            .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
+            .forbid_self_loops()
+            .arcs(staged)
+            .build()
+            .expect("generator produces valid arcs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::stats::graph_stats;
+
+    #[test]
+    fn generates_connected_ish_network_of_requested_size() {
+        let g = CoauthorGenerator::small(3).generate();
+        assert_eq!(g.num_vertices(), 400);
+        // Roughly edges_per_author * num_authors arcs in each direction.
+        assert!(g.num_arcs() > 400);
+        let stats = graph_stats(g.skeleton());
+        assert!(stats.num_sinks < 5, "PA graphs should have almost no sinks");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = CoauthorGenerator::small(5).generate();
+        let stats = graph_stats(g.skeleton());
+        // The hubs of a preferential-attachment graph are far above the mean.
+        assert!(
+            stats.max_out_degree as f64 > 4.0 * stats.average_out_degree,
+            "max degree {} vs average {}",
+            stats.max_out_degree,
+            stats.average_out_degree
+        );
+    }
+
+    #[test]
+    fn probabilities_follow_the_exponential_assigner() {
+        let generator = CoauthorGenerator::small(7);
+        assert!((generator.weight_to_probability(0.0) - 0.0).abs() < 1e-12);
+        let p1 = generator.weight_to_probability(1.0);
+        let p5 = generator.weight_to_probability(5.0);
+        assert!(p1 > 0.3 && p1 < 0.5); // 1 - exp(-0.5) ≈ 0.393
+        assert!(p5 > p1);
+        assert!(p5 <= 1.0);
+        let g = generator.generate();
+        for arc in g.arcs() {
+            assert!(arc.probability > 0.0 && arc.probability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_arcs() {
+        let g = CoauthorGenerator::small(9).generate();
+        for arc in g.arcs().take(500) {
+            assert!(g.arc_probability(arc.target, arc.source).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = CoauthorGenerator::small(42).generate();
+        let b = CoauthorGenerator::small(42).generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,325 @@
+//! Entity-resolution record-graph generator (the DBLP author-disambiguation
+//! stand-in for Table IV, Table V and Fig. 15 of the paper).
+//!
+//! The paper's ER case study takes bibliographic records whose author field
+//! is one of a handful of ambiguous names (e.g. "Wei Wang" denotes 14
+//! distinct people across 177 records), builds a record-similarity graph
+//! whose edge weights lie in [0, 1], and asks each algorithm to aggregate the
+//! records into per-person clusters.  The generator below reproduces that
+//! setting synthetically: a configurable list of name groups, each with a
+//! number of distinct authors and a number of records, plus a noisy
+//! record-pair similarity model — records of the same author get high
+//! similarity, records of different authors sharing the name get low-to-
+//! medium similarity, and a sprinkle of cross-name noise edges keeps the
+//! graph from decomposing trivially.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugraph::{DuplicatePolicy, UncertainGraph, UncertainGraphBuilder, VertexId};
+
+/// One ambiguous author name: how many distinct authors share it and how many
+/// records carry it (the rows of Table IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameGroup {
+    /// The ambiguous name (display only).
+    pub name: String,
+    /// Number of distinct real-world authors sharing the name.
+    pub num_authors: usize,
+    /// Number of records carrying the name.
+    pub num_records: usize,
+}
+
+impl NameGroup {
+    /// Convenience constructor.
+    pub fn new(name: &str, num_authors: usize, num_records: usize) -> Self {
+        NameGroup {
+            name: name.to_string(),
+            num_authors,
+            num_records,
+        }
+    }
+}
+
+/// The eight ambiguous names of Table IV of the paper (author/record counts
+/// as published; the duplicated "Wei Wang" row of the paper is replaced by
+/// the "Bin Yu" row that its Table V actually evaluates).
+pub fn table4_name_groups() -> Vec<NameGroup> {
+    vec![
+        NameGroup::new("Hui Fang", 3, 9),
+        NameGroup::new("Ajay Gupta", 4, 16),
+        NameGroup::new("Rakesh Kumar", 2, 38),
+        NameGroup::new("Michael Wagner", 5, 24),
+        NameGroup::new("Bing Liu", 6, 11),
+        NameGroup::new("Jim Smith", 3, 19),
+        NameGroup::new("Wei Wang", 14, 177),
+        NameGroup::new("Bin Yu", 5, 42),
+    ]
+}
+
+/// Configuration of the ER record-graph generator.
+#[derive(Debug, Clone)]
+pub struct ErGenerator {
+    /// The ambiguous name groups to generate.
+    pub groups: Vec<NameGroup>,
+    /// Similarity range of record pairs belonging to the same author.
+    pub same_author_similarity: (f64, f64),
+    /// Probability that a same-author record pair is actually connected.
+    pub same_author_density: f64,
+    /// Similarity range of record pairs sharing only the name.
+    pub same_name_similarity: (f64, f64),
+    /// Probability that a same-name, different-author record pair is
+    /// connected.
+    pub same_name_density: f64,
+    /// Number of random cross-name noise edges.
+    pub noise_edges: usize,
+    /// Similarity range of the noise edges.
+    pub noise_similarity: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ErGenerator {
+    fn default() -> Self {
+        ErGenerator {
+            groups: table4_name_groups(),
+            same_author_similarity: (0.55, 0.95),
+            same_author_density: 0.8,
+            same_name_similarity: (0.05, 0.45),
+            same_name_density: 0.3,
+            noise_edges: 50,
+            noise_similarity: (0.02, 0.2),
+            seed: 0xe12,
+        }
+    }
+}
+
+/// A generated ER dataset: the record-similarity graph (an uncertain graph),
+/// the ground-truth author of every record, and the name group of every
+/// record.
+#[derive(Debug, Clone)]
+pub struct ErDataset {
+    /// The record-similarity graph; arc probability = normalised record-pair
+    /// similarity.  Symmetric.
+    pub graph: UncertainGraph,
+    /// `author_of[r]` is the global id of the real-world author of record `r`.
+    pub author_of: Vec<usize>,
+    /// `group_of[r]` is the index (into [`ErDataset::groups`]) of the name
+    /// group of record `r`.
+    pub group_of: Vec<usize>,
+    /// The name groups, in generation order.
+    pub groups: Vec<NameGroup>,
+}
+
+impl ErDataset {
+    /// Total number of records.
+    pub fn num_records(&self) -> usize {
+        self.author_of.len()
+    }
+
+    /// The record ids belonging to a name group.
+    pub fn records_of_group(&self, group: usize) -> Vec<VertexId> {
+        self.group_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g == group)
+            .map(|(r, _)| r as VertexId)
+            .collect()
+    }
+
+    /// Ground truth: whether two records refer to the same real-world author.
+    pub fn same_author(&self, a: VertexId, b: VertexId) -> bool {
+        self.author_of[a as usize] == self.author_of[b as usize]
+    }
+}
+
+impl ErGenerator {
+    /// A reduced configuration (fewer, smaller groups) for tests.
+    pub fn small(seed: u64) -> Self {
+        ErGenerator {
+            groups: vec![
+                NameGroup::new("A. Author", 2, 12),
+                NameGroup::new("B. Writer", 3, 15),
+            ],
+            noise_edges: 10,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Scales every group's record count so the total number of records is
+    /// approximately `total_records` (used by the Fig. 15 running-time sweep).
+    pub fn with_total_records(mut self, total_records: usize) -> Self {
+        let current: usize = self.groups.iter().map(|g| g.num_records).sum();
+        if current == 0 {
+            return self;
+        }
+        let factor = total_records as f64 / current as f64;
+        for group in &mut self.groups {
+            group.num_records = ((group.num_records as f64 * factor).round() as usize).max(group.num_authors);
+        }
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> ErDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut author_of = Vec::new();
+        let mut group_of = Vec::new();
+        let mut next_author = 0usize;
+        for (group_index, group) in self.groups.iter().enumerate() {
+            assert!(group.num_authors >= 1, "a name group needs at least one author");
+            assert!(
+                group.num_records >= group.num_authors,
+                "group {} has fewer records than authors",
+                group.name
+            );
+            // Every author gets at least one record; the rest are assigned at
+            // random (skewed towards the first authors, as in real data).
+            let authors: Vec<usize> = (0..group.num_authors).map(|a| next_author + a).collect();
+            next_author += group.num_authors;
+            for (i, _) in (0..group.num_records).enumerate() {
+                let author = if i < authors.len() {
+                    authors[i]
+                } else {
+                    // Zipf-ish skew: earlier authors get more records.
+                    let mut pick = rng.gen_range(0..authors.len()).min(rng.gen_range(0..authors.len()));
+                    if rng.gen::<f64>() < 0.3 {
+                        pick = 0;
+                    }
+                    authors[pick]
+                };
+                author_of.push(author);
+                group_of.push(group_index);
+            }
+        }
+        let num_records = author_of.len();
+
+        let mut staged: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        let connect = |staged: &mut Vec<(VertexId, VertexId, f64)>, a: usize, b: usize, p: f64| {
+            staged.push((a as VertexId, b as VertexId, p));
+            staged.push((b as VertexId, a as VertexId, p));
+        };
+        for a in 0..num_records {
+            for b in (a + 1)..num_records {
+                if group_of[a] != group_of[b] {
+                    continue;
+                }
+                if author_of[a] == author_of[b] {
+                    if rng.gen::<f64>() < self.same_author_density {
+                        let p = rng
+                            .gen_range(self.same_author_similarity.0..self.same_author_similarity.1);
+                        connect(&mut staged, a, b, p);
+                    }
+                } else if rng.gen::<f64>() < self.same_name_density {
+                    let p =
+                        rng.gen_range(self.same_name_similarity.0..self.same_name_similarity.1);
+                    connect(&mut staged, a, b, p);
+                }
+            }
+        }
+        for _ in 0..self.noise_edges {
+            let a = rng.gen_range(0..num_records);
+            let b = rng.gen_range(0..num_records);
+            if a == b {
+                continue;
+            }
+            let p = rng.gen_range(self.noise_similarity.0..self.noise_similarity.1);
+            connect(&mut staged, a, b, p);
+        }
+        let graph = UncertainGraphBuilder::new(num_records)
+            .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
+            .forbid_self_loops()
+            .arcs(staged)
+            .build()
+            .expect("generator produces valid arcs");
+        ErDataset {
+            graph,
+            author_of,
+            group_of,
+            groups: self.groups.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_groups_match_the_paper() {
+        let groups = table4_name_groups();
+        assert_eq!(groups.len(), 8);
+        let wei_wang = groups.iter().find(|g| g.name == "Wei Wang").unwrap();
+        assert_eq!(wei_wang.num_authors, 14);
+        assert_eq!(wei_wang.num_records, 177);
+    }
+
+    #[test]
+    fn generated_counts_match_configuration() {
+        let dataset = ErGenerator::small(3).generate();
+        assert_eq!(dataset.num_records(), 27);
+        assert_eq!(dataset.records_of_group(0).len(), 12);
+        assert_eq!(dataset.records_of_group(1).len(), 15);
+        // Authors are globally distinct across groups.
+        let authors_in_group0: std::collections::HashSet<_> = dataset
+            .records_of_group(0)
+            .iter()
+            .map(|&r| dataset.author_of[r as usize])
+            .collect();
+        let authors_in_group1: std::collections::HashSet<_> = dataset
+            .records_of_group(1)
+            .iter()
+            .map(|&r| dataset.author_of[r as usize])
+            .collect();
+        assert!(authors_in_group0.is_disjoint(&authors_in_group1));
+        assert_eq!(authors_in_group0.len(), 2);
+        assert_eq!(authors_in_group1.len(), 3);
+    }
+
+    #[test]
+    fn same_author_pairs_have_higher_similarity_on_average() {
+        let dataset = ErGenerator::small(7).generate();
+        let mut same = Vec::new();
+        let mut different = Vec::new();
+        for arc in dataset.graph.arcs() {
+            if dataset.same_author(arc.source, arc.target) {
+                same.push(arc.probability);
+            } else {
+                different.push(arc.probability);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(!same.is_empty() && !different.is_empty());
+        assert!(mean(&same) > mean(&different) + 0.2);
+    }
+
+    #[test]
+    fn scaling_total_records_scales_groups_proportionally() {
+        let generator = ErGenerator::default().with_total_records(1000);
+        let total: usize = generator.groups.iter().map(|g| g.num_records).sum();
+        assert!((total as i64 - 1000).abs() < 60, "total = {total}");
+        // Relative ordering preserved.
+        assert!(
+            generator.groups.iter().find(|g| g.name == "Wei Wang").unwrap().num_records
+                > generator.groups.iter().find(|g| g.name == "Hui Fang").unwrap().num_records
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = ErGenerator::small(11).generate();
+        let b = ErGenerator::small(11).generate();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.author_of, b.author_of);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer records than authors")]
+    fn rejects_inconsistent_groups() {
+        let generator = ErGenerator {
+            groups: vec![NameGroup::new("X", 5, 3)],
+            ..ErGenerator::small(1)
+        };
+        let _ = generator.generate();
+    }
+}

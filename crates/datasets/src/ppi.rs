@@ -1,0 +1,266 @@
+//! Planted-complex protein-protein interaction (PPI) network generator.
+//!
+//! Real PPI networks (the paper's PPI1–PPI3) consist of proteins whose
+//! interactions were detected by noisy high-throughput experiments, so each
+//! edge carries a confidence value in (0, 1].  Proteins participating in a
+//! common *protein complex* interact densely and with high confidence; the
+//! MIPS database of known complexes is the paper's ground truth for the
+//! "detecting similar proteins" case study (Fig. 13 / Fig. 14).
+//!
+//! This generator plants complexes explicitly: it partitions a subset of the
+//! proteins into complexes, wires each complex densely with high-confidence
+//! edges, and adds sparse low-confidence noise edges between random protein
+//! pairs.  The planted complexes play the role of the MIPS ground truth: a
+//! good similarity measure should rank within-complex pairs above
+//! cross-complex pairs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugraph::{DuplicatePolicy, UncertainGraph, UncertainGraphBuilder, VertexId};
+
+/// Configuration of the planted-complex PPI generator.
+#[derive(Debug, Clone)]
+pub struct PpiGenerator {
+    /// Total number of proteins (vertices).
+    pub num_proteins: usize,
+    /// Number of planted complexes.
+    pub num_complexes: usize,
+    /// Inclusive range of complex sizes.
+    pub complex_size: (usize, usize),
+    /// Probability that a pair of proteins within the same complex interacts.
+    pub intra_complex_density: f64,
+    /// Range of confidence values for intra-complex interactions.
+    pub intra_complex_confidence: (f64, f64),
+    /// Number of random noise interactions between arbitrary protein pairs.
+    pub noise_edges: usize,
+    /// Range of confidence values for noise interactions.
+    pub noise_confidence: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PpiGenerator {
+    fn default() -> Self {
+        PpiGenerator {
+            num_proteins: 2708, // PPI1 of Table II
+            num_complexes: 150,
+            complex_size: (3, 8),
+            intra_complex_density: 0.8,
+            intra_complex_confidence: (0.6, 0.99),
+            noise_edges: 4000,
+            noise_confidence: (0.05, 0.5),
+            seed: 0xbead,
+        }
+    }
+}
+
+/// A generated PPI dataset: the uncertain interaction network plus the
+/// planted-complex ground truth.
+#[derive(Debug, Clone)]
+pub struct PpiDataset {
+    /// The uncertain interaction network (interactions are symmetric, so both
+    /// arc directions are present with the same confidence).
+    pub graph: UncertainGraph,
+    /// The planted complexes, each a sorted list of member proteins.
+    pub complexes: Vec<Vec<VertexId>>,
+    /// `complex_of[v]` is the index of the complex protein `v` belongs to, if
+    /// any.
+    pub complex_of: Vec<Option<usize>>,
+}
+
+impl PpiDataset {
+    /// Whether two proteins belong to the same planted complex (the ground
+    /// truth relation of the case study).
+    pub fn same_complex(&self, u: VertexId, v: VertexId) -> bool {
+        match (self.complex_of[u as usize], self.complex_of[v as usize]) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// All unordered within-complex protein pairs.
+    pub fn within_complex_pairs(&self) -> Vec<(VertexId, VertexId)> {
+        let mut pairs = Vec::new();
+        for complex in &self.complexes {
+            for (i, &u) in complex.iter().enumerate() {
+                for &v in &complex[i + 1..] {
+                    pairs.push((u, v));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+impl PpiGenerator {
+    /// A small configuration (hundreds of vertices) for tests and quick runs.
+    pub fn small(seed: u64) -> Self {
+        PpiGenerator {
+            num_proteins: 300,
+            num_complexes: 30,
+            complex_size: (3, 6),
+            noise_edges: 400,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> PpiDataset {
+        assert!(self.num_proteins >= 2, "need at least two proteins");
+        assert!(
+            self.complex_size.0 >= 2 && self.complex_size.1 >= self.complex_size.0,
+            "complex sizes must be at least 2 and the range must be ordered"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut complex_of = vec![None; self.num_proteins];
+        let mut complexes = Vec::with_capacity(self.num_complexes);
+
+        // Assign complex members from a shuffled pool so complexes are
+        // disjoint, as MIPS complexes (mostly) are.
+        let mut pool: Vec<VertexId> = (0..self.num_proteins as VertexId).collect();
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+        let mut cursor = 0usize;
+        for complex_index in 0..self.num_complexes {
+            let size = rng.gen_range(self.complex_size.0..=self.complex_size.1);
+            if cursor + size > pool.len() {
+                break;
+            }
+            let mut members: Vec<VertexId> = pool[cursor..cursor + size].to_vec();
+            cursor += size;
+            members.sort_unstable();
+            for &m in &members {
+                complex_of[m as usize] = Some(complex_index);
+            }
+            complexes.push(members);
+        }
+
+        let mut builder = UncertainGraphBuilder::new(self.num_proteins)
+            .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
+            .forbid_self_loops();
+        let mut staged: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        let add_interaction = |staged: &mut Vec<(VertexId, VertexId, f64)>,
+                                   u: VertexId,
+                                   v: VertexId,
+                                   p: f64| {
+            staged.push((u, v, p));
+            staged.push((v, u, p));
+        };
+
+        // Dense, high-confidence interactions within each complex.
+        for complex in &complexes {
+            for (i, &u) in complex.iter().enumerate() {
+                for &v in &complex[i + 1..] {
+                    if rng.gen::<f64>() < self.intra_complex_density {
+                        let p = rng.gen_range(
+                            self.intra_complex_confidence.0..self.intra_complex_confidence.1,
+                        );
+                        add_interaction(&mut staged, u, v, p);
+                    }
+                }
+            }
+        }
+        // Sparse low-confidence noise.
+        for _ in 0..self.noise_edges {
+            let u = rng.gen_range(0..self.num_proteins) as VertexId;
+            let v = rng.gen_range(0..self.num_proteins) as VertexId;
+            if u == v {
+                continue;
+            }
+            let p = rng.gen_range(self.noise_confidence.0..self.noise_confidence.1);
+            add_interaction(&mut staged, u, v, p);
+        }
+        builder = builder.arcs(staged);
+        let graph = builder.build().expect("generator produces valid arcs");
+        PpiDataset {
+            graph,
+            complexes,
+            complex_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let dataset = PpiGenerator::small(7).generate();
+        assert_eq!(dataset.graph.num_vertices(), 300);
+        assert!(dataset.graph.num_arcs() > 500);
+        assert_eq!(dataset.complexes.len(), 30);
+        assert_eq!(dataset.complex_of.len(), 300);
+    }
+
+    #[test]
+    fn interactions_are_symmetric() {
+        let dataset = PpiGenerator::small(11).generate();
+        for arc in dataset.graph.arcs() {
+            let reverse = dataset.graph.arc_probability(arc.target, arc.source);
+            assert!(reverse.is_some(), "missing reverse of {:?}", arc);
+        }
+    }
+
+    #[test]
+    fn complexes_are_disjoint_and_ground_truth_is_consistent() {
+        let dataset = PpiGenerator::small(13).generate();
+        let mut seen = vec![false; dataset.graph.num_vertices()];
+        for complex in &dataset.complexes {
+            assert!(complex.len() >= 2);
+            for &m in complex {
+                assert!(!seen[m as usize], "protein {m} in two complexes");
+                seen[m as usize] = true;
+            }
+        }
+        for pair in dataset.within_complex_pairs() {
+            assert!(dataset.same_complex(pair.0, pair.1));
+        }
+        // A protein outside every complex matches nothing.
+        if let Some(outside) = dataset
+            .complex_of
+            .iter()
+            .position(|c| c.is_none())
+        {
+            assert!(!dataset.same_complex(outside as VertexId, dataset.complexes[0][0]));
+        }
+    }
+
+    #[test]
+    fn intra_complex_confidences_are_higher_than_noise_on_average() {
+        let dataset = PpiGenerator::small(17).generate();
+        let mut intra = Vec::new();
+        let mut noise = Vec::new();
+        for arc in dataset.graph.arcs() {
+            if dataset.same_complex(arc.source, arc.target) {
+                intra.push(arc.probability);
+            } else {
+                noise.push(arc.probability);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(!intra.is_empty() && !noise.is_empty());
+        assert!(mean(&intra) > mean(&noise) + 0.2);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = PpiGenerator::small(23).generate();
+        let b = PpiGenerator::small(23).generate();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.complexes, b.complexes);
+        let c = PpiGenerator::small(24).generate();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_complexes() {
+        let mut generator = PpiGenerator::small(1);
+        generator.complex_size = (1, 1);
+        let _ = generator.generate();
+    }
+}

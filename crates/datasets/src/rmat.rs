@@ -1,0 +1,153 @@
+//! R-MAT synthetic graph generator (Chakrabarti, Zhan & Faloutsos, SDM 2004),
+//! used by the paper's scalability experiment (Fig. 12): "the structures of
+//! the uncertain graphs were generated using the R-MAT model, and the
+//! probabilities of the edges were generated uniformly at random within
+//! [0, 1]".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ugraph::{DuplicatePolicy, UncertainGraph, UncertainGraphBuilder, VertexId};
+
+/// Configuration of the R-MAT generator.
+#[derive(Debug, Clone)]
+pub struct RmatGenerator {
+    /// `log2` of the number of vertices (the R-MAT "scale").
+    pub scale: u32,
+    /// Number of (directed) edges to generate before deduplication.
+    pub num_edges: usize,
+    /// The R-MAT quadrant probabilities `(a, b, c)`; `d = 1 − a − b − c`.
+    pub partition: (f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatGenerator {
+    fn default() -> Self {
+        RmatGenerator {
+            scale: 16,
+            num_edges: 1 << 18,
+            partition: (0.57, 0.19, 0.19), // the canonical R-MAT parameters
+            seed: 0x0a7,
+        }
+    }
+}
+
+impl RmatGenerator {
+    /// A small configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        RmatGenerator {
+            scale: 10,
+            num_edges: 4096,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Generates the uncertain graph: R-MAT topology with uniform random
+    /// arc probabilities.
+    pub fn generate(&self) -> UncertainGraph {
+        let (a, b, c) = self.partition;
+        let d = 1.0 - a - b - c;
+        assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "invalid R-MAT partition");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.num_vertices();
+        let mut staged = Vec::with_capacity(self.num_edges);
+        for _ in 0..self.num_edges {
+            let (mut row_low, mut row_high) = (0usize, n);
+            let (mut col_low, mut col_high) = (0usize, n);
+            while row_high - row_low > 1 {
+                let r: f64 = rng.gen();
+                let (right, down) = if r < a {
+                    (false, false)
+                } else if r < a + b {
+                    (true, false)
+                } else if r < a + b + c {
+                    (false, true)
+                } else {
+                    (true, true)
+                };
+                let row_mid = (row_low + row_high) / 2;
+                let col_mid = (col_low + col_high) / 2;
+                if down {
+                    row_low = row_mid;
+                } else {
+                    row_high = row_mid;
+                }
+                if right {
+                    col_low = col_mid;
+                } else {
+                    col_high = col_mid;
+                }
+            }
+            let u = row_low as VertexId;
+            let v = col_low as VertexId;
+            if u == v {
+                continue;
+            }
+            // Edge probability uniform in (0, 1], as in the paper.
+            let p: f64 = rng.gen_range(f64::EPSILON..=1.0);
+            staged.push((u, v, p));
+        }
+        UncertainGraphBuilder::new(n)
+            .duplicate_policy(DuplicatePolicy::KeepFirst)
+            .arcs(staged)
+            .build()
+            .expect("generator produces valid arcs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::stats::graph_stats;
+
+    #[test]
+    fn generates_requested_scale() {
+        let generator = RmatGenerator::small(1);
+        let g = generator.generate();
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_arcs() > 3000, "deduplication should keep most edges");
+        assert!(g.num_arcs() <= generator.num_edges);
+    }
+
+    #[test]
+    fn probabilities_are_uniformly_spread() {
+        let g = RmatGenerator::small(2).generate();
+        let stats = ugraph::stats::uncertain_graph_stats(&g);
+        assert!(stats.mean_probability > 0.4 && stats.mean_probability < 0.6);
+        // Every decile of the histogram is populated.
+        assert!(stats.probability_histogram.iter().all(|&count| count > 0));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = RmatGenerator::small(3).generate();
+        let stats = graph_stats(g.skeleton());
+        assert!(stats.max_out_degree as f64 > 5.0 * stats.average_out_degree);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed_and_scaling_in_edges() {
+        let a = RmatGenerator::small(5).generate();
+        let b = RmatGenerator::small(5).generate();
+        assert_eq!(a, b);
+
+        let mut bigger = RmatGenerator::small(5);
+        bigger.num_edges *= 2;
+        let c = bigger.generate();
+        assert!(c.num_arcs() > a.num_arcs());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT partition")]
+    fn rejects_bad_partition() {
+        let mut generator = RmatGenerator::small(1);
+        generator.partition = (0.8, 0.2, 0.2);
+        let _ = generator.generate();
+    }
+}

@@ -1,0 +1,168 @@
+//! Threshold-based record aggregation (the clustering step of the EIF
+//! framework shared by all four ER algorithms).
+
+use ugraph::VertexId;
+
+/// A clustering of a set of records: records sharing a cluster id are
+/// predicted to refer to the same real-world entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// The records that were clustered, in the order they were given.
+    pub records: Vec<VertexId>,
+    /// `cluster_of[i]` is the cluster id of `records[i]`; ids are compact
+    /// (`0..num_clusters`).
+    pub cluster_of: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of predicted entities.
+    pub fn num_clusters(&self) -> usize {
+        self.cluster_of.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Whether two records (given by their *position* in `records`) are in
+    /// the same predicted cluster.
+    pub fn same_cluster(&self, i: usize, j: usize) -> bool {
+        self.cluster_of[i] == self.cluster_of[j]
+    }
+
+    /// The clusters as lists of record ids.
+    pub fn clusters(&self) -> Vec<Vec<VertexId>> {
+        let mut clusters = vec![Vec::new(); self.num_clusters()];
+        for (i, &cluster) in self.cluster_of.iter().enumerate() {
+            clusters[cluster].push(self.records[i]);
+        }
+        clusters
+    }
+}
+
+/// Disjoint-set forest with path compression and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut current = x;
+        while self.parent[current] != root {
+            let next = self.parent[current];
+            self.parent[current] = root;
+            current = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Clusters `records` by linking every pair whose similarity (as reported by
+/// `similarity`) is at least `threshold` and taking connected components.
+///
+/// The `similarity` closure is called once per unordered record pair.
+pub fn cluster_records(
+    records: &[VertexId],
+    threshold: f64,
+    mut similarity: impl FnMut(VertexId, VertexId) -> f64,
+) -> Clustering {
+    let n = records.len();
+    let mut union_find = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if similarity(records[i], records[j]) >= threshold {
+                union_find.union(i, j);
+            }
+        }
+    }
+    // Compact the component roots into cluster ids 0..k.
+    let mut root_to_cluster = std::collections::HashMap::new();
+    let mut cluster_of = Vec::with_capacity(n);
+    for i in 0..n {
+        let root = union_find.find(i);
+        let next_id = root_to_cluster.len();
+        let id = *root_to_cluster.entry(root).or_insert(next_id);
+        cluster_of.push(id);
+    }
+    Clustering {
+        records: records.to_vec(),
+        cluster_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_by_threshold() {
+        // Records 10, 11 are similar; 12, 13 are similar; 14 is isolated.
+        let records: Vec<VertexId> = vec![10, 11, 12, 13, 14];
+        let similarity = |a: VertexId, b: VertexId| -> f64 {
+            match (a.min(b), a.max(b)) {
+                (10, 11) => 0.9,
+                (12, 13) => 0.8,
+                _ => 0.1,
+            }
+        };
+        let clustering = cluster_records(&records, 0.5, similarity);
+        assert_eq!(clustering.num_clusters(), 3);
+        assert!(clustering.same_cluster(0, 1));
+        assert!(clustering.same_cluster(2, 3));
+        assert!(!clustering.same_cluster(0, 2));
+        assert!(!clustering.same_cluster(1, 4));
+        let clusters = clustering.clusters();
+        assert_eq!(clusters.iter().map(|c| c.len()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn transitive_linking_merges_chains() {
+        let records: Vec<VertexId> = vec![0, 1, 2];
+        // 0-1 and 1-2 are similar, 0-2 is not; single-link clustering still
+        // merges all three.
+        let similarity = |a: VertexId, b: VertexId| -> f64 {
+            if (a, b) == (0, 2) || (a, b) == (2, 0) {
+                0.0
+            } else {
+                1.0
+            }
+        };
+        let clustering = cluster_records(&records, 0.5, similarity);
+        assert_eq!(clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn threshold_above_everything_gives_singletons() {
+        let records: Vec<VertexId> = vec![0, 1, 2, 3];
+        let clustering = cluster_records(&records, 0.9, |_, _| 0.5);
+        assert_eq!(clustering.num_clusters(), 4);
+    }
+
+    #[test]
+    fn empty_record_set() {
+        let clustering = cluster_records(&[], 0.5, |_, _| 1.0);
+        assert_eq!(clustering.num_clusters(), 0);
+        assert!(clustering.clusters().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Pairwise precision / recall / F1 of a clustering against ground truth.
+
+use crate::cluster::Clustering;
+
+/// Pairwise clustering quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityMetrics {
+    /// Fraction of predicted same-entity pairs that are truly the same
+    /// entity (1.0 when nothing is predicted).
+    pub precision: f64,
+    /// Fraction of true same-entity pairs that are predicted (1.0 when no
+    /// true pair exists).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+}
+
+impl QualityMetrics {
+    fn from_counts(true_positive: usize, predicted: usize, actual: usize) -> Self {
+        let precision = if predicted == 0 {
+            1.0
+        } else {
+            true_positive as f64 / predicted as f64
+        };
+        let recall = if actual == 0 {
+            1.0
+        } else {
+            true_positive as f64 / actual as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        QualityMetrics {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Evaluates a clustering against a ground-truth equivalence given as a
+/// closure over record ids (`true` when the two records refer to the same
+/// real-world entity).
+pub fn evaluate_clustering(
+    clustering: &Clustering,
+    mut same_entity: impl FnMut(ugraph::VertexId, ugraph::VertexId) -> bool,
+) -> QualityMetrics {
+    let n = clustering.records.len();
+    let mut true_positive = 0usize;
+    let mut predicted = 0usize;
+    let mut actual = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let predicted_same = clustering.same_cluster(i, j);
+            let truly_same = same_entity(clustering.records[i], clustering.records[j]);
+            if predicted_same {
+                predicted += 1;
+            }
+            if truly_same {
+                actual += 1;
+            }
+            if predicted_same && truly_same {
+                true_positive += 1;
+            }
+        }
+    }
+    QualityMetrics::from_counts(true_positive, predicted, actual)
+}
+
+/// Averages a set of quality metrics (used for the "Average" row of Table V).
+pub fn average_metrics(metrics: &[QualityMetrics]) -> QualityMetrics {
+    assert!(!metrics.is_empty(), "cannot average an empty set of metrics");
+    let n = metrics.len() as f64;
+    QualityMetrics {
+        precision: metrics.iter().map(|m| m.precision).sum::<f64>() / n,
+        recall: metrics.iter().map(|m| m.recall).sum::<f64>() / n,
+        f1: metrics.iter().map(|m| m.f1).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+
+    fn clustering(records: Vec<u32>, cluster_of: Vec<usize>) -> Clustering {
+        Clustering {
+            records,
+            cluster_of,
+        }
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        // Records 0,1 -> entity A; 2,3 -> entity B; predicted identically.
+        let c = clustering(vec![0, 1, 2, 3], vec![0, 0, 1, 1]);
+        let q = evaluate_clustering(&c, |a, b| (a < 2) == (b < 2));
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision_only() {
+        // Everything merged into one cluster.
+        let c = clustering(vec![0, 1, 2, 3], vec![0, 0, 0, 0]);
+        let q = evaluate_clustering(&c, |a, b| (a < 2) == (b < 2));
+        assert!(q.precision < 1.0);
+        assert_eq!(q.recall, 1.0);
+        // 2 true pairs out of 6 predicted pairs.
+        assert!((q.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_splitting_hurts_recall_only() {
+        let c = clustering(vec![0, 1, 2, 3], vec![0, 1, 2, 3]);
+        let q = evaluate_clustering(&c, |a, b| (a < 2) == (b < 2));
+        assert_eq!(q.precision, 1.0, "no predicted pairs counts as precision 1");
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_hand_checked() {
+        // Truth: {0,1,2} same entity, {3} alone.  Prediction: {0,1}, {2,3}.
+        let c = clustering(vec![0, 1, 2, 3], vec![0, 0, 1, 1]);
+        let q = evaluate_clustering(&c, |a, b| a < 3 && b < 3);
+        // Predicted pairs: (0,1) true, (2,3) false -> precision 1/2.
+        assert!((q.precision - 0.5).abs() < 1e-12);
+        // True pairs: (0,1), (0,2), (1,2) -> recall 1/3.
+        assert!((q.recall - 1.0 / 3.0).abs() < 1e-12);
+        let expected_f1 = 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0);
+        assert!((q.f1 - expected_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging() {
+        let a = QualityMetrics {
+            precision: 1.0,
+            recall: 0.5,
+            f1: 2.0 / 3.0,
+        };
+        let b = QualityMetrics {
+            precision: 0.5,
+            recall: 1.0,
+            f1: 2.0 / 3.0,
+        };
+        let avg = average_metrics(&[a, b]);
+        assert!((avg.precision - 0.75).abs() < 1e-12);
+        assert!((avg.recall - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn averaging_empty_panics() {
+        let _ = average_metrics(&[]);
+    }
+}

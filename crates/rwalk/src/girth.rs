@@ -1,0 +1,157 @@
+//! Directed girth (length of the shortest directed cycle).
+//!
+//! The `TransPr` algorithm (Fig. 3 of the paper) uses the girth `ℓ` of the
+//! uncertain graph's skeleton for the Lemma 3 shortcut: as long as a walk is
+//! shorter than the shortest cycle it cannot revisit a vertex, so its
+//! probability factors into one-step transition probabilities and no
+//! `α`-ratio needs to be recomputed.  The paper cites Horton's algorithm
+//! [12]; for directed graphs a per-vertex BFS (overall `O(|V|·|E|)`) is the
+//! standard approach and is what we implement, with an optional depth cap
+//! because the algorithms only ever need to know whether the girth exceeds
+//! the (small) walk length `K`.
+
+use std::collections::VecDeque;
+use ugraph::{DiGraph, VertexId};
+
+/// Computes the directed girth of `g`: the length of its shortest directed
+/// cycle (a self-loop has length 1).  Returns `None` if the graph is acyclic
+/// or if every cycle is longer than `cap` (when a cap is given).
+///
+/// The search performs a breadth-first search from every vertex, truncated at
+/// depth `cap` when provided.
+pub fn directed_girth(g: &DiGraph, cap: Option<usize>) -> Option<usize> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let mut best: Option<usize> = None;
+    let mut distance: Vec<u32> = vec![u32::MAX; n];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+
+    for start in g.vertices() {
+        // Shortest path from any out-neighbor of `start` back to `start`,
+        // plus the initial arc, is a cycle through `start`.
+        distance.iter_mut().for_each(|d| *d = u32::MAX);
+        queue.clear();
+        distance[start as usize] = 0;
+        queue.push_back(start);
+        let limit = match (best, cap) {
+            (Some(b), Some(c)) => b.min(c),
+            (Some(b), None) => b,
+            (None, Some(c)) => c,
+            (None, None) => usize::MAX,
+        };
+        'bfs: while let Some(u) = queue.pop_front() {
+            let du = distance[u as usize] as usize;
+            if du + 1 > limit {
+                // Any cycle found from here would not improve on `limit`.
+                break 'bfs;
+            }
+            for &w in g.out_neighbors(u) {
+                if w == start {
+                    let cycle_len = du + 1;
+                    if best.map_or(true, |b| cycle_len < b) {
+                        best = Some(cycle_len);
+                    }
+                    if cycle_len == 1 {
+                        return Some(1);
+                    }
+                    break 'bfs;
+                }
+                if distance[w as usize] == u32::MAX {
+                    distance[w as usize] = (du + 1) as u32;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    match (best, cap) {
+        (Some(b), Some(c)) if b > c => None,
+        (found, _) => found,
+    }
+}
+
+/// Whether every directed cycle of `g` has length at least `k` (true in
+/// particular for acyclic graphs).  This is the condition under which Lemma 3
+/// applies to walks of length below `k`.
+pub fn girth_at_least(g: &DiGraph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    match directed_girth(g, Some(k)) {
+        None => true,
+        Some(girth) => girth >= k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::DiGraph;
+
+    #[test]
+    fn acyclic_graph_has_no_girth() {
+        let g = DiGraph::from_arcs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(directed_girth(&g, None), None);
+        assert!(girth_at_least(&g, 100));
+    }
+
+    #[test]
+    fn self_loop_gives_girth_one() {
+        let g = DiGraph::from_arcs(3, [(0, 1), (1, 1), (1, 2)]).unwrap();
+        assert_eq!(directed_girth(&g, None), Some(1));
+        assert!(!girth_at_least(&g, 2));
+        assert!(girth_at_least(&g, 1));
+    }
+
+    #[test]
+    fn two_cycle() {
+        let g = DiGraph::from_arcs(3, [(0, 1), (1, 0), (1, 2)]).unwrap();
+        assert_eq!(directed_girth(&g, None), Some(2));
+    }
+
+    #[test]
+    fn directed_triangle_vs_undirected_intuition() {
+        // 0 -> 1 -> 2 -> 0 is a 3-cycle; the reverse arcs are absent so the
+        // girth is 3, not 2.
+        let g = DiGraph::from_arcs(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(directed_girth(&g, None), Some(3));
+        assert!(girth_at_least(&g, 3));
+        assert!(!girth_at_least(&g, 4));
+    }
+
+    #[test]
+    fn shortest_of_several_cycles_wins() {
+        // A 4-cycle 0..3 plus a chord creating a 2-cycle between 1 and 2.
+        let g =
+            DiGraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 1)]).unwrap();
+        assert_eq!(directed_girth(&g, None), Some(2));
+    }
+
+    #[test]
+    fn cap_hides_longer_cycles() {
+        let g = DiGraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(directed_girth(&g, None), Some(4));
+        assert_eq!(directed_girth(&g, Some(3)), None);
+        assert_eq!(directed_girth(&g, Some(4)), Some(4));
+        assert!(girth_at_least(&g, 4));
+        assert!(!girth_at_least(&g, 5));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_arcs(0, []).unwrap();
+        assert_eq!(directed_girth(&g, None), None);
+    }
+
+    #[test]
+    fn fig1_skeleton_girth_is_two() {
+        // v1 <-> v3 (0 <-> 2) forms a 2-cycle in the paper's running example.
+        let g = DiGraph::from_arcs(
+            5,
+            [(0, 2), (0, 3), (1, 0), (1, 2), (2, 0), (2, 3), (3, 4), (3, 1)],
+        )
+        .unwrap();
+        assert_eq!(directed_girth(&g, None), Some(2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Walks on (uncertain) graphs and their per-vertex statistics.
+
+use std::collections::BTreeMap;
+use ugraph::{UncertainGraph, VertexId};
+
+/// The per-vertex statistics of a walk `W` used by the `WalkPr` algorithm:
+/// `O_W(v)` (the set of distinct out-neighbors the walk transitions to from
+/// `v`) and `c_W(v)` (the number of transitions out of `v` in the walk, which
+/// can exceed `|O_W(v)|` when the walk takes the same arc more than once).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VertexWalkStats {
+    /// `O_W(v)`: distinct out-neighbors reached from `v` along the walk,
+    /// stored sorted.
+    pub out_neighbors: Vec<VertexId>,
+    /// `c_W(v)`: number of transitions out of `v` in the walk.
+    pub out_count: usize,
+}
+
+impl VertexWalkStats {
+    /// Records one transition `v → w`, keeping `out_neighbors` sorted and
+    /// duplicate-free.
+    pub fn record_transition(&mut self, w: VertexId) {
+        self.out_count += 1;
+        if let Err(pos) = self.out_neighbors.binary_search(&w) {
+            self.out_neighbors.insert(pos, w);
+        }
+    }
+}
+
+/// A walk `v₀, v₁, …, v_k` on a graph.
+///
+/// The walk does *not* borrow the graph: validity against a specific
+/// [`UncertainGraph`] is checked by [`Walk::is_walk_on`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    vertices: Vec<VertexId>,
+}
+
+impl Walk {
+    /// A walk consisting of a single starting vertex (length 0).
+    pub fn singleton(start: VertexId) -> Self {
+        Walk {
+            vertices: vec![start],
+        }
+    }
+
+    /// Builds a walk from its vertex sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty; a walk always has at least its start
+    /// vertex.
+    pub fn from_vertices(vertices: impl Into<Vec<VertexId>>) -> Self {
+        let vertices = vertices.into();
+        assert!(!vertices.is_empty(), "a walk must contain at least one vertex");
+        Walk { vertices }
+    }
+
+    /// The vertex sequence `v₀, …, v_k`.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The length `|W| = k` of the walk (number of transitions).
+    pub fn len(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// Whether the walk has length 0 (a single vertex, no transition).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The starting vertex `v₀`.
+    pub fn start(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// The final vertex `v_k`.
+    pub fn end(&self) -> VertexId {
+        *self.vertices.last().expect("walk is never empty")
+    }
+
+    /// Appends a vertex to the end of the walk.
+    pub fn push(&mut self, v: VertexId) {
+        self.vertices.push(v);
+    }
+
+    /// Returns a new walk extended by one vertex.
+    pub fn extended(&self, v: VertexId) -> Walk {
+        let mut vertices = Vec::with_capacity(self.vertices.len() + 1);
+        vertices.extend_from_slice(&self.vertices);
+        vertices.push(v);
+        Walk { vertices }
+    }
+
+    /// Whether every consecutive pair is a (possible) arc of `g`, i.e. the
+    /// sequence is a walk on the uncertain graph.
+    pub fn is_walk_on(&self, g: &UncertainGraph) -> bool {
+        self.vertices
+            .windows(2)
+            .all(|pair| g.has_arc(pair[0], pair[1]))
+    }
+
+    /// The set `V(W)` of distinct vertices visited by the walk, sorted.
+    pub fn distinct_vertices(&self) -> Vec<VertexId> {
+        let mut vs = self.vertices.clone();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Per-vertex statistics `(O_W(v), c_W(v))` for every distinct vertex of
+    /// the walk (vertices that are only visited as the final vertex get
+    /// `out_count == 0` and an empty `out_neighbors`, contributing a factor
+    /// of 1 to the walk probability).
+    pub fn vertex_stats(&self) -> BTreeMap<VertexId, VertexWalkStats> {
+        let mut stats: BTreeMap<VertexId, VertexWalkStats> = BTreeMap::new();
+        // Make sure every visited vertex has an entry, even the final one.
+        for &v in &self.vertices {
+            stats.entry(v).or_default();
+        }
+        for pair in self.vertices.windows(2) {
+            stats
+                .get_mut(&pair[0])
+                .expect("entry inserted above")
+                .record_transition(pair[1]);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::UncertainGraphBuilder;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn singleton_walk() {
+        let w = Walk::singleton(3);
+        assert_eq!(w.len(), 0);
+        assert!(w.is_empty());
+        assert_eq!(w.start(), 3);
+        assert_eq!(w.end(), 3);
+        assert_eq!(w.distinct_vertices(), vec![3]);
+        let stats = w.vertex_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[&3].out_count, 0);
+    }
+
+    #[test]
+    fn extension_and_push_agree() {
+        let mut a = Walk::singleton(0);
+        a.push(2);
+        a.push(0);
+        let b = Walk::singleton(0).extended(2).extended(0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.end(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_vertex_sequence_is_rejected() {
+        let _ = Walk::from_vertices(Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn walk_validity_against_graph() {
+        let g = fig1_graph();
+        assert!(Walk::from_vertices(vec![0, 2, 0, 3, 4]).is_walk_on(&g));
+        // 0 -> 1 is not an arc.
+        assert!(!Walk::from_vertices(vec![0, 1]).is_walk_on(&g));
+        // A single vertex is trivially a walk.
+        assert!(Walk::singleton(4).is_walk_on(&g));
+    }
+
+    #[test]
+    fn vertex_stats_of_the_paper_example_walk() {
+        // The walk of Table I: v1 v3 v1 v3 v4 v2 v3 v4 v2 (0-indexed below).
+        let w = Walk::from_vertices(vec![0, 2, 0, 2, 3, 1, 2, 3, 1]);
+        assert_eq!(w.len(), 8);
+        let stats = w.vertex_stats();
+        // v1 (=0): transitions to v3 twice.
+        assert_eq!(stats[&0].out_neighbors, vec![2]);
+        assert_eq!(stats[&0].out_count, 2);
+        // v2 (=1): one transition to v3 (the final occurrence is terminal).
+        assert_eq!(stats[&1].out_neighbors, vec![2]);
+        assert_eq!(stats[&1].out_count, 1);
+        // v3 (=2): transitions to v1 once and to v4 twice.
+        assert_eq!(stats[&2].out_neighbors, vec![0, 3]);
+        assert_eq!(stats[&2].out_count, 3);
+        // v4 (=3): transitions to v2 twice.
+        assert_eq!(stats[&3].out_neighbors, vec![1]);
+        assert_eq!(stats[&3].out_count, 2);
+        // v5 never appears.
+        assert!(!stats.contains_key(&4));
+    }
+
+    #[test]
+    fn terminal_only_vertices_contribute_empty_stats() {
+        let w = Walk::from_vertices(vec![0, 2, 3]);
+        let stats = w.vertex_stats();
+        assert_eq!(stats[&3].out_count, 0);
+        assert!(stats[&3].out_neighbors.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Jaccard, Dice and cosine similarity on deterministic graphs.
+
+use ugraph::{DiGraph, VertexId};
+
+/// Which neighborhood the common-neighbor measures are computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborhoodMode {
+    /// In-neighbors (the direction SimRank recurses over); the default.
+    #[default]
+    In,
+    /// Out-neighbors.
+    Out,
+}
+
+pub(crate) fn neighborhood(g: &DiGraph, v: VertexId, mode: NeighborhoodMode) -> &[VertexId] {
+    match mode {
+        NeighborhoodMode::In => g.in_neighbors(v),
+        NeighborhoodMode::Out => g.out_neighbors(v),
+    }
+}
+
+/// Size of the intersection of two sorted, duplicate-free slices.
+pub(crate) fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Jaccard similarity `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|` (0 when both
+/// neighborhoods are empty).
+pub fn jaccard(g: &DiGraph, u: VertexId, v: VertexId, mode: NeighborhoodMode) -> f64 {
+    let (a, b) = (neighborhood(g, u, mode), neighborhood(g, v, mode));
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice similarity `2·|N(u) ∩ N(v)| / (|N(u)| + |N(v)|)` (0 when both
+/// neighborhoods are empty).
+pub fn dice(g: &DiGraph, u: VertexId, v: VertexId, mode: NeighborhoodMode) -> f64 {
+    let (a, b) = (neighborhood(g, u, mode), neighborhood(g, v, mode));
+    let inter = intersection_size(a, b);
+    let total = a.len() + b.len();
+    if total == 0 {
+        0.0
+    } else {
+        2.0 * inter as f64 / total as f64
+    }
+}
+
+/// Cosine similarity `|N(u) ∩ N(v)| / √(|N(u)|·|N(v)|)` (0 when either
+/// neighborhood is empty).
+pub fn cosine(g: &DiGraph, u: VertexId, v: VertexId, mode: NeighborhoodMode) -> f64 {
+    let (a, b) = (neighborhood(g, u, mode), neighborhood(g, v, mode));
+    let inter = intersection_size(a, b);
+    if a.is_empty() || b.is_empty() {
+        0.0
+    } else {
+        inter as f64 / ((a.len() * b.len()) as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::DiGraphBuilder;
+
+    /// 0 and 1 share in-neighbors {2, 3}; 0 additionally has in-neighbor 4.
+    fn g() -> DiGraph {
+        DiGraphBuilder::new(6)
+            .arc(2, 0)
+            .arc(3, 0)
+            .arc(4, 0)
+            .arc(2, 1)
+            .arc(3, 1)
+            .arc(0, 5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn jaccard_dice_cosine_hand_checked() {
+        let g = g();
+        // |N(0)| = 3, |N(1)| = 2, intersection = 2, union = 3.
+        assert!((jaccard(&g, 0, 1, NeighborhoodMode::In) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((dice(&g, 0, 1, NeighborhoodMode::In) - 4.0 / 5.0).abs() < 1e-12);
+        assert!((cosine(&g, 0, 1, NeighborhoodMode::In) - 2.0 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_are_symmetric_and_bounded() {
+        let g = g();
+        for mode in [NeighborhoodMode::In, NeighborhoodMode::Out] {
+            for u in 0..6u32 {
+                for v in 0..6u32 {
+                    for f in [jaccard, dice, cosine] {
+                        let s = f(&g, u, v, mode);
+                        assert!((0.0..=1.0 + 1e-12).contains(&s));
+                        assert!((s - f(&g, v, u, mode)).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_nonempty_neighborhoods_give_one() {
+        let g = DiGraphBuilder::new(4).arc(2, 0).arc(2, 1).arc(3, 0).arc(3, 1).build().unwrap();
+        assert_eq!(jaccard(&g, 0, 1, NeighborhoodMode::In), 1.0);
+        assert_eq!(dice(&g, 0, 1, NeighborhoodMode::In), 1.0);
+        assert_eq!(cosine(&g, 0, 1, NeighborhoodMode::In), 1.0);
+    }
+
+    #[test]
+    fn no_common_neighbors_gives_zero() {
+        let g = DiGraphBuilder::new(4).arc(2, 0).arc(3, 1).build().unwrap();
+        assert_eq!(jaccard(&g, 0, 1, NeighborhoodMode::In), 0.0);
+        assert_eq!(dice(&g, 0, 1, NeighborhoodMode::In), 0.0);
+        assert_eq!(cosine(&g, 0, 1, NeighborhoodMode::In), 0.0);
+    }
+
+    #[test]
+    fn empty_neighborhoods_give_zero_not_nan() {
+        let g = DiGraphBuilder::new(3).arc(0, 1).build().unwrap();
+        // Vertices 0 and 2 have no in-neighbors at all.
+        assert_eq!(jaccard(&g, 0, 2, NeighborhoodMode::In), 0.0);
+        assert_eq!(dice(&g, 0, 2, NeighborhoodMode::In), 0.0);
+        assert_eq!(cosine(&g, 0, 2, NeighborhoodMode::In), 0.0);
+    }
+
+    #[test]
+    fn in_and_out_modes_differ() {
+        let g = g();
+        assert!(jaccard(&g, 0, 1, NeighborhoodMode::In) > 0.0);
+        assert_eq!(jaccard(&g, 0, 1, NeighborhoodMode::Out), 0.0);
+    }
+
+    #[test]
+    fn intersection_size_edge_cases() {
+        assert_eq!(intersection_size(&[], &[]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size(&[1, 5, 9], &[2, 6, 10]), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Expected Jaccard / Dice / cosine similarity over the possible worlds of an
+//! uncertain graph (the structural-context similarities of Zou & Li [44],
+//! used as the Jaccard-I baseline in the paper's experiments).
+//!
+//! For two query vertices `u` and `v`, each candidate common neighbor `w`
+//! contributes two independent Bernoulli arcs (`w → u` and `w → v` for the
+//! in-neighborhood mode), so the joint distribution of
+//! (`|N(u) ∩ N(v)|`, `|N(u) ∪ N(v)|`) — and hence the expectation of any
+//! ratio of them — can be computed exactly by a dynamic program over the
+//! candidates in `O(m³)` time for `m` incident arcs.  For high-degree
+//! vertices a Monte-Carlo estimator is provided.
+
+use crate::deterministic::NeighborhoodMode;
+use rand::Rng;
+use ugraph::{Probability, UncertainGraph, VertexId};
+
+/// Per-candidate presence probabilities of the arcs towards `u` and `v`.
+fn candidate_probabilities(
+    g: &UncertainGraph,
+    u: VertexId,
+    v: VertexId,
+    mode: NeighborhoodMode,
+) -> Vec<(Probability, Probability)> {
+    let (u_neighbors, u_probs) = match mode {
+        NeighborhoodMode::In => g.in_arcs(u),
+        NeighborhoodMode::Out => g.out_arcs(u),
+    };
+    let (v_neighbors, v_probs) = match mode {
+        NeighborhoodMode::In => g.in_arcs(v),
+        NeighborhoodMode::Out => g.out_arcs(v),
+    };
+    // Merge the two sorted candidate lists.
+    let mut result = Vec::with_capacity(u_neighbors.len() + v_neighbors.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < u_neighbors.len() || j < v_neighbors.len() {
+        let next_u = u_neighbors.get(i).copied();
+        let next_v = v_neighbors.get(j).copied();
+        match (next_u, next_v) {
+            (Some(a), Some(b)) if a == b => {
+                result.push((u_probs[i], v_probs[j]));
+                i += 1;
+                j += 1;
+            }
+            (Some(a), Some(b)) if a < b => {
+                result.push((u_probs[i], 0.0));
+                i += 1;
+            }
+            (Some(_), Some(_)) => {
+                result.push((0.0, v_probs[j]));
+                j += 1;
+            }
+            (Some(_), None) => {
+                result.push((u_probs[i], 0.0));
+                i += 1;
+            }
+            (None, Some(_)) => {
+                result.push((0.0, v_probs[j]));
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition guarantees one side remains"),
+        }
+    }
+    result
+}
+
+/// Joint distribution of (`|N(u) ∩ N(v)|`, `|N(u)|`, `|N(v)|`) as a dense
+/// 3-dimensional table `dist[i][a][b]`.
+fn joint_distribution(candidates: &[(Probability, Probability)]) -> Vec<Vec<Vec<f64>>> {
+    let m = candidates.len();
+    let mut dist = vec![vec![vec![0.0; m + 1]; m + 1]; m + 1];
+    dist[0][0][0] = 1.0;
+    for (step, &(pu, pv)) in candidates.iter().enumerate() {
+        let limit = step + 1;
+        // Iterate backwards so each candidate is applied once.
+        for i in (0..limit).rev() {
+            for a in (0..limit).rev() {
+                for b in (0..limit).rev() {
+                    let mass = dist[i][a][b];
+                    if mass == 0.0 {
+                        continue;
+                    }
+                    dist[i][a][b] = 0.0;
+                    let both = pu * pv;
+                    let only_u = pu * (1.0 - pv);
+                    let only_v = (1.0 - pu) * pv;
+                    let neither = (1.0 - pu) * (1.0 - pv);
+                    if both > 0.0 {
+                        dist[i + 1][a + 1][b + 1] += mass * both;
+                    }
+                    if only_u > 0.0 {
+                        dist[i][a + 1][b] += mass * only_u;
+                    }
+                    if only_v > 0.0 {
+                        dist[i][a][b + 1] += mass * only_v;
+                    }
+                    if neither > 0.0 {
+                        dist[i][a][b] += mass * neither;
+                    }
+                }
+            }
+        }
+    }
+    dist
+}
+
+fn expectation_over_joint(
+    g: &UncertainGraph,
+    u: VertexId,
+    v: VertexId,
+    mode: NeighborhoodMode,
+    f: impl Fn(usize, usize, usize) -> f64,
+) -> f64 {
+    let candidates = candidate_probabilities(g, u, v, mode);
+    let dist = joint_distribution(&candidates);
+    let m = candidates.len();
+    let mut total = 0.0;
+    for i in 0..=m {
+        for a in 0..=m {
+            for b in 0..=m {
+                let mass = dist[i][a][b];
+                if mass > 0.0 {
+                    total += mass * f(i, a, b);
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Exact expected Jaccard similarity
+/// `E[ |N(u) ∩ N(v)| / |N(u) ∪ N(v)| ]` (0/0 counted as 0).
+pub fn expected_jaccard(
+    g: &UncertainGraph,
+    u: VertexId,
+    v: VertexId,
+    mode: NeighborhoodMode,
+) -> f64 {
+    expectation_over_joint(g, u, v, mode, |i, a, b| {
+        let union = a + b - i;
+        if union == 0 {
+            0.0
+        } else {
+            i as f64 / union as f64
+        }
+    })
+}
+
+/// Exact expected Dice similarity `E[ 2|N(u) ∩ N(v)| / (|N(u)| + |N(v)|) ]`.
+pub fn expected_dice(
+    g: &UncertainGraph,
+    u: VertexId,
+    v: VertexId,
+    mode: NeighborhoodMode,
+) -> f64 {
+    expectation_over_joint(g, u, v, mode, |i, a, b| {
+        if a + b == 0 {
+            0.0
+        } else {
+            2.0 * i as f64 / (a + b) as f64
+        }
+    })
+}
+
+/// Exact expected cosine similarity `E[ |N(u) ∩ N(v)| / √(|N(u)|·|N(v)|) ]`.
+pub fn expected_cosine(
+    g: &UncertainGraph,
+    u: VertexId,
+    v: VertexId,
+    mode: NeighborhoodMode,
+) -> f64 {
+    expectation_over_joint(g, u, v, mode, |i, a, b| {
+        if a == 0 || b == 0 {
+            0.0
+        } else {
+            i as f64 / ((a * b) as f64).sqrt()
+        }
+    })
+}
+
+/// Monte-Carlo estimate of the expected Jaccard similarity, for vertex pairs
+/// whose combined degree makes the exact dynamic program too expensive.
+pub fn monte_carlo_expected_jaccard<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    u: VertexId,
+    v: VertexId,
+    mode: NeighborhoodMode,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0, "at least one sample is required");
+    let candidates = candidate_probabilities(g, u, v, mode);
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut intersection = 0usize;
+        let mut union = 0usize;
+        for &(pu, pv) in &candidates {
+            let in_u = pu > 0.0 && rng.gen::<f64>() < pu;
+            let in_v = pv > 0.0 && rng.gen::<f64>() < pv;
+            if in_u && in_v {
+                intersection += 1;
+            }
+            if in_u || in_v {
+                union += 1;
+            }
+        }
+        if union > 0 {
+            total += intersection as f64 / union as f64;
+        }
+    }
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deterministic::{cosine, dice, jaccard};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ugraph::possible_world::expectation_over_worlds;
+    use ugraph::UncertainGraphBuilder;
+
+    /// 0 and 1 have possible in-neighbors {2, 3, 4} with various overlaps.
+    fn toy() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(2, 0, 0.8)
+            .arc(3, 0, 0.5)
+            .arc(4, 0, 0.3)
+            .arc(2, 1, 0.9)
+            .arc(3, 1, 0.4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn expected_measures_match_possible_world_enumeration() {
+        let g = toy();
+        let mode = NeighborhoodMode::In;
+        let brute_jaccard =
+            expectation_over_worlds(&g, |world| jaccard(world, 0, 1, mode));
+        let brute_dice = expectation_over_worlds(&g, |world| dice(world, 0, 1, mode));
+        let brute_cosine = expectation_over_worlds(&g, |world| cosine(world, 0, 1, mode));
+        assert!((expected_jaccard(&g, 0, 1, mode) - brute_jaccard).abs() < 1e-10);
+        assert!((expected_dice(&g, 0, 1, mode) - brute_dice).abs() < 1e-10);
+        assert!((expected_cosine(&g, 0, 1, mode) - brute_cosine).abs() < 1e-10);
+    }
+
+    #[test]
+    fn certain_graph_recovers_deterministic_measures() {
+        let g = toy().certain();
+        let mode = NeighborhoodMode::In;
+        assert!(
+            (expected_jaccard(&g, 0, 1, mode) - jaccard(g.skeleton(), 0, 1, mode)).abs() < 1e-12
+        );
+        assert!((expected_dice(&g, 0, 1, mode) - dice(g.skeleton(), 0, 1, mode)).abs() < 1e-12);
+        assert!(
+            (expected_cosine(&g, 0, 1, mode) - cosine(g.skeleton(), 0, 1, mode)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn no_possible_common_neighbors_gives_zero() {
+        let g = UncertainGraphBuilder::new(4)
+            .arc(2, 0, 0.9)
+            .arc(3, 1, 0.9)
+            .build()
+            .unwrap();
+        assert_eq!(expected_jaccard(&g, 0, 1, NeighborhoodMode::In), 0.0);
+        assert_eq!(expected_dice(&g, 0, 1, NeighborhoodMode::In), 0.0);
+        assert_eq!(expected_cosine(&g, 0, 1, NeighborhoodMode::In), 0.0);
+    }
+
+    #[test]
+    fn expected_values_are_bounded_and_symmetric() {
+        let g = toy();
+        for mode in [NeighborhoodMode::In, NeighborhoodMode::Out] {
+            for u in 0..5u32 {
+                for v in 0..5u32 {
+                    for f in [expected_jaccard, expected_dice, expected_cosine] {
+                        let s = f(&g, u, v, mode);
+                        assert!((0.0..=1.0 + 1e-12).contains(&s), "({u},{v}) = {s}");
+                        assert!((s - f(&g, v, u, mode)).abs() < 1e-10);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncertainty_lowers_the_jaccard_of_fully_overlapping_neighborhoods() {
+        // Same topology, different probabilities: the deterministic Jaccard
+        // is 1, the expected Jaccard is strictly smaller.
+        let g = UncertainGraphBuilder::new(4)
+            .arc(2, 0, 0.5)
+            .arc(3, 0, 0.5)
+            .arc(2, 1, 0.5)
+            .arc(3, 1, 0.5)
+            .build()
+            .unwrap();
+        let deterministic = jaccard(g.skeleton(), 0, 1, NeighborhoodMode::In);
+        let expected = expected_jaccard(&g, 0, 1, NeighborhoodMode::In);
+        assert_eq!(deterministic, 1.0);
+        assert!(expected < 0.7, "expected Jaccard {expected} should drop well below 1");
+        assert!(expected > 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact() {
+        let g = toy();
+        let mut rng = StdRng::seed_from_u64(19);
+        let exact = expected_jaccard(&g, 0, 1, NeighborhoodMode::In);
+        let estimate =
+            monte_carlo_expected_jaccard(&g, 0, 1, NeighborhoodMode::In, 40_000, &mut rng);
+        assert!((exact - estimate).abs() < 0.01, "exact {exact}, MC {estimate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn monte_carlo_rejects_zero_samples() {
+        let g = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = monte_carlo_expected_jaccard(&g, 0, 1, NeighborhoodMode::In, 0, &mut rng);
+    }
+}

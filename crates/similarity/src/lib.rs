@@ -1,0 +1,31 @@
+//! Neighborhood-based similarity measures for deterministic and uncertain
+//! graphs.
+//!
+//! The paper's measure-comparison experiment (Fig. 7 / Table III) contrasts
+//! its uncertain SimRank with
+//!
+//! * **Jaccard-I** — the *expected* Jaccard similarity over possible worlds
+//!   (the structural-context similarity of Zou & Li [44]), and
+//! * **Jaccard-II** — plain Jaccard similarity on the deterministic skeleton,
+//!
+//! and the related work section mentions the expected Dice and cosine
+//! variants from the same prior work.  This crate implements all of them:
+//! the deterministic measures in [`deterministic`], their expectations under
+//! the possible-world model in [`expected`] (exact dynamic programming over
+//! the independent incident arcs, with a Monte-Carlo fallback for
+//! high-degree vertices).
+//!
+//! Unlike SimRank, all of these measures are local: they are zero whenever
+//! the two vertices share no (possible) common neighbor — which is exactly
+//! the limitation that motivates SimRank in the paper's introduction.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod deterministic;
+pub mod expected;
+
+pub use deterministic::{cosine, dice, jaccard, NeighborhoodMode};
+pub use expected::{
+    expected_cosine, expected_dice, expected_jaccard, monte_carlo_expected_jaccard,
+};

@@ -1,0 +1,279 @@
+//! A compact binary on-disk format for uncertain graphs.
+//!
+//! The text edge-list format of [`crate::io`] is convenient for interchange
+//! but costly to parse for the multi-million-edge graphs of the scalability
+//! experiment (Fig. 12 of the paper).  This module provides a simple binary
+//! format used by the CLI's `convert` command and the experiment harness when
+//! caching generated datasets between runs:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"USIMGRB1"
+//! 8       4     number of vertices  (u32, little endian)
+//! 12      8     number of arcs      (u64, little endian)
+//! 20      16·m  arc records: source u32, target u32, probability f64
+//! 20+16m  8     FNV-1a checksum of bytes 0 .. 20+16m (u64, little endian)
+//! ```
+//!
+//! Reading validates the magic, the checksum, every vertex id and every
+//! probability, so a truncated or bit-flipped file is reported as a
+//! [`GraphError::Format`] rather than silently producing a wrong graph.
+
+use crate::{GraphError, UncertainGraph, VertexId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic of the binary uncertain-graph format, version 1.
+pub const MAGIC: &[u8; 8] = b"USIMGRB1";
+
+const HEADER_LEN: usize = 8 + 4 + 8;
+const ARC_RECORD_LEN: usize = 4 + 4 + 8;
+
+/// Incrementally computed FNV-1a hash, used as the format's checksum.
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn format_error(message: impl Into<String>) -> GraphError {
+    GraphError::Format {
+        message: message.into(),
+    }
+}
+
+/// Writes `graph` to `writer` in the binary format.
+pub fn write_binary<W: Write>(graph: &UncertainGraph, writer: W) -> Result<(), GraphError> {
+    let mut writer = BufWriter::new(writer);
+    let mut checksum = Fnv1a::new();
+    let mut emit = |writer: &mut BufWriter<W>, bytes: &[u8]| -> Result<(), GraphError> {
+        checksum.update(bytes);
+        writer.write_all(bytes).map_err(GraphError::from)
+    };
+
+    emit(&mut writer, MAGIC)?;
+    emit(&mut writer, &(graph.num_vertices() as u32).to_le_bytes())?;
+    emit(&mut writer, &(graph.num_arcs() as u64).to_le_bytes())?;
+    for arc in graph.arcs() {
+        emit(&mut writer, &arc.source.to_le_bytes())?;
+        emit(&mut writer, &arc.target.to_le_bytes())?;
+        emit(&mut writer, &arc.probability.to_le_bytes())?;
+    }
+    let digest = checksum.finish();
+    writer.write_all(&digest.to_le_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes `graph` to a file in the binary format.
+pub fn write_binary_file<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    write_binary(graph, file)
+}
+
+/// Reads an uncertain graph from `reader` in the binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<UncertainGraph, GraphError> {
+    let mut reader = BufReader::new(reader);
+    let mut checksum = Fnv1a::new();
+
+    let mut read_exact = |reader: &mut BufReader<R>, buffer: &mut [u8], what: &str| -> Result<(), GraphError> {
+        reader
+            .read_exact(buffer)
+            .map_err(|e| format_error(format!("truncated file while reading {what}: {e}")))?;
+        checksum.update(buffer);
+        Ok(())
+    };
+
+    let mut magic = [0u8; 8];
+    read_exact(&mut reader, &mut magic, "the file magic")?;
+    if &magic != MAGIC {
+        return Err(format_error(format!(
+            "bad magic {magic:?}; not a binary uncertain-graph file (expected {MAGIC:?})"
+        )));
+    }
+
+    let mut header = [0u8; HEADER_LEN - 8];
+    read_exact(&mut reader, &mut header, "the header")?;
+    let num_vertices = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice")) as usize;
+    let num_arcs = u64::from_le_bytes(header[4..12].try_into().expect("8-byte slice")) as usize;
+
+    let mut arcs: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(num_arcs.min(1 << 24));
+    let mut record = [0u8; ARC_RECORD_LEN];
+    for index in 0..num_arcs {
+        read_exact(&mut reader, &mut record, &format!("arc record {index}"))?;
+        let source = u32::from_le_bytes(record[0..4].try_into().expect("4-byte slice"));
+        let target = u32::from_le_bytes(record[4..8].try_into().expect("4-byte slice"));
+        let probability = f64::from_le_bytes(record[8..16].try_into().expect("8-byte slice"));
+        arcs.push((source, target, probability));
+    }
+
+    let expected = checksum.finish();
+    let mut stored = [0u8; 8];
+    reader
+        .read_exact(&mut stored)
+        .map_err(|e| format_error(format!("truncated file while reading the checksum: {e}")))?;
+    let stored = u64::from_le_bytes(stored);
+    if stored != expected {
+        return Err(format_error(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {expected:#018x}; the file is corrupted"
+        )));
+    }
+    let mut trailing = [0u8; 1];
+    if reader.read(&mut trailing).map_err(GraphError::from)? != 0 {
+        return Err(format_error("trailing bytes after the checksum"));
+    }
+
+    UncertainGraph::from_arcs(num_vertices, arcs)
+}
+
+/// Reads an uncertain graph from a file in the binary format.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<UncertainGraph, GraphError> {
+    let file = File::open(path)?;
+    read_binary(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UncertainGraphBuilder;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    fn encode(graph: &UncertainGraph) -> Vec<u8> {
+        let mut buffer = Vec::new();
+        write_binary(graph, &mut buffer).unwrap();
+        buffer
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_arc_and_probability() {
+        let original = fig1_graph();
+        let bytes = encode(&original);
+        assert_eq!(bytes.len(), HEADER_LEN + 8 * ARC_RECORD_LEN + 8);
+        let restored = read_binary(bytes.as_slice()).unwrap();
+        assert_eq!(restored.num_vertices(), original.num_vertices());
+        assert_eq!(restored.num_arcs(), original.num_arcs());
+        for arc in original.arcs() {
+            let p = restored.arc_probability(arc.source, arc.target).unwrap();
+            assert_eq!(p, arc.probability, "arc ({}, {})", arc.source, arc.target);
+        }
+    }
+
+    #[test]
+    fn roundtrip_of_an_arcless_graph() {
+        let empty = UncertainGraphBuilder::new(3).build().unwrap();
+        let restored = read_binary(encode(&empty).as_slice()).unwrap();
+        assert_eq!(restored.num_vertices(), 3);
+        assert_eq!(restored.num_arcs(), 0);
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let path = std::env::temp_dir().join(format!("usim_binfmt_{}.bin", std::process::id()));
+        let original = fig1_graph();
+        write_binary_file(&original, &path).unwrap();
+        let restored = read_binary_file(&path).unwrap();
+        assert_eq!(restored.num_arcs(), original.num_arcs());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&fig1_graph());
+        bytes[0] = b'X';
+        let err = read_binary(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = encode(&fig1_graph());
+        for cut in [4usize, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 3] {
+            let err = read_binary(&bytes[..cut]).unwrap_err();
+            assert!(err.to_string().contains("truncated"), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        let clean = encode(&fig1_graph());
+        // Flip one byte inside an arc record's probability field.
+        let mut corrupted = clean.clone();
+        let offset = HEADER_LEN + ARC_RECORD_LEN + 10;
+        corrupted[offset] ^= 0x01;
+        let err = read_binary(corrupted.as_slice()).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("checksum") || message.contains("probability"),
+            "unexpected error: {message}"
+        );
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bytes = encode(&fig1_graph());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let err = read_binary(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&fig1_graph());
+        bytes.push(0);
+        let err = read_binary(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn text_and_binary_formats_agree() {
+        let graph = fig1_graph();
+        let mut text = Vec::new();
+        crate::io::write_edge_list(&graph, &mut text).unwrap();
+        // `assume_compact` keeps the original vertex ids so arcs can be
+        // compared positionally with the binary round trip.
+        let options = crate::io::ReadOptions {
+            assume_compact: true,
+            ..Default::default()
+        };
+        let from_text = crate::io::read_edge_list(text.as_slice(), &options).unwrap().graph;
+        let from_binary = read_binary(encode(&graph).as_slice()).unwrap();
+        assert_eq!(from_text.num_vertices(), from_binary.num_vertices());
+        assert_eq!(from_text.num_arcs(), from_binary.num_arcs());
+        for arc in from_binary.arcs() {
+            let p = from_text.arc_probability(arc.source, arc.target).unwrap();
+            assert!((p - arc.probability).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Fluent builders for [`DiGraph`] and [`UncertainGraph`].
+//!
+//! The builders validate vertex ranges, probability ranges, duplicate arcs
+//! and (optionally) self-loops, and can either fail fast or deduplicate,
+//! which is convenient when constructing graphs from noisy generators.
+
+use crate::{DiGraph, GraphError, Probability, UncertainGraph, VertexId};
+
+/// What to do when the same arc is inserted more than once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Return [`GraphError::DuplicateArc`] (the default).
+    #[default]
+    Error,
+    /// Keep the first occurrence, silently dropping later ones.
+    KeepFirst,
+    /// Keep the occurrence with the largest probability (for uncertain
+    /// graphs; equivalent to `KeepFirst` for deterministic graphs).
+    KeepMaxProbability,
+}
+
+/// Builder for [`DiGraph`].
+#[derive(Debug, Clone)]
+pub struct DiGraphBuilder {
+    num_vertices: usize,
+    arcs: Vec<(VertexId, VertexId)>,
+    allow_self_loops: bool,
+    duplicate_policy: DuplicatePolicy,
+}
+
+impl DiGraphBuilder {
+    /// Starts building a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        DiGraphBuilder {
+            num_vertices,
+            arcs: Vec::new(),
+            allow_self_loops: true,
+            duplicate_policy: DuplicatePolicy::Error,
+        }
+    }
+
+    /// Forbids self-loops; inserting one makes [`build`](Self::build) fail.
+    pub fn forbid_self_loops(mut self) -> Self {
+        self.allow_self_loops = false;
+        self
+    }
+
+    /// Sets the duplicate-arc policy.
+    pub fn duplicate_policy(mut self, policy: DuplicatePolicy) -> Self {
+        self.duplicate_policy = policy;
+        self
+    }
+
+    /// Adds the arc `(u, v)`.
+    pub fn arc(mut self, u: VertexId, v: VertexId) -> Self {
+        self.arcs.push((u, v));
+        self
+    }
+
+    /// Adds many arcs at once.
+    pub fn arcs(mut self, arcs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        self.arcs.extend(arcs);
+        self
+    }
+
+    /// Number of arcs currently staged.
+    pub fn staged_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Validates and builds the graph.
+    pub fn build(self) -> Result<DiGraph, GraphError> {
+        let mut pairs = self.arcs;
+        for &(u, v) in &pairs {
+            for w in [u, v] {
+                if (w as usize) >= self.num_vertices {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: w as u64,
+                        num_vertices: self.num_vertices,
+                    });
+                }
+            }
+            if !self.allow_self_loops && u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+        }
+        pairs.sort_unstable();
+        match self.duplicate_policy {
+            DuplicatePolicy::Error => {
+                if let Some(w) = pairs.windows(2).find(|w| w[0] == w[1]) {
+                    return Err(GraphError::DuplicateArc {
+                        source: w[0].0,
+                        target: w[0].1,
+                    });
+                }
+            }
+            DuplicatePolicy::KeepFirst | DuplicatePolicy::KeepMaxProbability => {
+                pairs.dedup();
+            }
+        }
+        Ok(DiGraph::from_sorted_unique_arcs(self.num_vertices, &pairs))
+    }
+}
+
+/// Builder for [`UncertainGraph`].
+#[derive(Debug, Clone)]
+pub struct UncertainGraphBuilder {
+    num_vertices: usize,
+    arcs: Vec<(VertexId, VertexId, Probability)>,
+    allow_self_loops: bool,
+    duplicate_policy: DuplicatePolicy,
+}
+
+impl UncertainGraphBuilder {
+    /// Starts building an uncertain graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        UncertainGraphBuilder {
+            num_vertices,
+            arcs: Vec::new(),
+            allow_self_loops: true,
+            duplicate_policy: DuplicatePolicy::Error,
+        }
+    }
+
+    /// Forbids self-loops; inserting one makes [`build`](Self::build) fail.
+    pub fn forbid_self_loops(mut self) -> Self {
+        self.allow_self_loops = false;
+        self
+    }
+
+    /// Sets the duplicate-arc policy.
+    pub fn duplicate_policy(mut self, policy: DuplicatePolicy) -> Self {
+        self.duplicate_policy = policy;
+        self
+    }
+
+    /// Adds the arc `(u, v)` with existence probability `p`.
+    pub fn arc(mut self, u: VertexId, v: VertexId, p: Probability) -> Self {
+        self.arcs.push((u, v, p));
+        self
+    }
+
+    /// Adds many probabilistic arcs at once.
+    pub fn arcs(
+        mut self,
+        arcs: impl IntoIterator<Item = (VertexId, VertexId, Probability)>,
+    ) -> Self {
+        self.arcs.extend(arcs);
+        self
+    }
+
+    /// Number of arcs currently staged.
+    pub fn staged_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Validates and builds the uncertain graph.
+    pub fn build(self) -> Result<UncertainGraph, GraphError> {
+        let mut triples = self.arcs;
+        for &(u, v, p) in &triples {
+            for w in [u, v] {
+                if (w as usize) >= self.num_vertices {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: w as u64,
+                        num_vertices: self.num_vertices,
+                    });
+                }
+            }
+            if !self.allow_self_loops && u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            if !crate::is_valid_probability(p) {
+                return Err(GraphError::InvalidProbability {
+                    source: u,
+                    target: v,
+                    probability: p,
+                });
+            }
+        }
+        match self.duplicate_policy {
+            DuplicatePolicy::Error => {
+                triples.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                if let Some(w) = triples
+                    .windows(2)
+                    .find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+                {
+                    return Err(GraphError::DuplicateArc {
+                        source: w[0].0,
+                        target: w[0].1,
+                    });
+                }
+            }
+            DuplicatePolicy::KeepFirst => {
+                // Stable sort keeps the first insertion first within a group.
+                triples.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                triples.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+            }
+            DuplicatePolicy::KeepMaxProbability => {
+                triples.sort_by(|a, b| {
+                    (a.0, a.1)
+                        .cmp(&(b.0, b.1))
+                        .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                });
+                triples.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+            }
+        }
+        Ok(UncertainGraph::from_sorted_unique_arcs(
+            self.num_vertices,
+            &triples,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digraph_builder_roundtrip() {
+        let g = DiGraphBuilder::new(3)
+            .arc(0, 1)
+            .arcs([(1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.has_arc(2, 0));
+    }
+
+    #[test]
+    fn digraph_builder_rejects_self_loop_when_forbidden() {
+        let err = DiGraphBuilder::new(2)
+            .forbid_self_loops()
+            .arc(1, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { vertex: 1 }));
+        // ... but allows it by default.
+        let g = DiGraphBuilder::new(2).arc(1, 1).build().unwrap();
+        assert!(g.has_arc(1, 1));
+    }
+
+    #[test]
+    fn digraph_builder_duplicate_policies() {
+        let err = DiGraphBuilder::new(2).arc(0, 1).arc(0, 1).build().unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateArc { .. }));
+
+        let g = DiGraphBuilder::new(2)
+            .duplicate_policy(DuplicatePolicy::KeepFirst)
+            .arc(0, 1)
+            .arc(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn uncertain_builder_roundtrip() {
+        let g = UncertainGraphBuilder::new(3)
+            .arc(0, 1, 0.5)
+            .arc(1, 2, 0.25)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_arcs(), 2);
+        assert!((g.arc_probability(1, 2).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_builder_keep_max_probability() {
+        let g = UncertainGraphBuilder::new(2)
+            .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
+            .arc(0, 1, 0.3)
+            .arc(0, 1, 0.9)
+            .arc(0, 1, 0.5)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_arcs(), 1);
+        assert!((g.arc_probability(0, 1).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_builder_keep_first() {
+        let g = UncertainGraphBuilder::new(2)
+            .duplicate_policy(DuplicatePolicy::KeepFirst)
+            .arc(0, 1, 0.3)
+            .arc(0, 1, 0.9)
+            .build()
+            .unwrap();
+        assert!((g.arc_probability(0, 1).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_builder_validates_probability_and_range() {
+        assert!(UncertainGraphBuilder::new(2).arc(0, 1, 0.0).build().is_err());
+        assert!(UncertainGraphBuilder::new(2).arc(0, 9, 0.5).build().is_err());
+        assert!(UncertainGraphBuilder::new(2)
+            .forbid_self_loops()
+            .arc(0, 0, 0.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn staged_arc_counts() {
+        let b = DiGraphBuilder::new(4).arc(0, 1).arc(1, 2);
+        assert_eq!(b.staged_arcs(), 2);
+        let ub = UncertainGraphBuilder::new(4).arc(0, 1, 0.5);
+        assert_eq!(ub.staged_arcs(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Possible-world semantics of uncertain graphs.
+//!
+//! Under the possible-world model (Section II of the paper), an uncertain
+//! graph `G = (V, E, P)` represents a probability distribution over the set
+//! `Ω(G)` of its possible worlds.  A possible world is a deterministic graph
+//! `G` with `V(G) = V(G)` and `E(G) ⊆ E(G)`, and the probability of the event
+//! `G ⇒ G` is (Eq. 4)
+//!
+//! ```text
+//! Pr(G ⇒ G) = Π_{e ∈ E(G)} P(e) · Π_{e ∈ E(G)\E(G)} (1 − P(e)).
+//! ```
+//!
+//! This module provides
+//! * [`world_probability`] — Eq. (4) for an explicit arc subset,
+//! * [`enumerate_worlds`] — exhaustive enumeration of `Ω(G)` (2^|E| worlds;
+//!   only for the tiny graphs used in tests and ground-truth computations),
+//! * [`sample_world`] / [`WorldSampler`] — i.i.d. sampling of possible worlds.
+
+use crate::{DiGraph, Probability, UncertainGraph, VertexId};
+use rand::Rng;
+
+/// A possible world of an uncertain graph: the subset of arcs that exist,
+/// its probability, and the corresponding deterministic graph.
+#[derive(Debug, Clone)]
+pub struct PossibleWorld {
+    /// Indices into the arc list of the uncertain graph (in `arcs()` order)
+    /// of the arcs present in this world.
+    pub present_arcs: Vec<usize>,
+    /// Probability `Pr(G ⇒ G)` of this world (Eq. 4).
+    pub probability: Probability,
+    /// The deterministic graph of this world.
+    pub graph: DiGraph,
+}
+
+/// Computes `Pr(G ⇒ G)` (Eq. 4) for the world in which exactly the arcs whose
+/// indices (in `g.arcs()` order) are listed in `present` exist.
+///
+/// `present` must be sorted and duplicate-free; this is asserted in debug
+/// builds.
+pub fn world_probability(g: &UncertainGraph, present: &[usize]) -> Probability {
+    debug_assert!(present.windows(2).all(|w| w[0] < w[1]));
+    let mut prob = 1.0;
+    let mut cursor = 0usize;
+    for (idx, arc) in g.arcs().enumerate() {
+        if cursor < present.len() && present[cursor] == idx {
+            prob *= arc.probability;
+            cursor += 1;
+        } else {
+            prob *= 1.0 - arc.probability;
+        }
+    }
+    debug_assert_eq!(cursor, present.len(), "present contains out-of-range indices");
+    prob
+}
+
+/// Exhaustively enumerates all `2^|E|` possible worlds of `g`.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 25 arcs, because the enumeration would be
+/// astronomically large; this function exists for tests and for brute-force
+/// ground truth on toy graphs only.
+pub fn enumerate_worlds(g: &UncertainGraph) -> Vec<PossibleWorld> {
+    let m = g.num_arcs();
+    assert!(
+        m <= 25,
+        "refusing to enumerate 2^{m} possible worlds; enumerate_worlds is for toy graphs"
+    );
+    let arcs: Vec<(VertexId, VertexId, Probability)> = g
+        .arcs()
+        .map(|a| (a.source, a.target, a.probability))
+        .collect();
+    let mut worlds = Vec::with_capacity(1usize << m);
+    for mask in 0u64..(1u64 << m) {
+        let mut present = Vec::new();
+        let mut prob = 1.0;
+        let mut pairs = Vec::new();
+        for (idx, &(u, v, p)) in arcs.iter().enumerate() {
+            if mask & (1 << idx) != 0 {
+                present.push(idx);
+                prob *= p;
+                pairs.push((u, v));
+            } else {
+                prob *= 1.0 - p;
+            }
+        }
+        let graph = DiGraph::from_arcs(g.num_vertices(), pairs)
+            .expect("arcs of a possible world are a subset of valid arcs");
+        worlds.push(PossibleWorld {
+            present_arcs: present,
+            probability: prob,
+            graph,
+        });
+    }
+    worlds
+}
+
+/// Samples one possible world of `g`: each arc is kept independently with its
+/// existence probability.
+pub fn sample_world<R: Rng + ?Sized>(g: &UncertainGraph, rng: &mut R) -> DiGraph {
+    let mut pairs = Vec::with_capacity(g.num_arcs());
+    for arc in g.arcs() {
+        if rng.gen::<f64>() < arc.probability {
+            pairs.push((arc.source, arc.target));
+        }
+    }
+    DiGraph::from_arcs(g.num_vertices(), pairs)
+        .expect("sampled arcs are a subset of valid arcs")
+}
+
+/// A reusable sampler of possible worlds that avoids re-allocating the arc
+/// buffer on every sample.
+#[derive(Debug)]
+pub struct WorldSampler<'g> {
+    graph: &'g UncertainGraph,
+    scratch: Vec<(VertexId, VertexId)>,
+}
+
+impl<'g> WorldSampler<'g> {
+    /// Creates a sampler over `graph`.
+    pub fn new(graph: &'g UncertainGraph) -> Self {
+        WorldSampler {
+            graph,
+            scratch: Vec::with_capacity(graph.num_arcs()),
+        }
+    }
+
+    /// Samples one possible world.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> DiGraph {
+        self.scratch.clear();
+        for arc in self.graph.arcs() {
+            if rng.gen::<f64>() < arc.probability {
+                self.scratch.push((arc.source, arc.target));
+            }
+        }
+        DiGraph::from_arcs(self.graph.num_vertices(), self.scratch.iter().copied())
+            .expect("sampled arcs are a subset of valid arcs")
+    }
+}
+
+/// Computes the expectation of `f` over all possible worlds of `g` by
+/// exhaustive enumeration.  Only usable on toy graphs (≤ 25 arcs).
+pub fn expectation_over_worlds<F>(g: &UncertainGraph, mut f: F) -> f64
+where
+    F: FnMut(&DiGraph) -> f64,
+{
+    enumerate_worlds(g)
+        .iter()
+        .map(|w| w.probability * f(&w.graph))
+        .sum()
+}
+
+/// Estimates the expectation of `f` over possible worlds by Monte Carlo
+/// sampling with `num_samples` i.i.d. worlds.
+pub fn monte_carlo_expectation<F, R>(
+    g: &UncertainGraph,
+    num_samples: usize,
+    rng: &mut R,
+    mut f: F,
+) -> f64
+where
+    F: FnMut(&DiGraph) -> f64,
+    R: Rng + ?Sized,
+{
+    assert!(num_samples > 0, "num_samples must be positive");
+    let mut sampler = WorldSampler::new(g);
+    let mut total = 0.0;
+    for _ in 0..num_samples {
+        let world = sampler.sample(rng);
+        total += f(&world);
+    }
+    total / num_samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UncertainGraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let g = fig1_graph();
+        let worlds = enumerate_worlds(&g);
+        assert_eq!(worlds.len(), 256);
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn fig1_possible_world_probability_matches_paper() {
+        // Fig. 1(b): the possible world with arcs e1, e3, e5, e6, e8 present
+        // and e2, e4, e7 absent has probability ≈ 0.0043.
+        let g = fig1_graph();
+        // arcs() order: (0,2)=e1, (0,3)=e2, (1,0)=e3, (1,2)=e4, (2,0)=e5,
+        //               (2,3)=e6, (3,1)=e8, (3,4)=e7
+        let arcs: Vec<_> = g.arcs().collect();
+        let index_of = |u: VertexId, v: VertexId| {
+            arcs.iter()
+                .position(|a| a.source == u && a.target == v)
+                .unwrap()
+        };
+        let mut present = vec![
+            index_of(0, 2), // e1
+            index_of(1, 0), // e3
+            index_of(2, 0), // e5
+            index_of(2, 3), // e6
+            index_of(3, 1), // e8
+        ];
+        present.sort_unstable();
+        let p = world_probability(&g, &present);
+        let expected = 0.8 * 0.8 * 0.7 * 0.6 * 0.8 * (1.0 - 0.5) * (1.0 - 0.9) * (1.0 - 0.6);
+        assert!((p - expected).abs() < 1e-12);
+        assert!((p - 0.0043).abs() < 5e-4, "p = {p}");
+    }
+
+    #[test]
+    fn enumeration_matches_world_probability() {
+        let g = fig1_graph();
+        for w in enumerate_worlds(&g).iter().take(64) {
+            let p = world_probability(&g, &w.present_arcs);
+            assert!((p - w.probability).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn certain_graph_has_single_possible_world_with_probability_one() {
+        let g = fig1_graph().certain();
+        let worlds = enumerate_worlds(&g);
+        let full: Vec<&PossibleWorld> = worlds.iter().filter(|w| w.probability > 0.0).collect();
+        assert_eq!(full.len(), 1);
+        assert!((full[0].probability - 1.0).abs() < 1e-12);
+        assert_eq!(full[0].graph.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn sampled_world_is_subgraph() {
+        let g = fig1_graph();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let w = sample_world(&g, &mut rng);
+            assert_eq!(w.num_vertices(), g.num_vertices());
+            for (u, v) in w.arcs() {
+                assert!(g.has_arc(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_matches_expected_arc_count() {
+        let g = fig1_graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = WorldSampler::new(&g);
+        let n = 20_000;
+        let mut total_arcs = 0usize;
+        for _ in 0..n {
+            total_arcs += sampler.sample(&mut rng).num_arcs();
+        }
+        let mean = total_arcs as f64 / n as f64;
+        assert!(
+            (mean - g.expected_num_arcs()).abs() < 0.05,
+            "mean = {mean}, expected = {}",
+            g.expected_num_arcs()
+        );
+    }
+
+    #[test]
+    fn expectation_over_worlds_matches_monte_carlo() {
+        let g = fig1_graph();
+        // Expected number of arcs, both ways.
+        let exact = expectation_over_worlds(&g, |w| w.num_arcs() as f64);
+        assert!((exact - g.expected_num_arcs()).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mc = monte_carlo_expectation(&g, 20_000, &mut rng, |w| w.num_arcs() as f64);
+        assert!((mc - exact).abs() < 0.05, "mc = {mc}, exact = {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn enumeration_refuses_large_graphs() {
+        let arcs: Vec<_> = (0..26u32).map(|i| (i, i + 1, 0.5)).collect();
+        let g = UncertainGraph::from_arcs(64, arcs).unwrap();
+        let _ = enumerate_worlds(&g);
+    }
+}

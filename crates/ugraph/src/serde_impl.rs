@@ -1,0 +1,114 @@
+//! Serde support for uncertain graphs.
+//!
+//! An [`UncertainGraph`] serialises as its logical content — the vertex count
+//! plus the probabilistic arc list — rather than its CSR internals, so the
+//! encoded form is stable across internal representation changes and
+//! readable when emitted as JSON (configuration files, experiment manifests,
+//! result archives).  Deserialisation rebuilds the CSR through
+//! [`UncertainGraph::from_arcs`] and therefore re-applies all validation:
+//! malformed input (out-of-range vertices, invalid probabilities, duplicate
+//! arcs) is reported as a serde error instead of producing a broken graph.
+
+use crate::{ProbArc, UncertainGraph};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The serialised form of an uncertain graph.
+#[derive(Serialize, Deserialize)]
+struct UncertainGraphDto {
+    num_vertices: usize,
+    arcs: Vec<ProbArc>,
+}
+
+impl Serialize for UncertainGraph {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let dto = UncertainGraphDto {
+            num_vertices: self.num_vertices(),
+            arcs: self.arcs().collect(),
+        };
+        dto.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for UncertainGraph {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let dto = UncertainGraphDto::deserialize(deserializer)?;
+        UncertainGraph::from_arcs(
+            dto.num_vertices,
+            dto.arcs
+                .into_iter()
+                .map(|arc| (arc.source, arc.target, arc.probability)),
+        )
+        .map_err(|e| D::Error::custom(format!("invalid uncertain graph: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::UncertainGraphBuilder;
+
+    fn fig1_graph() -> crate::UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_graph() {
+        let graph = fig1_graph();
+        let json = serde_json::to_string(&graph).unwrap();
+        assert!(json.contains("\"num_vertices\":5"));
+        let restored: crate::UncertainGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, graph);
+    }
+
+    #[test]
+    fn arcless_graph_roundtrips() {
+        let graph = UncertainGraphBuilder::new(3).build().unwrap();
+        let json = serde_json::to_string(&graph).unwrap();
+        let restored: crate::UncertainGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.num_vertices(), 3);
+        assert_eq!(restored.num_arcs(), 0);
+    }
+
+    #[test]
+    fn prob_arc_serialises_with_named_fields() {
+        let arc = crate::ProbArc {
+            source: 1,
+            target: 2,
+            probability: 0.75,
+        };
+        let json = serde_json::to_string(&arc).unwrap();
+        assert_eq!(json, r#"{"source":1,"target":2,"probability":0.75}"#);
+        let back: crate::ProbArc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, arc);
+    }
+
+    #[test]
+    fn invalid_serialised_graphs_are_rejected_with_context() {
+        // Probability outside (0, 1].
+        let bad_probability = r#"{"num_vertices":2,"arcs":[{"source":0,"target":1,"probability":1.5}]}"#;
+        let err = serde_json::from_str::<crate::UncertainGraph>(bad_probability).unwrap_err();
+        assert!(err.to_string().contains("probability"), "{err}");
+
+        // Vertex id out of range.
+        let bad_vertex = r#"{"num_vertices":2,"arcs":[{"source":0,"target":9,"probability":0.5}]}"#;
+        let err = serde_json::from_str::<crate::UncertainGraph>(bad_vertex).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // Duplicate arc.
+        let duplicate = r#"{"num_vertices":2,"arcs":[
+            {"source":0,"target":1,"probability":0.5},
+            {"source":0,"target":1,"probability":0.6}]}"#;
+        let err = serde_json::from_str::<crate::UncertainGraph>(duplicate).unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Graph statistics used when calibrating synthetic datasets against Table II
+//! of the paper and when reporting experiment metadata.
+
+use crate::{DiGraph, UncertainGraph};
+
+/// Summary statistics of a deterministic graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of arcs.
+    pub num_arcs: usize,
+    /// Average out-degree (`|E| / |V|`).
+    pub average_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of vertices with no out-arcs (dead ends for random walks).
+    pub num_sinks: usize,
+    /// Number of vertices with no in-arcs.
+    pub num_sources: usize,
+}
+
+/// Summary statistics of an uncertain graph (topology plus probabilities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainGraphStats {
+    /// Statistics of the skeleton topology.
+    pub topology: GraphStats,
+    /// Mean arc existence probability.
+    pub mean_probability: f64,
+    /// Minimum arc existence probability.
+    pub min_probability: f64,
+    /// Maximum arc existence probability.
+    pub max_probability: f64,
+    /// Expected number of arcs `Σ_e P(e)`.
+    pub expected_num_arcs: f64,
+    /// Histogram of probabilities in 10 equal-width buckets over (0, 1].
+    pub probability_histogram: [usize; 10],
+}
+
+/// Computes [`GraphStats`] for a deterministic graph.
+pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    let mut max_out = 0usize;
+    let mut max_in = 0usize;
+    let mut sinks = 0usize;
+    let mut sources = 0usize;
+    for v in g.vertices() {
+        let od = g.out_degree(v);
+        let id = g.in_degree(v);
+        max_out = max_out.max(od);
+        max_in = max_in.max(id);
+        if od == 0 {
+            sinks += 1;
+        }
+        if id == 0 {
+            sources += 1;
+        }
+    }
+    GraphStats {
+        num_vertices: g.num_vertices(),
+        num_arcs: g.num_arcs(),
+        average_out_degree: g.average_degree(),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        num_sinks: sinks,
+        num_sources: sources,
+    }
+}
+
+/// Computes [`UncertainGraphStats`] for an uncertain graph.
+pub fn uncertain_graph_stats(g: &UncertainGraph) -> UncertainGraphStats {
+    let topology = graph_stats(g.skeleton());
+    let mut min_p = f64::INFINITY;
+    let mut max_p = f64::NEG_INFINITY;
+    let mut sum_p = 0.0;
+    let mut histogram = [0usize; 10];
+    let mut count = 0usize;
+    for arc in g.arcs() {
+        let p = arc.probability;
+        min_p = min_p.min(p);
+        max_p = max_p.max(p);
+        sum_p += p;
+        // Bucket i covers (i/10, (i+1)/10]; p = 1.0 lands in bucket 9.
+        let bucket = ((p * 10.0).ceil() as usize).clamp(1, 10) - 1;
+        histogram[bucket] += 1;
+        count += 1;
+    }
+    if count == 0 {
+        min_p = 0.0;
+        max_p = 0.0;
+    }
+    UncertainGraphStats {
+        topology,
+        mean_probability: if count == 0 { 0.0 } else { sum_p / count as f64 },
+        min_probability: min_p,
+        max_probability: max_p,
+        expected_num_arcs: sum_p,
+        probability_histogram: histogram,
+    }
+}
+
+/// Out-degree histogram: `histogram[d]` is the number of vertices with
+/// out-degree `d` (degrees above `max_degree` are clamped into the last
+/// bucket).
+pub fn out_degree_histogram(g: &DiGraph, max_degree: usize) -> Vec<usize> {
+    let mut histogram = vec![0usize; max_degree + 1];
+    for v in g.vertices() {
+        let d = g.out_degree(v).min(max_degree);
+        histogram[d] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiGraph, UncertainGraph};
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_arcs(
+            4,
+            [(0, 1, 0.2), (0, 2, 0.4), (1, 2, 0.6), (2, 3, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn graph_stats_counts() {
+        let g = toy();
+        let s = graph_stats(g.skeleton());
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_arcs, 4);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.num_sinks, 1); // vertex 3
+        assert_eq!(s.num_sources, 1); // vertex 0
+        assert!((s.average_out_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_stats_probabilities() {
+        let g = toy();
+        let s = uncertain_graph_stats(&g);
+        assert!((s.mean_probability - 0.55).abs() < 1e-12);
+        assert!((s.min_probability - 0.2).abs() < 1e-12);
+        assert!((s.max_probability - 1.0).abs() < 1e-12);
+        assert!((s.expected_num_arcs - 2.2).abs() < 1e-12);
+        // Buckets: 0.2 -> bucket 1, 0.4 -> bucket 3, 0.6 -> bucket 5, 1.0 -> bucket 9.
+        assert_eq!(s.probability_histogram[1], 1);
+        assert_eq!(s.probability_histogram[3], 1);
+        assert_eq!(s.probability_histogram[5], 1);
+        assert_eq!(s.probability_histogram[9], 1);
+        assert_eq!(s.probability_histogram.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = UncertainGraph::from_arcs(0, []).unwrap();
+        let s = uncertain_graph_stats(&g);
+        assert_eq!(s.topology.num_vertices, 0);
+        assert_eq!(s.mean_probability, 0.0);
+        assert_eq!(s.expected_num_arcs, 0.0);
+    }
+
+    #[test]
+    fn degree_histogram() {
+        let g = DiGraph::from_arcs(4, [(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let h = out_degree_histogram(&g, 2);
+        // vertex 0 has degree 3 -> clamped to bucket 2; vertex 1 degree 1;
+        // vertices 2, 3 degree 0.
+        assert_eq!(h, vec![2, 1, 1]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Fixed-length bit vectors backed by `u64` words.
+//!
+//! The SR-SP speed-up technique (Section VI-D of the paper) represents which
+//! of the `N` sampled walks pass through a vertex at step `k` as an
+//! `N`-dimensional bit vector (`M_w[k]`), and which of the `N` sampling
+//! processes traverse an arc as a *filter vector* (`F_e`).  The propagation
+//! step is `M_x[k+1] |= M_w[k] & F_(w,x)` and the estimator needs
+//! `‖M_w[k] ∧ M'_w[k]‖₁` (a masked popcount, Eq. 16).  Those three operations
+//! are what this type optimises.
+
+/// A fixed-length bit vector.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitVec {
+    /// Creates a bit vector of `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a bit vector of `len` bits, all one.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+        };
+        v.clear_trailing_bits();
+        v
+    }
+
+    /// Creates a bit vector from an iterator of booleans.
+    pub fn from_bools(bits: impl IntoIterator<Item = bool>) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    fn clear_trailing_bits(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Gets bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of set bits (the 1-norm `‖x‖₁` of the paper).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets all bits to zero.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Bitwise OR assignment: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Bitwise AND assignment: `self &= other`.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Returns `self & other` as a new bit vector.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Returns `self | other` as a new bit vector.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// The fused update of the SR-SP propagation step:
+    /// `self |= a & b`, without materialising `a & b`.
+    pub fn or_and_assign(&mut self, a: &BitVec, b: &BitVec) {
+        assert_eq!(self.len, a.len, "bit vector length mismatch");
+        assert_eq!(self.len, b.len, "bit vector length mismatch");
+        for ((s, x), y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *s |= x & y;
+        }
+    }
+
+    /// Popcount of `self & other` without materialising the intersection
+    /// (Eq. 16 of the paper: `‖M_w[k] ∧ M'_w[k]‖₁`).
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the indices of the set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.is_zero());
+
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.get(0));
+        assert!(o.get(129));
+        assert!(!o.is_zero());
+        assert!(!o.is_empty());
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 4);
+        v.set(63, false);
+        assert!(!v.get(63));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bits = vec![true, false, true, true, false];
+        let v = BitVec::from_bools(bits.clone());
+        for (i, b) in bits.iter().enumerate() {
+            assert_eq!(v.get(i), *b);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn bitwise_operations() {
+        let a = BitVec::from_bools([true, true, false, false, true]);
+        let b = BitVec::from_bools([true, false, true, false, true]);
+
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
+        assert_eq!(a.and_count(&b), 2);
+
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c, a.and(&b));
+
+        let mut d = a.clone();
+        d.or_assign(&b);
+        assert_eq!(d, a.or(&b));
+    }
+
+    #[test]
+    fn or_and_assign_fused() {
+        let a = BitVec::from_bools([true, true, false, true]);
+        let b = BitVec::from_bools([true, false, false, true]);
+        let mut target = BitVec::from_bools([false, false, true, false]);
+        target.or_and_assign(&a, &b);
+        // target | (a & b) = [0,0,1,0] | [1,0,0,1] = [1,0,1,1]
+        assert_eq!(target.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut v = BitVec::ones(77);
+        v.clear();
+        assert!(v.is_zero());
+        assert_eq!(v.len(), 77);
+    }
+
+    #[test]
+    fn ones_does_not_set_bits_beyond_len() {
+        let v = BitVec::ones(65);
+        assert_eq!(v.count_ones(), 65);
+        let w = BitVec::ones(64);
+        assert_eq!(w.count_ones(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    fn iter_ones_spans_words() {
+        let mut v = BitVec::zeros(200);
+        let set = [0usize, 1, 63, 64, 127, 128, 199];
+        for &i in &set {
+            v.set(i, true);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), set);
+    }
+}

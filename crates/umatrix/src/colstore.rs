@@ -1,0 +1,378 @@
+//! An external-memory, column-oriented store for transition probability
+//! matrices.
+//!
+//! The paper's Baseline algorithm keeps each k-step transition probability
+//! matrix `W(k)` on disk because `W(k)` is not sparse for k > 1: *"we store
+//! the elements of W(k) column-by-column in consecutive blocks on disk.  Let B
+//! be the size of a disk block.  Reading a column requires O(|V(G)|/B) I/O's"*
+//! (Section VI-A).  [`ColumnStore`] reproduces that layout: a fixed-size
+//! header followed by `num_cols` columns of `num_rows` little-endian `f64`
+//! values each, and it counts logical block I/Os so the experiment harness can
+//! report the I/O costs the paper reasons about.
+//!
+//! The store is thread-safe: reads and writes lock an internal mutex around
+//! the file handle, so a store can be shared by the parallel experiment
+//! driver.
+
+use bytes::{Buf, BufMut, BytesMut};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: u64 = 0x5553_494d_434f_4c31; // "USIMCOL1"
+const HEADER_LEN: u64 = 8 * 4; // magic, num_rows, num_cols, block_size
+
+/// Counters of the logical I/O performed by a [`ColumnStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of columns read.
+    pub columns_read: u64,
+    /// Number of columns written.
+    pub columns_written: u64,
+    /// Number of logical blocks read (`ceil(column_bytes / block_size)` per
+    /// column read).
+    pub blocks_read: u64,
+    /// Number of logical blocks written.
+    pub blocks_written: u64,
+}
+
+/// A column-oriented on-disk matrix of `f64`.
+pub struct ColumnStore {
+    path: PathBuf,
+    file: Mutex<File>,
+    num_rows: usize,
+    num_cols: usize,
+    block_size: usize,
+    columns_read: AtomicU64,
+    columns_written: AtomicU64,
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+}
+
+impl ColumnStore {
+    /// Creates a new store at `path` for a `num_rows × num_cols` matrix, using
+    /// logical blocks of `block_size` bytes for the I/O accounting.  Any
+    /// existing file at `path` is truncated.  Unwritten columns read back as
+    /// zeros.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        num_rows: usize,
+        num_cols: usize,
+        block_size: usize,
+    ) -> io::Result<Self> {
+        assert!(block_size > 0, "block_size must be positive");
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = BytesMut::with_capacity(HEADER_LEN as usize);
+        header.put_u64_le(MAGIC);
+        header.put_u64_le(num_rows as u64);
+        header.put_u64_le(num_cols as u64);
+        header.put_u64_le(block_size as u64);
+        file.write_all(&header)?;
+        // Pre-size the file so unwritten columns read back as zeros.
+        let total = HEADER_LEN + (num_rows * num_cols * 8) as u64;
+        file.set_len(total)?;
+        Ok(ColumnStore {
+            path,
+            file: Mutex::new(file),
+            num_rows,
+            num_cols,
+            block_size,
+            columns_read: AtomicU64::new(0),
+            columns_written: AtomicU64::new(0),
+            blocks_read: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing store created by [`ColumnStore::create`].
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut header = vec![0u8; HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        let mut buf = &header[..];
+        let magic = buf.get_u64_le();
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a ColumnStore file (bad magic)",
+            ));
+        }
+        let num_rows = buf.get_u64_le() as usize;
+        let num_cols = buf.get_u64_le() as usize;
+        let block_size = buf.get_u64_le() as usize;
+        Ok(ColumnStore {
+            path,
+            file: Mutex::new(file),
+            num_rows,
+            num_cols,
+            block_size,
+            columns_read: AtomicU64::new(0),
+            columns_written: AtomicU64::new(0),
+            blocks_read: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of rows of the stored matrix.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns of the stored matrix.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Logical block size in bytes used for I/O accounting.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn column_offset(&self, col: usize) -> u64 {
+        HEADER_LEN + (col * self.num_rows * 8) as u64
+    }
+
+    fn blocks_per_column(&self) -> u64 {
+        ((self.num_rows * 8 + self.block_size - 1) / self.block_size) as u64
+    }
+
+    /// Writes column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_rows` or `col >= num_cols`.
+    pub fn write_column(&self, col: usize, values: &[f64]) -> io::Result<()> {
+        assert!(col < self.num_cols, "column {col} out of range");
+        assert_eq!(values.len(), self.num_rows, "column length mismatch");
+        let mut buf = BytesMut::with_capacity(values.len() * 8);
+        for &v in values {
+            buf.put_f64_le(v);
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(self.column_offset(col)))?;
+        file.write_all(&buf)?;
+        self.columns_written.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written
+            .fetch_add(self.blocks_per_column(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads column `col` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != num_rows` or `col >= num_cols`.
+    pub fn read_column(&self, col: usize, out: &mut [f64]) -> io::Result<()> {
+        assert!(col < self.num_cols, "column {col} out of range");
+        assert_eq!(out.len(), self.num_rows, "column length mismatch");
+        let mut raw = vec![0u8; self.num_rows * 8];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(self.column_offset(col)))?;
+            file.read_exact(&mut raw)?;
+        }
+        let mut buf = &raw[..];
+        for slot in out.iter_mut() {
+            *slot = buf.get_f64_le();
+        }
+        self.columns_read.fetch_add(1, Ordering::Relaxed);
+        self.blocks_read
+            .fetch_add(self.blocks_per_column(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads column `col` into a freshly allocated vector.
+    pub fn read_column_vec(&self, col: usize) -> io::Result<Vec<f64>> {
+        let mut out = vec![0.0; self.num_rows];
+        self.read_column(col, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes an entire dense matrix (whose columns are `matrix.cols()`) to
+    /// the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match.
+    pub fn write_dense(&self, matrix: &crate::DenseMatrix) -> io::Result<()> {
+        assert_eq!(matrix.rows(), self.num_rows, "row count mismatch");
+        assert_eq!(matrix.cols(), self.num_cols, "column count mismatch");
+        let mut col = vec![0.0; self.num_rows];
+        for j in 0..self.num_cols {
+            matrix.copy_column_into(j, &mut col);
+            self.write_column(j, &col)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the entire store back as a dense matrix.
+    pub fn read_dense(&self) -> io::Result<crate::DenseMatrix> {
+        let mut out = crate::DenseMatrix::zeros(self.num_rows, self.num_cols);
+        let mut col = vec![0.0; self.num_rows];
+        for j in 0..self.num_cols {
+            self.read_column(j, &mut col)?;
+            for i in 0..self.num_rows {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        IoStats {
+            columns_read: self.columns_read.load(Ordering::Relaxed),
+            columns_written: self.columns_written.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the I/O counters to zero.
+    pub fn reset_io_stats(&self) {
+        self.columns_read.store(0, Ordering::Relaxed);
+        self.columns_written.store(0, Ordering::Relaxed);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+    }
+
+    /// Deletes the backing file.  The store must not be used afterwards.
+    pub fn delete(self) -> io::Result<()> {
+        drop(self.file);
+        std::fs::remove_file(&self.path)
+    }
+}
+
+impl std::fmt::Debug for ColumnStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnStore")
+            .field("path", &self.path)
+            .field("num_rows", &self.num_rows)
+            .field("num_cols", &self.num_cols)
+            .field("block_size", &self.block_size)
+            .field("io", &self.io_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMatrix;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("umatrix_colstore_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.col", std::process::id()))
+    }
+
+    #[test]
+    fn write_and_read_columns() {
+        let path = temp_path("write_read");
+        let store = ColumnStore::create(&path, 4, 3, 4096).unwrap();
+        store.write_column(0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        store.write_column(2, &[-1.0, 0.5, 0.25, 0.0]).unwrap();
+
+        assert_eq!(store.read_column_vec(0).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        // Unwritten column reads back as zeros.
+        assert_eq!(store.read_column_vec(1).unwrap(), vec![0.0; 4]);
+        assert_eq!(
+            store.read_column_vec(2).unwrap(),
+            vec![-1.0, 0.5, 0.25, 0.0]
+        );
+        store.delete().unwrap();
+    }
+
+    #[test]
+    fn io_stats_count_blocks() {
+        let path = temp_path("io_stats");
+        // 10 rows * 8 bytes = 80 bytes per column; block size 32 -> 3 blocks.
+        let store = ColumnStore::create(&path, 10, 2, 32).unwrap();
+        let col = vec![1.0; 10];
+        store.write_column(0, &col).unwrap();
+        store.write_column(1, &col).unwrap();
+        let mut out = vec![0.0; 10];
+        store.read_column(0, &mut out).unwrap();
+
+        let stats = store.io_stats();
+        assert_eq!(stats.columns_written, 2);
+        assert_eq!(stats.columns_read, 1);
+        assert_eq!(stats.blocks_written, 6);
+        assert_eq!(stats.blocks_read, 3);
+
+        store.reset_io_stats();
+        assert_eq!(store.io_stats(), IoStats::default());
+        store.delete().unwrap();
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let path = temp_path("dense_roundtrip");
+        let m = DenseMatrix::from_fn(5, 4, |i, j| (i * 7 + j) as f64 * 0.125);
+        let store = ColumnStore::create(&path, 5, 4, 4096).unwrap();
+        store.write_dense(&m).unwrap();
+        let back = store.read_dense().unwrap();
+        assert!(m.max_abs_diff(&back) < 1e-15);
+        store.delete().unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_shape_and_data() {
+        let path = temp_path("reopen");
+        {
+            let store = ColumnStore::create(&path, 3, 2, 1024).unwrap();
+            store.write_column(1, &[9.0, 8.0, 7.0]).unwrap();
+        }
+        let store = ColumnStore::open(&path).unwrap();
+        assert_eq!(store.num_rows(), 3);
+        assert_eq!(store.num_cols(), 2);
+        assert_eq!(store.block_size(), 1024);
+        assert_eq!(store.read_column_vec(1).unwrap(), vec![9.0, 8.0, 7.0]);
+        store.delete().unwrap();
+    }
+
+    #[test]
+    fn open_rejects_non_store_files() {
+        let path = temp_path("bad_magic");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let err = ColumnStore::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn write_column_checks_length() {
+        let path = temp_path("bad_len");
+        let store = ColumnStore::create(&path, 4, 1, 4096).unwrap();
+        let _ = store.write_column(0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_column_checks_range() {
+        let path = temp_path("bad_col");
+        let store = ColumnStore::create(&path, 2, 1, 4096).unwrap();
+        let _ = store.write_column(5, &[1.0, 2.0]);
+    }
+}

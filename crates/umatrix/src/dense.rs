@@ -1,0 +1,323 @@
+//! Row-major dense `f64` matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix of `f64`.
+///
+/// Used for the k-step transition probability matrices `W(k)` of small and
+/// medium graphs (they fill in quickly as `k` grows, so a sparse
+/// representation stops paying off) and for SimRank similarity matrices of
+/// deterministic graphs.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows * cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `i`-th row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The `i`-th row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies the `j`-th column into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.rows()`.
+    pub fn copy_column_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "output slice must have `rows` elements");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.data[i * self.cols + j];
+        }
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not compatible.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop walking contiguous rows of
+        // `other` and `out`, which is cache-friendly for row-major storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for j in 0..other.cols {
+                    out_row[j] += a * other_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ · A` restricted to its diagonal-free use in SimRank is not needed;
+    /// this computes the full `selfᵀ * self` product.
+    pub fn gram(&self) -> DenseMatrix {
+        self.transpose().matmul(self)
+    }
+
+    /// Dot product of rows `i` and `j` (`Σ_w self[i][w] * self[j][w]`).
+    ///
+    /// This is exactly the "two walks meet after k steps" probability
+    /// `Σ_w Pr(u →ₖ w) Pr(v →ₖ w)` when the matrix is `W(k)`.
+    pub fn row_dot(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.row(i), self.row(j));
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Maximum absolute difference between two matrices of the same shape.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scales every entry in place.
+    pub fn scale(&mut self, factor: f64) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Adds `factor * other` to `self` in place.
+    pub fn add_scaled(&mut self, other: &DenseMatrix, factor: f64) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += factor * b;
+        }
+    }
+
+    /// Sum of each row (useful to check sub-stochasticity of `W(k)`).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_identity_and_indexing() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z[(1, 2)], 0.0);
+
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.row(1), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn from_fn_and_from_rows_agree() {
+        let a = DenseMatrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let b = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_rows_checks_length() {
+        let _ = DenseMatrix::from_rows(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_small_example() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| (i + 3 * j) as f64 * 0.25);
+        let i = DenseMatrix::identity(4);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-12);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t[(4, 2)], a[(2, 4)]);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn row_dot_matches_manual_sum() {
+        let a = DenseMatrix::from_rows(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let expected = 0.1 * 0.4 + 0.2 * 0.5 + 0.3 * 0.6;
+        assert!((a.row_dot(0, 1) - expected).abs() < 1e-12);
+        assert!((a.row_dot(0, 0) - (0.01 + 0.04 + 0.09)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_copy() {
+        let a = DenseMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut col = vec![0.0; 3];
+        a.copy_column_into(1, &mut col);
+        assert_eq!(col, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_add_scaled_row_sums() {
+        let mut a = DenseMatrix::from_rows(2, 2, vec![1.0, 1.0, 2.0, 2.0]);
+        let b = DenseMatrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        a.scale(2.0);
+        a.add_scaled(&b, 3.0);
+        assert_eq!(a.as_slice(), &[5.0, 2.0, 4.0, 7.0]);
+        assert_eq!(a.row_sums(), vec![7.0, 11.0]);
+    }
+
+    #[test]
+    fn gram_is_transpose_times_self() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let g = a.gram();
+        // A^T A = [[10, 14], [14, 20]]
+        assert_eq!(g[(0, 0)], 10.0);
+        assert_eq!(g[(0, 1)], 14.0);
+        assert_eq!(g[(1, 0)], 14.0);
+        assert_eq!(g[(1, 1)], 20.0);
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let a = DenseMatrix::zeros(20, 2);
+        let s = format!("{a:?}");
+        assert!(s.contains("more rows"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Sparse vectors and CSR sparse matrices over `f64`.
+
+use crate::DenseMatrix;
+
+/// A sparse vector: sorted `(index, value)` pairs with non-zero values.
+///
+/// Transition rows `Pr(u →ₖ ·)` of an uncertain graph start extremely sparse
+/// (only out-neighbors of `u` after one step) and fill in as `k` grows; the
+/// estimators keep them sparse for as long as that pays off.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// The empty vector.
+    pub fn new() -> Self {
+        SparseVector { entries: Vec::new() }
+    }
+
+    /// Builds a sparse vector from unsorted `(index, value)` pairs, summing
+    /// duplicates and dropping zeros.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        let mut entries: Vec<(u32, f64)> = pairs.into_iter().collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match merged.last_mut() {
+                Some((last_i, last_v)) if *last_i == i => *last_v += v,
+                _ => merged.push((i, v)),
+            }
+        }
+        merged.retain(|&(_, v)| v != 0.0);
+        SparseVector { entries: merged }
+    }
+
+    /// Builds a sparse vector from a dense slice, dropping zeros.
+    pub fn from_dense(values: &[f64]) -> Self {
+        SparseVector {
+            entries: values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect(),
+        }
+    }
+
+    /// A one-hot vector with `value` at `index`.
+    pub fn unit(index: u32, value: f64) -> Self {
+        if value == 0.0 {
+            Self::new()
+        } else {
+            SparseVector {
+                entries: vec![(index, value)],
+            }
+        }
+    }
+
+    /// Number of structurally non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Value at `index` (0.0 if structurally zero).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Sum of all values.
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        let mut total = 0.0;
+        while let (Some(&&(ia, va)), Some(&&(ib, vb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    total += va * vb;
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        total
+    }
+
+    /// Adds `factor * other` into this vector.
+    pub fn add_scaled(&mut self, other: &SparseVector, factor: f64) {
+        if factor == 0.0 || other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, va)), Some(&&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((ia, va));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((ib, factor * vb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let v = va + factor * vb;
+                        if v != 0.0 {
+                            merged.push((ia, v));
+                        }
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&&(ia, va)), None) => {
+                    merged.push((ia, va));
+                    a.next();
+                }
+                (None, Some(&&(ib, vb))) => {
+                    merged.push((ib, factor * vb));
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Multiplies every value by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        if factor == 0.0 {
+            self.entries.clear();
+        } else {
+            for (_, v) in &mut self.entries {
+                *v *= factor;
+            }
+        }
+    }
+
+    /// Converts to a dense vector of length `len`.
+    pub fn to_dense(&self, len: usize) -> Vec<f64> {
+        let mut out = vec![0.0; len];
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+        out
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+/// A CSR sparse matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from `(row, col, value)` triplets, summing duplicates
+    /// and dropping explicit zeros.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut triplets: Vec<(u32, u32, f64)> = triplets
+            .into_iter()
+            .filter(|&(_, _, v)| v != 0.0)
+            .collect();
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_offsets = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let col_indices = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        SparseMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Builds a matrix whose rows are the given sparse vectors.
+    pub fn from_rows(cols: usize, rows: &[SparseVector]) -> Self {
+        Self::from_triplets(
+            rows.len(),
+            cols,
+            rows.iter()
+                .enumerate()
+                .flat_map(|(r, vec)| vec.iter().map(move |(c, v)| (r as u32, c, v))),
+        )
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structurally non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(i, j)` (0.0 if structurally zero).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (start, end) = (self.row_offsets[i], self.row_offsets[i + 1]);
+        match self.col_indices[start..end].binary_search(&(j as u32)) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over the non-zero entries `(col, value)` of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (start, end) = (self.row_offsets[i], self.row_offsets[i + 1]);
+        self.col_indices[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Row `i` as a [`SparseVector`].
+    pub fn row(&self, i: usize) -> SparseVector {
+        SparseVector {
+            entries: self.row_iter(i).collect(),
+        }
+    }
+
+    /// Sparse matrix × sparse vector: `self * x`.
+    pub fn matvec(&self, x: &SparseVector) -> SparseVector {
+        let mut out = Vec::new();
+        for i in 0..self.rows {
+            let mut total = 0.0;
+            for (j, v) in self.row_iter(i) {
+                total += v * x.get(j);
+            }
+            if total != 0.0 {
+                out.push((i as u32, total));
+            }
+        }
+        SparseVector { entries: out }
+    }
+
+    /// Sparse row-vector × matrix: `xᵀ * self`, returned as a sparse vector.
+    ///
+    /// This is the core step of walk-probability propagation: if `x` holds
+    /// `Pr(u →ₖ ·)` and `self` is a one-step transition matrix, the result
+    /// holds `Pr(u →ₖ₊₁ ·)` (valid only where the product form applies, e.g.
+    /// on deterministic graphs or for Du et al.'s approximation).
+    pub fn vecmat(&self, x: &SparseVector) -> SparseVector {
+        let mut accum: Vec<f64> = Vec::new();
+        let mut touched: Vec<u32> = Vec::new();
+        let mut dense: Vec<f64> = vec![0.0; self.cols];
+        for (i, xv) in x.iter() {
+            for (j, v) in self.row_iter(i as usize) {
+                if dense[j as usize] == 0.0 {
+                    touched.push(j);
+                }
+                dense[j as usize] += xv * v;
+            }
+        }
+        touched.sort_unstable();
+        accum.reserve(touched.len());
+        let entries = touched
+            .into_iter()
+            .filter(|&j| dense[j as usize] != 0.0)
+            .map(|j| (j, dense[j as usize]))
+            .collect();
+        drop(accum);
+        SparseVector { entries }
+    }
+
+    /// Sparse × sparse matrix product.
+    pub fn matmul(&self, other: &SparseMatrix) -> SparseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut triplets = Vec::new();
+        let mut dense = vec![0.0; other.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        for i in 0..self.rows {
+            for (k, a) in self.row_iter(i) {
+                for (j, b) in other.row_iter(k as usize) {
+                    if dense[j as usize] == 0.0 {
+                        touched.push(j);
+                    }
+                    dense[j as usize] += a * b;
+                }
+            }
+            for &j in &touched {
+                let v = dense[j as usize];
+                if v != 0.0 {
+                    triplets.push((i as u32, j, v));
+                }
+                dense[j as usize] = 0.0;
+            }
+            touched.clear();
+        }
+        SparseMatrix::from_triplets(self.rows, other.cols, triplets)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                triplets.push((j, i as u32, v));
+            }
+        }
+        SparseMatrix::from_triplets(self.cols, self.rows, triplets)
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                out[(i, j as usize)] = v;
+            }
+        }
+        out
+    }
+
+    /// Sum of each row.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row_iter(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vector_construction_and_lookup() {
+        let v = SparseVector::from_pairs([(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(1), 2.0);
+        assert_eq!(v.get(3), 1.5);
+        assert_eq!(v.get(0), 0.0);
+        assert!((v.sum() - 3.5).abs() < 1e-12);
+
+        let d = SparseVector::from_dense(&[0.0, 2.0, 0.0, 1.5]);
+        assert_eq!(d, v);
+        assert_eq!(v.to_dense(5), vec![0.0, 2.0, 0.0, 1.5, 0.0]);
+    }
+
+    #[test]
+    fn unit_and_empty() {
+        let u = SparseVector::unit(4, 0.25);
+        assert_eq!(u.nnz(), 1);
+        assert_eq!(u.get(4), 0.25);
+        assert!(SparseVector::unit(4, 0.0).is_empty());
+        assert!(SparseVector::new().is_empty());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = SparseVector::from_pairs([(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = SparseVector::from_pairs([(2, 4.0), (5, 0.5), (7, 9.0)]);
+        assert!((a.dot(&b) - (2.0 * 4.0 + 3.0 * 0.5)).abs() < 1e-12);
+        assert_eq!(a.dot(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = SparseVector::from_pairs([(0, 1.0), (2, 2.0)]);
+        let b = SparseVector::from_pairs([(2, 1.0), (3, 4.0)]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.to_dense(4), vec![1.0, 0.0, 2.5, 2.0]);
+        a.scale(2.0);
+        assert_eq!(a.to_dense(4), vec![2.0, 0.0, 5.0, 4.0]);
+        a.scale(0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn add_scaled_cancellation_drops_entry() {
+        let mut a = SparseVector::from_pairs([(1, 1.0)]);
+        let b = SparseVector::from_pairs([(1, 1.0)]);
+        a.add_scaled(&b, -1.0);
+        assert_eq!(a.get(1), 0.0);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn sparse_matrix_from_triplets() {
+        let m = SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 2, 2.0), (0, 1, 0.5), (2, 0, 0.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 1.5);
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(2, 0), 0.0);
+        assert_eq!(m.row(0).to_dense(3), vec![0.0, 1.5, 0.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_triplets() {
+        let rows = vec![
+            SparseVector::from_pairs([(1, 1.0)]),
+            SparseVector::new(),
+            SparseVector::from_pairs([(0, 3.0), (2, 4.0)]),
+        ];
+        let m = SparseMatrix::from_rows(3, &rows);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(2, 2), 4.0);
+        assert_eq!(m.row(1).nnz(), 0);
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        // m = [[1, 2], [0, 3]]
+        let m = SparseMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
+        let x = SparseVector::from_pairs([(0, 1.0), (1, 1.0)]);
+        // m * x = [3, 3]
+        assert_eq!(m.matvec(&x).to_dense(2), vec![3.0, 3.0]);
+        // x^T m = [1, 5]
+        assert_eq!(m.vecmat(&x).to_dense(2), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_agrees_with_dense() {
+        let a = SparseMatrix::from_triplets(2, 3, [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        let b = SparseMatrix::from_triplets(3, 2, [(0, 1, 1.0), (1, 0, 2.0), (2, 1, 4.0)]);
+        let c = a.matmul(&b);
+        let dense_c = a.to_dense().matmul(&b.to_dense());
+        assert!(c.to_dense().max_abs_diff(&dense_c) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = SparseMatrix::from_triplets(2, 3, [(0, 2, 5.0), (1, 0, 1.0)]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn row_sums() {
+        let a = SparseMatrix::from_triplets(2, 3, [(0, 0, 0.25), (0, 1, 0.75), (1, 2, 1.0)]);
+        let sums = a.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build an uncertain graph, compute SimRank with every
+//! estimator, and inspect the per-step meeting probabilities.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use uncertain_simrank::prelude::*;
+use uncertain_simrank::simrank::theorem2_error_bound;
+
+fn main() {
+    // The running example of the paper (Fig. 1(a)): five vertices, eight
+    // probabilistic arcs.
+    let graph = UncertainGraphBuilder::new(5)
+        .arc(0, 2, 0.8)
+        .arc(0, 3, 0.5)
+        .arc(1, 0, 0.8)
+        .arc(1, 2, 0.9)
+        .arc(2, 0, 0.7)
+        .arc(2, 3, 0.6)
+        .arc(3, 4, 0.6)
+        .arc(3, 1, 0.8)
+        .build()
+        .expect("valid graph");
+    println!(
+        "uncertain graph: {} vertices, {} arcs, expected |E| = {:.2}\n",
+        graph.num_vertices(),
+        graph.num_arcs(),
+        graph.expected_num_arcs()
+    );
+
+    let config = SimRankConfig::default().with_samples(2000).with_seed(7);
+    println!(
+        "configuration: c = {}, n = {}, N = {}, l = {} (truncation error <= {:.4})\n",
+        config.decay,
+        config.horizon,
+        config.num_samples,
+        config.phase_switch,
+        theorem2_error_bound(config.decay, config.horizon),
+    );
+
+    // Exact value from the Baseline algorithm.
+    let baseline = BaselineEstimator::new(&graph, config);
+    let profile = baseline.profile(1, 2);
+    println!("meeting probabilities m(k)(v2, v3) for k = 0..=n: ");
+    for (k, m) in profile.meeting.iter().enumerate() {
+        println!("  m({k}) = {m:.5}");
+    }
+    println!("exact s(v2, v3) = {:.5}\n", profile.score());
+
+    // The three approximate estimators.
+    let mut sampling = SamplingEstimator::new(&graph, config);
+    let mut two_phase = TwoPhaseEstimator::new(&graph, config);
+    let mut speedup = SpeedupEstimator::new(&graph, config);
+    for estimator in [
+        &mut sampling as &mut dyn SimRankEstimator,
+        &mut two_phase,
+        &mut speedup,
+    ] {
+        println!(
+            "{:<10} s(v2, v3) ≈ {:.5}",
+            estimator.name(),
+            estimator.similarity(1, 2)
+        );
+    }
+
+    // All-pairs similarities, exactly.
+    println!("\nall-pairs SimRank matrix (Baseline):");
+    let matrix = baseline.try_similarity_matrix().expect("small graph");
+    for u in 0..graph.num_vertices() {
+        let row: Vec<String> = (0..graph.num_vertices())
+            .map(|v| format!("{:.3}", matrix[(u, v)]))
+            .collect();
+        println!("  v{}: [{}]", u + 1, row.join(", "));
+    }
+}
