@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rwalk::transpr::{transition_matrices, TransPrOptions};
 use std::time::Duration;
+use ugraph::UncertainGraphBuilder;
 use usim_bench::{dataset, random_pairs, Scale};
 use usim_core::{SimRankConfig, SimRankEstimator, TwoPhaseEstimator};
-use ugraph::UncertainGraphBuilder;
 
 fn bench_phase_switch(c: &mut Criterion) {
     let graph = dataset("Net", Scale::Ci);

@@ -14,16 +14,22 @@ fn bench_sample_size(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(800));
     group.warm_up_time(Duration::from_millis(200));
     for n_samples in [100usize, 500, 1000] {
-        let config = SimRankConfig::default().with_samples(n_samples).with_seed(2);
+        let config = SimRankConfig::default()
+            .with_samples(n_samples)
+            .with_seed(2);
         let mut estimator = SpeedupEstimator::new(&graph, config);
-        group.bench_with_input(BenchmarkId::from_parameter(n_samples), &n_samples, |b, _| {
-            let mut index = 0usize;
-            b.iter(|| {
-                let (u, v) = pairs[index % pairs.len()];
-                index += 1;
-                estimator.similarity(u, v)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_samples),
+            &n_samples,
+            |b, _| {
+                let mut index = 0usize;
+                b.iter(|| {
+                    let (u, v) = pairs[index % pairs.len()];
+                    index += 1;
+                    estimator.similarity(u, v)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,14 +23,18 @@ fn bench_scalability(c: &mut Criterion) {
         let pairs = random_pairs(&graph, 8, 0x5ca1e);
         let config = SimRankConfig::default().with_samples(200).with_seed(3);
         let mut estimator = TwoPhaseEstimator::new(&graph, config);
-        group.bench_with_input(BenchmarkId::from_parameter(num_edges), &num_edges, |b, _| {
-            let mut index = 0usize;
-            b.iter(|| {
-                let (u, v) = pairs[index % pairs.len()];
-                index += 1;
-                estimator.similarity(u, v)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_edges),
+            &num_edges,
+            |b, _| {
+                let mut index = 0usize;
+                b.iter(|| {
+                    let (u, v) = pairs[index % pairs.len()];
+                    index += 1;
+                    estimator.similarity(u, v)
+                })
+            },
+        );
     }
     group.finish();
 }

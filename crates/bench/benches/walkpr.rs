@@ -6,8 +6,8 @@ use rwalk::transpr::{transition_rows_from, TransPrOptions};
 use rwalk::walk::Walk;
 use rwalk::walkpr::walk_probability;
 use std::time::Duration;
-use usim_bench::{dataset, Scale};
 use ugraph::UncertainGraphBuilder;
+use usim_bench::{dataset, Scale};
 
 fn bench_walkpr(c: &mut Criterion) {
     let fig1 = UncertainGraphBuilder::new(5)

@@ -8,7 +8,9 @@
 //! values as reference rather than the true limit).
 
 use rwalk::transpr::TransPrOptions;
-use usim_bench::{dataset, mean_relative_error, pairs_from_env, random_pairs, scale_from_env, Table};
+use usim_bench::{
+    dataset, mean_relative_error, pairs_from_env, random_pairs, scale_from_env, Table,
+};
 use usim_core::{
     BaselineEstimator, SamplingEstimator, SimRankConfig, SimRankEstimator, SpeedupEstimator,
     TwoPhaseEstimator,
@@ -36,11 +38,12 @@ fn main() {
         let graph = dataset(name, scale);
         let pairs = random_pairs(&graph, num_pairs, 0xf10);
         let config = SimRankConfig::default().with_seed(0xf10);
-        let baseline = BaselineEstimator::new(&graph, config).with_transpr_options(TransPrOptions {
-            max_walks: 200_000,
-            prune_threshold: 1e-7,
-            ..Default::default()
-        });
+        let baseline =
+            BaselineEstimator::new(&graph, config).with_transpr_options(TransPrOptions {
+                max_walks: 200_000,
+                prune_threshold: 1e-7,
+                ..Default::default()
+            });
         // Exact reference values; skip the dataset if infeasible.
         let mut exact = Vec::new();
         let mut feasible = true;
@@ -57,7 +60,11 @@ fn main() {
             "{name}: {} vertices, {} arcs, baseline {}",
             graph.num_vertices(),
             graph.num_arcs(),
-            if feasible { "ok" } else { "infeasible (skipped)" }
+            if feasible {
+                "ok"
+            } else {
+                "infeasible (skipped)"
+            }
         );
         if !feasible {
             for row in rows.iter_mut() {
@@ -67,24 +74,32 @@ fn main() {
         }
 
         let record = |estimates: Vec<f64>, row: usize, rows: &mut Vec<Vec<String>>| {
-            let paired: Vec<(f64, f64)> = estimates.into_iter().zip(exact.iter().copied()).collect();
+            let paired: Vec<(f64, f64)> =
+                estimates.into_iter().zip(exact.iter().copied()).collect();
             rows[row].push(format!("{:.4}", mean_relative_error(&paired)));
         };
 
         let mut sampling = SamplingEstimator::new(&graph, config);
-        let estimates: Vec<f64> = pairs.iter().map(|&(u, v)| sampling.similarity(u, v)).collect();
+        let estimates: Vec<f64> = pairs
+            .iter()
+            .map(|&(u, v)| sampling.similarity(u, v))
+            .collect();
         record(estimates, 0, &mut rows);
 
         for (offset, l) in (1..=3).enumerate() {
             let mut two_phase = TwoPhaseEstimator::new(&graph, config.with_phase_switch(l));
-            let estimates: Vec<f64> =
-                pairs.iter().map(|&(u, v)| two_phase.similarity(u, v)).collect();
+            let estimates: Vec<f64> = pairs
+                .iter()
+                .map(|&(u, v)| two_phase.similarity(u, v))
+                .collect();
             record(estimates, 1 + offset, &mut rows);
         }
         for (offset, l) in (1..=3).enumerate() {
             let mut speedup = SpeedupEstimator::new(&graph, config.with_phase_switch(l));
-            let estimates: Vec<f64> =
-                pairs.iter().map(|&(u, v)| speedup.similarity(u, v)).collect();
+            let estimates: Vec<f64> = pairs
+                .iter()
+                .map(|&(u, v)| speedup.similarity(u, v))
+                .collect();
             record(estimates, 4 + offset, &mut rows);
         }
     }

@@ -3,7 +3,7 @@
 
 use rwalk::transpr::TransPrOptions;
 use usim_bench::{
-    average_millis, dataset, fmt_ms, measure, mean_relative_error, pairs_from_env, random_pairs,
+    average_millis, dataset, fmt_ms, mean_relative_error, measure, pairs_from_env, random_pairs,
     scale_from_env, Table,
 };
 use usim_core::{
@@ -21,15 +21,18 @@ fn main() {
 
     let graph = dataset("Condmat", scale);
     let pairs = random_pairs(&graph, num_pairs, 0xf11);
-    let base_config = SimRankConfig::default().with_phase_switch(1).with_seed(0xf11);
+    let base_config = SimRankConfig::default()
+        .with_phase_switch(1)
+        .with_seed(0xf11);
 
     // Exact reference values from the Baseline (bounded); fall back to a very
     // large-sample SR-SP run if the graph is too dense for exact enumeration.
-    let baseline = BaselineEstimator::new(&graph, base_config).with_transpr_options(TransPrOptions {
-        max_walks: 200_000,
-        prune_threshold: 1e-7,
-        ..Default::default()
-    });
+    let baseline =
+        BaselineEstimator::new(&graph, base_config).with_transpr_options(TransPrOptions {
+            max_walks: 200_000,
+            prune_threshold: 1e-7,
+            ..Default::default()
+        });
     let mut reference = Vec::new();
     let mut reference_is_exact = true;
     for &(u, v) in &pairs {
@@ -44,7 +47,10 @@ fn main() {
     if !reference_is_exact {
         let mut fallback =
             SpeedupEstimator::new(&graph, base_config.with_samples(20_000).with_seed(0xdead));
-        reference = pairs.iter().map(|&(u, v)| fallback.similarity(u, v)).collect();
+        reference = pairs
+            .iter()
+            .map(|&(u, v)| fallback.similarity(u, v))
+            .collect();
         println!("(Baseline infeasible on this graph; using a 20000-sample SR-SP reference)\n");
     }
 
@@ -71,10 +77,14 @@ fn main() {
                 .map(|&(u, v)| speedup.similarity(u, v))
                 .collect::<Vec<f64>>()
         });
-        let ts_error: Vec<(f64, f64)> =
-            ts_estimates.into_iter().zip(reference.iter().copied()).collect();
-        let sp_error: Vec<(f64, f64)> =
-            sp_estimates.into_iter().zip(reference.iter().copied()).collect();
+        let ts_error: Vec<(f64, f64)> = ts_estimates
+            .into_iter()
+            .zip(reference.iter().copied())
+            .collect();
+        let sp_error: Vec<(f64, f64)> = sp_estimates
+            .into_iter()
+            .zip(reference.iter().copied())
+            .collect();
         table.row(&[
             n_samples.to_string(),
             fmt_ms(average_millis(ts_time, pairs.len())),

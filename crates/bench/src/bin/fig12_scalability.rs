@@ -7,7 +7,9 @@
 //! sweeps 200k–1M edges on 2^18-vertex R-MAT graphs (`USIM_SCALE=paper`
 //! restores the published sizes).
 
-use usim_bench::{average_millis, fmt_ms, measure, pairs_from_env, random_pairs, scale_from_env, Scale, Table};
+use usim_bench::{
+    average_millis, fmt_ms, measure, pairs_from_env, random_pairs, scale_from_env, Scale, Table,
+};
 use usim_core::{SimRankConfig, SimRankEstimator, SpeedupEstimator, TwoPhaseEstimator};
 use usim_datasets::RmatGenerator;
 
@@ -16,7 +18,10 @@ fn main() {
     let num_pairs = pairs_from_env(10);
     let (vertex_scale, edge_counts): (u32, Vec<usize>) = match scale {
         Scale::Ci => (18, vec![200_000, 400_000, 600_000, 800_000, 1_000_000]),
-        Scale::Paper => (21, vec![2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000]),
+        Scale::Paper => (
+            21,
+            vec![2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000],
+        ),
     };
     println!(
         "Fig. 12: scalability of SR-TS and SR-SP on R-MAT graphs \
@@ -39,7 +44,9 @@ fn main() {
             generation_time.as_secs_f64()
         );
         let pairs = random_pairs(&graph, num_pairs, 0xf12);
-        let config = SimRankConfig::default().with_phase_switch(1).with_seed(0xf12);
+        let config = SimRankConfig::default()
+            .with_phase_switch(1)
+            .with_seed(0xf12);
 
         let mut two_phase = TwoPhaseEstimator::new(&graph, config);
         let (_, ts_time) = measure(|| {
@@ -61,5 +68,7 @@ fn main() {
     }
     println!();
     table.print();
-    println!("\nExpected shape: both curves grow roughly linearly with |E| (density drives the cost).");
+    println!(
+        "\nExpected shape: both curves grow roughly linearly with |E| (density drives the cost)."
+    );
 }

@@ -7,11 +7,11 @@
 //! DSIM).  Our PPI stand-in plants the complexes itself, so the same check is
 //! run against the planted ground truth.
 
-use usim_bench::Table;
-use usim_core::{top_k::top_k_pairs, SimRankConfig, SimRankEstimator, SpeedupEstimator};
-use usim_core::DeterministicSimRank;
-use usim_datasets::PpiGenerator;
 use ugraph::VertexId;
+use usim_bench::Table;
+use usim_core::DeterministicSimRank;
+use usim_core::{top_k::top_k_pairs, SimRankConfig, SimRankEstimator, SpeedupEstimator};
+use usim_datasets::PpiGenerator;
 
 /// Candidate pairs: vertices that share at least one possible in-neighbor
 /// (any pair without a shared neighbor has SimRank close to zero at n = 1 and
@@ -57,7 +57,10 @@ fn main() {
         dataset.complexes.len()
     );
     let candidates = candidate_pairs(graph);
-    println!("{} candidate pairs share at least one possible neighbor", candidates.len());
+    println!(
+        "{} candidate pairs share at least one possible neighbor",
+        candidates.len()
+    );
 
     let config = SimRankConfig::default().with_samples(400).with_seed(0xf13);
     let mut usim = SpeedupEstimator::new(graph, config);
@@ -70,7 +73,13 @@ fn main() {
     ));
     let top_dsim = top_k_pairs(&mut dsim, candidates.iter().copied(), 20);
 
-    let mut table = Table::new(&["rank", "USIM pair", "same complex?", "DSIM pair", "same complex?"]);
+    let mut table = Table::new(&[
+        "rank",
+        "USIM pair",
+        "same complex?",
+        "DSIM pair",
+        "same complex?",
+    ]);
     let mut usim_hits = 0usize;
     let mut dsim_hits = 0usize;
     for rank in 0..20 {

@@ -7,10 +7,13 @@
 //! complex and the check is how many of its top-5 neighbors by USIM belong to
 //! the same complex, contrasted with the deterministic DSIM ranking.
 
-use usim_bench::Table;
-use usim_core::{top_k::top_k_similar_to, DeterministicSimRank, SimRankConfig, SimRankEstimator, SpeedupEstimator};
-use usim_datasets::PpiGenerator;
 use ugraph::VertexId;
+use usim_bench::Table;
+use usim_core::{
+    top_k::top_k_similar_to, DeterministicSimRank, SimRankConfig, SimRankEstimator,
+    SpeedupEstimator,
+};
+use usim_datasets::PpiGenerator;
 
 struct DsimWrapper(DeterministicSimRank);
 
@@ -66,7 +69,15 @@ fn main() {
     ));
     let top_dsim = top_k_similar_to(&mut dsim, query, candidates.iter().copied(), 5);
 
-    let mut table = Table::new(&["rank", "USIM protein", "score", "same complex?", "DSIM protein", "score", "same complex?"]);
+    let mut table = Table::new(&[
+        "rank",
+        "USIM protein",
+        "score",
+        "same complex?",
+        "DSIM protein",
+        "score",
+        "same complex?",
+    ]);
     let mut usim_hits = 0;
     let mut dsim_hits = 0;
     for rank in 0..5 {

@@ -28,7 +28,13 @@ fn main() {
         ErAlgorithm::new(ErAlgorithmKind::SimDer).with_simrank_config(simrank),
     ];
 
-    let mut table = Table::new(&["records", "DISTINCT (s)", "EIF (s)", "SimER (s)", "SimDER (s)"]);
+    let mut table = Table::new(&[
+        "records",
+        "DISTINCT (s)",
+        "EIF (s)",
+        "SimER (s)",
+        "SimDER (s)",
+    ]);
     for &records in &record_counts {
         let dataset = ErGenerator::default()
             .with_total_records(records)

@@ -18,12 +18,8 @@ fn main() {
     let max_horizon = 10;
     println!("Fig. 8: effect of the number of iterations n on the SimRank similarity\n");
 
-    let mut average_table = Table::new(&[
-        "n", "PPI1", "PPI2", "Net", "Condmat",
-    ]);
-    let mut maximum_table = Table::new(&[
-        "n", "PPI1", "PPI2", "Net", "Condmat",
-    ]);
+    let mut average_table = Table::new(&["n", "PPI1", "PPI2", "Net", "Condmat"]);
+    let mut maximum_table = Table::new(&["n", "PPI1", "PPI2", "Net", "Condmat"]);
     let mut averages: Vec<Vec<f64>> = Vec::new();
     let mut maxima: Vec<Vec<f64>> = Vec::new();
 

@@ -25,9 +25,7 @@ fn main() {
          {baseline_pairs} for Baseline (scale = {scale:?})\n"
     );
 
-    let mut table = Table::new(&[
-        "Algorithm", "PPI2", "Condmat", "PPI3", "DBLP",
-    ]);
+    let mut table = Table::new(&["Algorithm", "PPI2", "Condmat", "PPI3", "DBLP"]);
     let mut rows: Vec<Vec<String>> = vec![
         vec!["Baseline".to_string()],
         vec!["Sampling".to_string()],
@@ -51,11 +49,12 @@ fn main() {
         let config = SimRankConfig::default().with_seed(0xf19);
 
         // Baseline (exact), with a bounded walk budget.
-        let baseline = BaselineEstimator::new(&graph, config).with_transpr_options(TransPrOptions {
-            max_walks: 200_000,
-            prune_threshold: 1e-7,
-            ..Default::default()
-        });
+        let baseline =
+            BaselineEstimator::new(&graph, config).with_transpr_options(TransPrOptions {
+                max_walks: 200_000,
+                prune_threshold: 1e-7,
+                ..Default::default()
+            });
         let mut feasible = true;
         let (_, baseline_time) = measure(|| {
             for &(u, v) in pairs.iter().take(baseline_pairs) {

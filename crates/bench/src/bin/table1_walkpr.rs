@@ -11,8 +11,8 @@
 
 use rwalk::walk::Walk;
 use rwalk::walkpr::{alpha, walk_probability};
-use usim_bench::Table;
 use ugraph::UncertainGraphBuilder;
+use usim_bench::Table;
 
 fn main() {
     // Graph consistent with the deducible rows of Table I:

@@ -4,8 +4,8 @@
 //! stand-in generated at the current scale next to the size published in the
 //! paper's Table II.
 
-use usim_bench::{registry, scale_from_env, Table};
 use ugraph::stats::uncertain_graph_stats;
+use usim_bench::{registry, scale_from_env, Table};
 
 fn main() {
     let scale = scale_from_env();

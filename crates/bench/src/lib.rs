@@ -17,8 +17,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
-use usim_datasets::registry::{ci_registry, find_spec, paper_registry, DatasetSpec};
 use ugraph::{UncertainGraph, VertexId};
+use usim_datasets::registry::{ci_registry, find_spec, paper_registry, DatasetSpec};
 
 /// Experiment scale: the laptop-friendly default or the paper's sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,8 +61,9 @@ pub fn registry(scale: Scale) -> Vec<DatasetSpec> {
 /// Panics if the name is not in the registry.
 pub fn dataset(name: &str, scale: Scale) -> UncertainGraph {
     let specs = registry(scale);
-    let spec = find_spec(&specs, name)
-        .unwrap_or_else(|| panic!("unknown dataset {name}; known: PPI1, PPI2, PPI3, Condmat, Net, DBLP"));
+    let spec = find_spec(&specs, name).unwrap_or_else(|| {
+        panic!("unknown dataset {name}; known: PPI1, PPI2, PPI3, Condmat, Net, DBLP")
+    });
     spec.generate()
 }
 
@@ -74,7 +75,10 @@ pub fn random_pairs(graph: &UncertainGraph, count: usize, seed: u64) -> Vec<(Ver
         .vertices()
         .filter(|&v| graph.in_degree(v) > 0)
         .collect();
-    assert!(candidates.len() >= 2, "graph has fewer than two non-isolated vertices");
+    assert!(
+        candidates.len() >= 2,
+        "graph has fewer than two non-isolated vertices"
+    );
     let mut pairs = Vec::with_capacity(count);
     while pairs.len() < count {
         let u = candidates[rng.gen_range(0..candidates.len())];

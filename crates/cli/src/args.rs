@@ -45,7 +45,9 @@ impl Arguments {
                 };
                 if spec.switches.contains(&name) {
                     if inline_value.is_some() {
-                        return Err(CliError::new(format!("switch --{name} does not take a value")));
+                        return Err(CliError::new(format!(
+                            "switch --{name} does not take a value"
+                        )));
                     }
                     parsed.switches.insert(name.to_string());
                 } else if spec.options.contains(&name) {
@@ -53,14 +55,15 @@ impl Arguments {
                         Some(v) => v,
                         None => {
                             index += 1;
-                            tokens
-                                .get(index)
-                                .cloned()
-                                .ok_or_else(|| CliError::new(format!("option --{name} requires a value")))?
+                            tokens.get(index).cloned().ok_or_else(|| {
+                                CliError::new(format!("option --{name} requires a value"))
+                            })?
                         }
                     };
                     if parsed.options.insert(name.to_string(), value).is_some() {
-                        return Err(CliError::new(format!("option --{name} given more than once")));
+                        return Err(CliError::new(format!(
+                            "option --{name} given more than once"
+                        )));
                     }
                 } else {
                     return Err(CliError::new(format!("unknown option --{name}")));
@@ -151,7 +154,11 @@ mod tests {
         assert_eq!(args.parse_option::<u64>("seed", 0).unwrap(), 9);
         assert!(args.switch("verbose"));
         assert!(!args.switch("quiet"));
-        assert_eq!(args.parse_option::<usize>("missing-is-default", 7).unwrap_or(7), 7);
+        assert_eq!(
+            args.parse_option::<usize>("missing-is-default", 7)
+                .unwrap_or(7),
+            7
+        );
     }
 
     #[test]

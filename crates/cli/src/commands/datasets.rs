@@ -19,10 +19,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "|E| (paper)",
     ]);
     for spec in &ci {
-        let published = paper
-            .iter()
-            .find(|p| p.name == spec.name)
-            .unwrap_or(spec);
+        let published = paper.iter().find(|p| p.name == spec.name).unwrap_or(spec);
         table.row(vec![
             spec.name.to_string(),
             format!("{:?}", spec.generator),

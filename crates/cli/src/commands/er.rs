@@ -61,7 +61,9 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         config = config.with_samples(200);
     }
 
-    let dataset = ErGenerator::default().with_total_records(records).generate();
+    let dataset = ErGenerator::default()
+        .with_total_records(records)
+        .generate();
     let algorithms: Vec<ErAlgorithm> = kinds
         .iter()
         .map(|&kind| {
@@ -141,13 +143,7 @@ mod tests {
 
     #[test]
     fn single_algorithm_run_reports_quality() {
-        let output = run(&tokens(&[
-            "--records",
-            "60",
-            "--algorithm",
-            "eif",
-        ]))
-        .unwrap();
+        let output = run(&tokens(&["--records", "60", "--algorithm", "eif"])).unwrap();
         assert!(output.contains("EIF"));
         assert!(output.contains("AVERAGE"));
         assert!(output.contains("F1"));

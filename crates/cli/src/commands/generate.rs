@@ -52,7 +52,9 @@ fn generate_graph(args: &Arguments) -> Result<(UncertainGraph, String), CliError
         (None, Some(_)) => {
             let scale: u32 = args.require_option("rmat-scale")?;
             if scale > 28 {
-                return Err(CliError::new("--rmat-scale larger than 28 is not supported"));
+                return Err(CliError::new(
+                    "--rmat-scale larger than 28 is not supported",
+                ));
             }
             let edges: usize = args.parse_option("edges", 1usize << (scale + 2))?;
             let seed: u64 = args.parse_option("seed", 0x0a7u64)?;
@@ -153,7 +155,15 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&tokens(&["--dataset", "NoSuchDataset", "--out", "x.tsv"])).is_err());
-        assert!(run(&tokens(&["--dataset", "Net", "--scale", "huge", "--out", "x.tsv"])).is_err());
+        assert!(run(&tokens(&[
+            "--dataset",
+            "Net",
+            "--scale",
+            "huge",
+            "--out",
+            "x.tsv"
+        ]))
+        .is_err());
         // --out is required.
         assert!(run(&tokens(&["--dataset", "Net"])).is_err());
     }

@@ -54,7 +54,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::new(format!("invalid value for --source: {e}")))?;
         let source = loaded.vertex_for_label(source_label)?;
         let rows = transition_rows_from(graph, source, steps, &options)?;
-        let mut table = TextTable::new(&["k", "reachable vertices", "survival Σ_v Pr(u→k v)", "max entry"]);
+        let mut table = TextTable::new(&[
+            "k",
+            "reachable vertices",
+            "survival Σ_v Pr(u→k v)",
+            "max entry",
+        ]);
         for (k, row) in rows.iter().enumerate().skip(1) {
             let max_entry = row.iter().map(|(_, p)| p).fold(0.0f64, f64::max);
             table.row(vec![
@@ -137,7 +142,13 @@ mod tests {
         let path = fig1_file("full.tsv");
         let output = run(&tokens(&[path.to_str().unwrap(), "--steps", "3"])).unwrap();
         assert!(output.contains("W(1)..W(3)"));
-        assert_eq!(output.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3'])).count(), 3);
+        assert_eq!(
+            output
+                .lines()
+                .filter(|l| l.trim_start().starts_with(['1', '2', '3']))
+                .count(),
+            3
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -159,7 +170,8 @@ mod tests {
     #[test]
     fn column_store_export_writes_one_file_per_step() {
         let path = fig1_file("export.tsv");
-        let dir = std::env::temp_dir().join(format!("usim_cli_matrices_out_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("usim_cli_matrices_out_{}", std::process::id()));
         let output = run(&tokens(&[
             path.to_str().unwrap(),
             "--steps",

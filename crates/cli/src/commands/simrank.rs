@@ -124,7 +124,14 @@ mod tests {
             "--compare",
         ]))
         .unwrap();
-        for name in ["Baseline", "Sampling", "SR-TS", "SR-SP", "SimRank-III", "SimRank-II"] {
+        for name in [
+            "Baseline",
+            "Sampling",
+            "SR-TS",
+            "SR-SP",
+            "SimRank-III",
+            "SimRank-II",
+        ] {
             assert!(output.contains(name), "missing {name} in:\n{output}");
         }
         std::fs::remove_file(&path).unwrap();

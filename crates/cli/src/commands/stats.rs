@@ -30,17 +30,40 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     );
     push("max out-degree", stats.topology.max_out_degree.to_string());
     push("max in-degree", stats.topology.max_in_degree.to_string());
-    push("sink vertices (no out-arcs)", stats.topology.num_sinks.to_string());
-    push("source vertices (no in-arcs)", stats.topology.num_sources.to_string());
-    push("mean arc probability", format!("{:.4}", stats.mean_probability));
-    push("min arc probability", format!("{:.4}", stats.min_probability));
-    push("max arc probability", format!("{:.4}", stats.max_probability));
-    push("expected arcs Σ P(e)", format!("{:.1}", stats.expected_num_arcs));
+    push(
+        "sink vertices (no out-arcs)",
+        stats.topology.num_sinks.to_string(),
+    );
+    push(
+        "source vertices (no in-arcs)",
+        stats.topology.num_sources.to_string(),
+    );
+    push(
+        "mean arc probability",
+        format!("{:.4}", stats.mean_probability),
+    );
+    push(
+        "min arc probability",
+        format!("{:.4}", stats.min_probability),
+    );
+    push(
+        "max arc probability",
+        format!("{:.4}", stats.max_probability),
+    );
+    push(
+        "expected arcs Σ P(e)",
+        format!("{:.1}", stats.expected_num_arcs),
+    );
 
     let mut output = format!("{path}\n\n");
     output.push_str(&table.render());
     output.push_str("\narc probability histogram (10 equal-width buckets over (0, 1]):\n");
-    let max_count = stats.probability_histogram.iter().copied().max().unwrap_or(0);
+    let max_count = stats
+        .probability_histogram
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
     for (bucket, &count) in stats.probability_histogram.iter().enumerate() {
         let low = bucket as f64 / 10.0;
         let high = low + 0.1;

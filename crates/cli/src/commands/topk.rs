@@ -74,13 +74,10 @@ mod tests {
     use super::*;
 
     fn graph_file(name: &str) -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!("usim_cli_topk_{}_{name}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("usim_cli_topk_{}_{name}", std::process::id()));
         // Vertices 0 and 1 share in-neighbor 2; vertex 4 shares nothing.
-        std::fs::write(
-            &path,
-            "2 0 0.9\n2 1 0.8\n3 2 0.7\n0 3 0.5\n1 4 0.6\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "2 0 0.9\n2 1 0.8\n3 2 0.7\n0 3 0.5\n1 4 0.6\n").unwrap();
         path
     }
 
@@ -105,8 +102,7 @@ mod tests {
         .unwrap();
         let first_data_line = output
             .lines()
-            .skip_while(|l| !l.trim_start().starts_with('1'))
-            .next()
+            .find(|l| l.trim_start().starts_with('1'))
             .unwrap_or_default();
         assert!(
             first_data_line.split_whitespace().nth(1) == Some("1"),

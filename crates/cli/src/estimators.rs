@@ -220,9 +220,18 @@ mod tests {
 
     #[test]
     fn algorithm_names_parse_including_aliases() {
-        assert_eq!(AlgorithmKind::parse("baseline").unwrap(), AlgorithmKind::Baseline);
-        assert_eq!(AlgorithmKind::parse("SR-SP").unwrap(), AlgorithmKind::Speedup);
-        assert_eq!(AlgorithmKind::parse("two-phase").unwrap(), AlgorithmKind::TwoPhase);
+        assert_eq!(
+            AlgorithmKind::parse("baseline").unwrap(),
+            AlgorithmKind::Baseline
+        );
+        assert_eq!(
+            AlgorithmKind::parse("SR-SP").unwrap(),
+            AlgorithmKind::Speedup
+        );
+        assert_eq!(
+            AlgorithmKind::parse("two-phase").unwrap(),
+            AlgorithmKind::TwoPhase
+        );
         assert_eq!(AlgorithmKind::parse("du").unwrap(), AlgorithmKind::DuEtAl);
         assert_eq!(
             AlgorithmKind::parse("deterministic").unwrap(),

@@ -101,8 +101,9 @@ pub fn save_graph(
     match format {
         GraphFormat::Binary => binfmt::write_binary_file(graph, path)
             .map_err(|e| CliError::new(format!("{path}: {e}")))?,
-        GraphFormat::Text => write_edge_list_file(graph, path)
-            .map_err(|e| CliError::new(format!("{path}: {e}")))?,
+        GraphFormat::Text => {
+            write_edge_list_file(graph, path).map_err(|e| CliError::new(format!("{path}: {e}")))?
+        }
     }
     Ok(format)
 }
@@ -127,9 +128,18 @@ mod tests {
 
     #[test]
     fn format_detection_prefers_explicit_over_extension() {
-        assert_eq!(GraphFormat::detect("g.bin", None).unwrap(), GraphFormat::Binary);
-        assert_eq!(GraphFormat::detect("g.usim", None).unwrap(), GraphFormat::Binary);
-        assert_eq!(GraphFormat::detect("g.tsv", None).unwrap(), GraphFormat::Text);
+        assert_eq!(
+            GraphFormat::detect("g.bin", None).unwrap(),
+            GraphFormat::Binary
+        );
+        assert_eq!(
+            GraphFormat::detect("g.usim", None).unwrap(),
+            GraphFormat::Binary
+        );
+        assert_eq!(
+            GraphFormat::detect("g.tsv", None).unwrap(),
+            GraphFormat::Text
+        );
         assert_eq!(
             GraphFormat::detect("g.bin", Some("text")).unwrap(),
             GraphFormat::Text

@@ -67,22 +67,53 @@ fn simrank_and_topk_queries_work_on_a_text_graph() {
     let graph_path = graph.to_str().unwrap();
 
     let single = usim(&[
-        "simrank", graph_path, "--source", "0", "--target", "1", "--algorithm", "baseline",
+        "simrank",
+        graph_path,
+        "--source",
+        "0",
+        "--target",
+        "1",
+        "--algorithm",
+        "baseline",
     ]);
     assert!(single.status.success(), "stderr: {}", stderr(&single));
     assert!(stdout(&single).contains("s(0, 1) = 0."));
 
     let compare = usim(&[
-        "simrank", graph_path, "--source", "1", "--target", "2", "--samples", "100", "--compare",
+        "simrank",
+        graph_path,
+        "--source",
+        "1",
+        "--target",
+        "2",
+        "--samples",
+        "100",
+        "--compare",
     ]);
     assert!(compare.status.success());
     assert!(stdout(&compare).contains("SR-SP"));
 
-    let topk = usim(&["topk", graph_path, "--source", "0", "--k", "3", "--samples", "300"]);
+    let topk = usim(&[
+        "topk",
+        graph_path,
+        "--source",
+        "0",
+        "--k",
+        "3",
+        "--samples",
+        "300",
+    ]);
     assert!(topk.status.success(), "stderr: {}", stderr(&topk));
     assert!(stdout(&topk).contains("top-3"));
 
-    let pairs = usim(&["topk-pairs", graph_path, "--k", "2", "--algorithm", "baseline"]);
+    let pairs = usim(&[
+        "topk-pairs",
+        graph_path,
+        "--k",
+        "2",
+        "--algorithm",
+        "baseline",
+    ]);
     assert!(pairs.status.success());
     assert!(stdout(&pairs).contains("most similar pairs"));
 
@@ -125,7 +156,10 @@ fn generate_stats_convert_pipeline() {
             .unwrap()
             .to_string()
     };
-    assert_eq!(arcs_line(&stdout(&stats)), arcs_line(&stdout(&stats_binary)));
+    assert_eq!(
+        arcs_line(&stdout(&stats)),
+        arcs_line(&stdout(&stats_binary))
+    );
 
     std::fs::remove_file(&text).unwrap();
     std::fs::remove_file(&binary).unwrap();

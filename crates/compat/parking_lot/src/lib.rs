@@ -1,0 +1,145 @@
+//! Offline API-compatible stand-in for the parts of [`parking_lot`] this
+//! workspace uses: [`Mutex`] and [`RwLock`] with non-poisoning guards.
+//!
+//! Backed by the standard library's locks; a poisoned lock (a panic while
+//! holding the guard) is transparently recovered instead of propagating the
+//! poison, matching `parking_lot`'s semantics.
+//!
+//! [`parking_lot`]: https://docs.rs/parking_lot
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// A guard releasing a [`Mutex`] on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A guard releasing a [`RwLock`] read lock on drop.
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// A guard releasing a [`RwLock`] write lock on drop.
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Acquires the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+/// A readers-writer lock whose guards never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Returns a mutable reference to the value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Mutex, RwLock};
+
+    #[test]
+    fn mutex_guards_mutation() {
+        let lock = Mutex::new(1);
+        *lock.lock() += 41;
+        assert_eq!(*lock.lock(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let lock = Mutex::new(());
+        let guard = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(guard);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_allows_parallel_reads() {
+        let lock = RwLock::new(5);
+        let a = lock.read();
+        let b = lock.read();
+        assert_eq!(*a + *b, 10);
+        drop((a, b));
+        *lock.write() = 6;
+        assert_eq!(*lock.read(), 6);
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline API-compatible stand-in for the parts of [`proptest`] this
+//! workspace uses: the [`proptest!`] macro, `prop_assert*`, the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, [`Just`], numeric-range and
+//! tuple strategies, [`collection::vec`], [`bool::weighted`] and
+//! [`any::<bool>()`](any).
+//!
+//! Test cases are generated deterministically: the RNG is seeded from a hash
+//! of the test function's name (override with the `PROPTEST_SEED`
+//! environment variable), so failures reproduce across runs.  There is **no
+//! shrinking** — a failing case panics with the values that produced it via
+//! the standard assertion message.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime re-exports used by the `proptest!` macro expansion.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// A deterministic per-test seed: `PROPTEST_SEED` if set, else an FNV-1a
+    /// hash of the test name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.parse::<u64>() {
+                return seed;
+            }
+        }
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// Configuration of a [`proptest!`] block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type, mirroring
+/// `proptest::strategy::Strategy` (without shrinking).
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+
+    /// Transforms every generated value with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, map }
+    }
+
+    /// Builds a second strategy from every generated value and draws from it.
+    fn prop_flat_map<S, F>(self, make: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, make }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> O {
+        (self.map)(self.base.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    make: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> T::Value {
+        (self.make)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy always producing a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut rand::rngs::StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The strategy behind [`any::<bool>()`](any): a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+        use rand::Rng as _;
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for a type, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+
+    /// A size specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty size range");
+            SizeRange {
+                min: *range.start(),
+                max_inclusive: *range.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::Strategy;
+
+    /// A strategy producing `true` with probability `probability`.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "weighted probability must lie in [0, 1], got {probability}"
+        );
+        Weighted { probability }
+    }
+
+    /// The result of [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            use rand::Rng as _;
+            rng.gen_bool(self.probability)
+        }
+    }
+}
+
+/// The glob import test modules use, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] case (panics on failure; the
+/// stub performs no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property-based tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// running `body` for the configured number of random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let __run = || -> () { $body };
+                __run();
+                let _ = __case;
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn even(limit: u32) -> impl Strategy<Value = u32> {
+        (0..limit).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0.5f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategies_apply(n in even(50)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n < 100);
+        }
+
+        #[test]
+        fn flat_mapped_strategies_chain(
+            pair in (1usize..8).prop_flat_map(|n| (crate::Just(n), crate::collection::vec(0u32..10, 1..=8))),
+        ) {
+            let (n, items) = pair;
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(!items.is_empty() && items.len() <= 8);
+        }
+
+        #[test]
+        fn weighted_bools_and_any(flag in any::<bool>(), biased in crate::bool::weighted(0.9)) {
+            let _ = (flag, biased);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        use crate::__rt::{seed_for, SeedableRng, StdRng};
+        let a = seed_for("some::test");
+        let b = seed_for("some::test");
+        let c = seed_for("some::other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut rng = StdRng::seed_from_u64(a);
+        let first = crate::collection::vec(0u32..100, 3..=3).generate(&mut rng);
+        let mut rng = StdRng::seed_from_u64(a);
+        let second = crate::collection::vec(0u32..100, 3..=3).generate(&mut rng);
+        assert_eq!(first, second);
+    }
+}

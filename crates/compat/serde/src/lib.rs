@@ -1,0 +1,489 @@
+//! Offline API-compatible stand-in for the parts of [`serde`] this workspace
+//! uses.
+//!
+//! Unlike upstream serde's visitor-based data model, this stub routes every
+//! (de)serialisation through the self-describing [`Value`] tree — ample for
+//! the JSON round-trips the workspace performs, and small enough to audit.
+//! The public trait names and signatures match upstream where the workspace
+//! touches them ([`Serialize`], [`Deserialize`], [`Serializer`],
+//! [`Deserializer`], [`ser::Error`], [`de::Error`], and the
+//! `#[derive(Serialize, Deserialize)]` macros re-exported from
+//! `serde_derive`), so code written against this stub compiles unchanged
+//! against the real crate.
+//!
+//! [`serde`]: https://docs.rs/serde
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (only produced for negative numbers).
+    Int(i64),
+    /// An unsigned integer.
+    Uint(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence (JSON array).
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (JSON object); insertion order is
+    /// preserved so serialised field order matches declaration order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::Uint(_) => "an integer",
+            Value::Float(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "an array",
+            Value::Map(_) => "an object",
+        }
+    }
+}
+
+/// The error produced when converting to or from [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError {
+    message: String,
+}
+
+impl ValueError {
+    /// Creates an error carrying `message`.
+    pub fn msg(message: impl Into<String>) -> Self {
+        ValueError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Serialisation-side traits, mirroring `serde::ser`.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Serializer`] can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialisation-side traits, mirroring `serde::de`.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Deserializer`] can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError::msg(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError::msg(msg.to_string())
+    }
+}
+
+/// A sink that consumes one [`Value`] tree.
+pub trait Serializer: Sized {
+    /// The value returned on success.
+    type Ok;
+    /// The error type.
+    type Error: ser::Error;
+
+    /// Consumes the fully-built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source that produces one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: de::Error;
+
+    /// Produces the complete value.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialised, mirroring `serde::Serialize`.
+pub trait Serialize {
+    /// Serialises `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialised, mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+struct ValueDeserializer {
+    value: Value,
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.value)
+    }
+}
+
+/// Serialises any [`Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialises any [`Deserialize`] type out of a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer { value })
+}
+
+/// Looks up a required field in a map's entries (derive-internal helper).
+#[doc(hidden)]
+pub fn __field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, ValueError> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| ValueError::msg(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize implementations for the primitives and containers
+// the workspace embeds in derived types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Uint(*self as u64))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let out = match &value {
+                    Value::Uint(n) => <$t>::try_from(*n).ok(),
+                    Value::Int(n) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    de::Error::custom(format!(
+                        "invalid type: expected {}, found {}",
+                        stringify!($t),
+                        value.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let value = if v < 0 { Value::Int(v) } else { Value::Uint(v as u64) };
+                serializer.serialize_value(value)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let out = match &value {
+                    Value::Uint(n) => <$t>::try_from(*n).ok(),
+                    Value::Int(n) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    de::Error::custom(format!(
+                        "invalid type: expected {}, found {}",
+                        stringify!($t),
+                        value.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        match value {
+            Value::Float(x) => Ok(x),
+            Value::Uint(n) => Ok(n as f64),
+            Value::Int(n) => Ok(n as f64),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected f64, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        match value {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        match value {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "invalid type: expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items: Result<Vec<Value>, ValueError> = self.iter().map(to_value).collect();
+        match items {
+            Ok(items) => serializer.serialize_value(Value::Seq(items)),
+            Err(error) => Err(ser::Error::custom(error)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        let items = value.as_seq().ok_or_else(|| {
+            de::Error::custom(format!(
+                "invalid type: expected an array, found {}",
+                value.kind()
+            ))
+        })?;
+        items
+            .iter()
+            .map(|item| from_value(item.clone()).map_err(de::Error::custom))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(inner) => inner.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.deserialize_value()?;
+        match value {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items: Result<Vec<Value>, ValueError> =
+                    [$(to_value(&self.$index)),+].into_iter().collect();
+                match items {
+                    Ok(items) => serializer.serialize_value(Value::Seq(items)),
+                    Err(error) => Err(ser::Error::custom(error)),
+                }
+            }
+        }
+
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let items = value.as_seq().ok_or_else(|| {
+                    de::Error::custom(format!(
+                        "invalid type: expected an array, found {}",
+                        value.kind()
+                    ))
+                })?;
+                let expected = [$($index),+].len();
+                if items.len() != expected {
+                    return Err(de::Error::custom(format!(
+                        "invalid length: expected a tuple of {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($(
+                    from_value::<$name>(items[$index].clone()).map_err(de::Error::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (T0: 0)
+    (T0: 0, T1: 1)
+    (T0: 0, T1: 1, T2: 2)
+    (T0: 0, T1: 1, T2: 2, T3: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{from_value, to_value, Value};
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        assert_eq!(to_value(&42u32).unwrap(), Value::Uint(42));
+        assert_eq!(from_value::<u32>(Value::Uint(42)).unwrap(), 42);
+        assert_eq!(to_value(&-3i64).unwrap(), Value::Int(-3));
+        assert_eq!(to_value(&0.5f64).unwrap(), Value::Float(0.5));
+        assert_eq!(from_value::<f64>(Value::Uint(2)).unwrap(), 2.0);
+        assert_eq!(to_value(&true).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn containers_round_trip_through_value() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_value::<Vec<u32>>(to_value(&v).unwrap()).unwrap(), v);
+        let pair = (7u32, 0.25f64);
+        assert_eq!(
+            from_value::<(u32, f64)>(to_value(&pair).unwrap()).unwrap(),
+            pair
+        );
+        assert_eq!(to_value(&Option::<u32>::None).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn narrowing_out_of_range_fails() {
+        assert!(from_value::<u8>(Value::Uint(300)).is_err());
+        assert!(from_value::<u32>(Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no `syn`, no `quote`, no network).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields — serialised as a map in declaration order;
+//! * enums whose variants are all unit variants — serialised as the variant
+//!   name string.
+//!
+//! Generics, tuple structs, and data-carrying enum variants are rejected
+//! with a compile error naming the limitation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// All-unit-variant enum: variant identifiers in declaration order.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("::core::compile_error!({message:?});")
+                .parse()
+                .expect("error tokens")
+        }
+    };
+    let code = match (which, &shape) {
+        (Trait::Serialize, Shape::Struct(fields)) => serialize_struct(&name, fields),
+        (Trait::Deserialize, Shape::Struct(fields)) => deserialize_struct(&name, fields),
+        (Trait::Serialize, Shape::Enum(variants)) => serialize_enum(&name, variants),
+        (Trait::Deserialize, Shape::Enum(variants)) => deserialize_enum(&name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => {
+            return Err(format!(
+                "serde stub derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => {
+            return Err(format!(
+                "serde stub derive: expected a type name, got {other:?}"
+            ))
+        }
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic types (deriving on `{name}`)"
+        ));
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        other => {
+            return Err(format!(
+                "serde stub derive supports only brace-bodied types (deriving on `{name}`), got {other:?}"
+            ))
+        }
+    };
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body, &name)?),
+        "enum" => Shape::Enum(parse_enum_variants(body, &name)?),
+        other => {
+            return Err(format!(
+                "serde stub derive: cannot derive on `{other}` items"
+            ))
+        }
+    };
+    Ok((name, shape))
+}
+
+type PeekableTokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(tokens: &mut PeekableTokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next(); // '#'
+        if matches!(tokens.peek(), Some(TokenTree::Group(_))) {
+            tokens.next(); // '[...]'
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut PeekableTokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        tokens.next();
+        // `pub(crate)` / `pub(super)` carry a parenthesised group.
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => {
+                return Err(format!(
+                    "serde stub derive supports only named fields (deriving on `{name}`), got {other:?}"
+                ))
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                "serde stub derive: expected `:` after field `{field}` of `{name}`, got {other:?}"
+            ))
+            }
+        }
+        // Consume the type: everything up to the next comma outside angle
+        // brackets (commas inside parenthesised groups are single tokens).
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match &token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    if fields.is_empty() {
+        return Err(format!("serde stub derive: `{name}` has no named fields"));
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let variant = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => {
+                return Err(format!(
+                    "serde stub derive: expected a variant name in `{name}`, got {other:?}"
+                ))
+            }
+        };
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(other) => {
+                let _ = other;
+                return Err(format!(
+                    "serde stub derive supports only unit enum variants (variant `{variant}` of `{name}` carries data)"
+                ));
+            }
+        }
+    }
+    if variants.is_empty() {
+        return Err(format!("serde stub derive: `{name}` has no variants"));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        pushes.push_str(&format!(
+            "__entries.push((::std::string::String::from({field:?}), \
+             ::serde::to_value(&self.{field})\
+             .map_err(<__S::Error as ::serde::ser::Error>::custom)?));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Serializer::serialize_value(__serializer, ::serde::Value::Map(__entries))\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        inits.push_str(&format!(
+            "{field}: ::serde::from_value(::serde::__field(__entries, {field:?})?.clone())\
+             .map_err(|__e| ::serde::ValueError::msg(\
+                 ::std::format!(\"field `{field}`: {{}}\", __e)))?,\n"
+        ));
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                 let __build = |__value: &::serde::Value|\n\
+                     -> ::std::result::Result<{name}, ::serde::ValueError> {{\n\
+                     let __entries = __value.as_map().ok_or_else(|| ::serde::ValueError::msg(\n\
+                         ::std::format!(\"invalid type: expected an object, found {{}}\", __value.kind())))?;\n\
+                     ::std::result::Result::Ok({name} {{\n\
+                         {inits}\
+                     }})\n\
+                 }};\n\
+                 __build(&__value).map_err(<__D::Error as ::serde::de::Error>::custom)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        arms.push_str(&format!("{name}::{variant} => {variant:?},\n"));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 let __name = match self {{\n\
+                     {arms}\
+                 }};\n\
+                 ::serde::Serializer::serialize_value(\n\
+                     __serializer, ::serde::Value::Str(::std::string::String::from(__name)))\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        arms.push_str(&format!(
+            "{variant:?} => ::std::result::Result::Ok({name}::{variant}),\n"
+        ));
+    }
+    let expected = variants.join("`, `");
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                 let __text = __value.as_str().ok_or_else(|| \
+                     <__D::Error as ::serde::de::Error>::custom(\n\
+                         ::std::format!(\"invalid type: expected a string, found {{}}\", __value.kind())))?;\n\
+                 match __text {{\n\
+                     {arms}\
+                     __other => ::std::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\n\
+                         ::std::format!(\"unknown variant `{{}}`, expected one of `{expected}`\", __other))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -6,8 +6,8 @@ use crate::meeting::MeetingProfile;
 use crate::SimRankEstimator;
 use rwalk::transpr::{transition_matrices, transition_rows_from, TransPrError, TransPrOptions};
 use std::path::Path;
-use umatrix::{ColumnStore, DenseMatrix, IoStats};
 use ugraph::{UncertainGraph, VertexId};
+use umatrix::{ColumnStore, DenseMatrix, IoStats};
 
 /// Returns the graph the walk machinery should run on for the configured
 /// direction: the transpose for in-neighbor walks (the SimRank convention),
@@ -302,7 +302,10 @@ mod tests {
                     max_difference.max((uncertain - det[(u as usize, v as usize)]).abs());
             }
         }
-        assert!(max_difference > 1e-3, "uncertainty had no effect: {max_difference}");
+        assert!(
+            max_difference > 1e-3,
+            "uncertainty had no effect: {max_difference}"
+        );
     }
 
     #[test]
@@ -356,7 +359,10 @@ mod tests {
                 }
             }
         }
-        assert!(differs, "walk direction should matter on an asymmetric graph");
+        assert!(
+            differs,
+            "walk direction should matter on an asymmetric graph"
+        );
     }
 
     #[test]
@@ -364,7 +370,8 @@ mod tests {
         let g = fig1_graph();
         let config = SimRankConfig::default().with_horizon(4);
         let in_memory = BaselineEstimator::new(&g, config);
-        let dir = std::env::temp_dir().join(format!("usim_external_baseline_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("usim_external_baseline_{}", std::process::id()));
         let external = ExternalBaseline::build(&g, config, &dir, 4096).unwrap();
         for u in g.vertices() {
             for v in g.vertices() {

@@ -4,7 +4,10 @@
 /// Theorem 2: the truncation error of the `n`-th SimRank,
 /// `|s⁽ⁿ⁾(u, v) − s(u, v)| ≤ c^{n+1}`.
 pub fn theorem2_error_bound(decay: f64, horizon: usize) -> f64 {
-    assert!(decay > 0.0 && decay < 1.0, "the decay factor must lie in (0, 1)");
+    assert!(
+        decay > 0.0 && decay < 1.0,
+        "the decay factor must lie in (0, 1)"
+    );
     decay.powi(horizon as i32 + 1)
 }
 
@@ -20,14 +23,25 @@ pub fn required_samples(epsilon: f64, delta: f64) -> usize {
 /// Theorem 4: with `N ≥ (3/ε²)·ln(2/δ)` samples, the Sampling algorithm's
 /// error satisfies `|s⁽ⁿ⁾ − ŝ⁽ⁿ⁾| ≤ ε(c − cⁿ)` with probability `≥ 1 − δ`.
 pub fn theorem4_error_bound(epsilon: f64, decay: f64, horizon: usize) -> f64 {
-    assert!(decay > 0.0 && decay < 1.0, "the decay factor must lie in (0, 1)");
+    assert!(
+        decay > 0.0 && decay < 1.0,
+        "the decay factor must lie in (0, 1)"
+    );
     epsilon * (decay - decay.powi(horizon as i32))
 }
 
 /// Corollary 1: the two-phase algorithm with phase switch `l` satisfies
 /// `|s⁽ⁿ⁾ − ŝ⁽ⁿ⁾| ≤ ε(c^{l+1} − cⁿ)` with probability `≥ 1 − δ`.
-pub fn corollary1_error_bound(epsilon: f64, decay: f64, phase_switch: usize, horizon: usize) -> f64 {
-    assert!(decay > 0.0 && decay < 1.0, "the decay factor must lie in (0, 1)");
+pub fn corollary1_error_bound(
+    epsilon: f64,
+    decay: f64,
+    phase_switch: usize,
+    horizon: usize,
+) -> f64 {
+    assert!(
+        decay > 0.0 && decay < 1.0,
+        "the decay factor must lie in (0, 1)"
+    );
     assert!(
         phase_switch < horizon,
         "the phase switch must be below the horizon for the bound to be meaningful"
@@ -52,7 +66,7 @@ mod tests {
         // epsilon = 0.1, delta = 0.05: 3/0.01 * ln(40) = 300 * 3.688... = 1107.
         let n = required_samples(0.1, 0.05);
         assert_eq!(n, ((3.0 / 0.01) * (2.0f64 / 0.05).ln()).ceil() as usize);
-        assert!(n >= 1100 && n <= 1110);
+        assert!((1100..=1110).contains(&n));
         // Halving epsilon quadruples the requirement.
         let n2 = required_samples(0.05, 0.05);
         assert!((n2 as f64 / n as f64 - 4.0).abs() < 0.01);

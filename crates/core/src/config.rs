@@ -60,7 +60,10 @@ impl SimRankConfig {
     ///
     /// Panics unless `0 < c < 1`.
     pub fn with_decay(mut self, c: f64) -> Self {
-        assert!(c > 0.0 && c < 1.0, "the decay factor must lie in (0, 1), got {c}");
+        assert!(
+            c > 0.0 && c < 1.0,
+            "the decay factor must lie in (0, 1), got {c}"
+        );
         self.decay = c;
         self
     }
@@ -119,7 +122,10 @@ impl SimRankConfig {
             self.decay
         );
         assert!(self.horizon >= 1, "the horizon must be at least 1");
-        assert!(self.num_samples >= 1, "the number of samples must be at least 1");
+        assert!(
+            self.num_samples >= 1,
+            "the number of samples must be at least 1"
+        );
     }
 }
 
@@ -157,7 +163,9 @@ mod tests {
 
     #[test]
     fn effective_phase_switch_is_clamped() {
-        let c = SimRankConfig::default().with_horizon(3).with_phase_switch(10);
+        let c = SimRankConfig::default()
+            .with_horizon(3)
+            .with_phase_switch(10);
         assert_eq!(c.effective_phase_switch(), 3);
         let c = SimRankConfig::default().with_phase_switch(2);
         assert_eq!(c.effective_phase_switch(), 2);

@@ -8,8 +8,8 @@
 //! the skeleton of the uncertain graph.
 
 use crate::meeting::combine_meeting_probabilities;
-use umatrix::{DenseMatrix, SparseMatrix, SparseVector};
 use ugraph::{DiGraph, VertexId};
+use umatrix::{DenseMatrix, SparseMatrix, SparseVector};
 
 /// Column-normalised adjacency matrix `A` of `g`: `A[i][j] = 1/|I(v_j)|` if
 /// `(v_i, v_j)` is an arc, 0 otherwise.
@@ -160,7 +160,11 @@ mod tests {
         let g = small_graph();
         let s = simrank_all_pairs(&g, 0.6, 8);
         for i in 0..g.num_vertices() {
-            assert!(s[(i, i)] > 0.0 && s[(i, i)] <= 1.0 + 1e-12, "s({i},{i}) = {}", s[(i, i)]);
+            assert!(
+                s[(i, i)] > 0.0 && s[(i, i)] <= 1.0 + 1e-12,
+                "s({i},{i}) = {}",
+                s[(i, i)]
+            );
             // Every vertex here has at most one in-neighbor pair to average
             // over, and the decay keeps (1 - c) as a hard floor.
             assert!(s[(i, i)] >= 1.0 - 0.6 - 1e-12);

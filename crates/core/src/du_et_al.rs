@@ -18,8 +18,8 @@ use crate::config::SimRankConfig;
 use crate::meeting::MeetingProfile;
 use crate::SimRankEstimator;
 use rwalk::expected::expected_one_step_matrix;
-use umatrix::{SparseMatrix, SparseVector};
 use ugraph::{UncertainGraph, VertexId};
+use umatrix::{SparseMatrix, SparseVector};
 
 /// The SimRank-III estimator: uncertain SimRank under the (unsound)
 /// assumption `W(k) = (W(1))^k`.

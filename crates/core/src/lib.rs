@@ -79,8 +79,7 @@ pub use deterministic::{simrank_all_pairs, simrank_single_pair, DeterministicSim
 pub use du_et_al::DuEtAlEstimator;
 pub use meeting::{combine_meeting_probabilities, MeetingProfile};
 pub use parallel::{
-    par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs,
-    par_top_k_similar_to,
+    par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs, par_top_k_similar_to,
 };
 pub use sampling::SamplingEstimator;
 pub use single_source::{SingleSourceEstimator, SingleSourceResult, SourceMode};

@@ -76,7 +76,10 @@ impl MeetingProfile {
     /// the convergence experiment to report `s⁽¹⁾, s⁽²⁾, …` from a single
     /// profile.
     pub fn score_at_horizon(&self, horizon: usize) -> f64 {
-        assert!(horizon >= 1 && horizon <= self.horizon(), "horizon out of range");
+        assert!(
+            horizon >= 1 && horizon <= self.horizon(),
+            "horizon out of range"
+        );
         combine_meeting_probabilities(&self.meeting[..=horizon], self.decay)
     }
 }
@@ -128,9 +131,7 @@ mod tests {
         let full = profile.score();
         assert!((full - combine_meeting_probabilities(&[1.0, 0.4, 0.3, 0.2], 0.6)).abs() < 1e-15);
         let truncated = profile.score_at_horizon(2);
-        assert!(
-            (truncated - combine_meeting_probabilities(&[1.0, 0.4, 0.3], 0.6)).abs() < 1e-15
-        );
+        assert!((truncated - combine_meeting_probabilities(&[1.0, 0.4, 0.3], 0.6)).abs() < 1e-15);
         // Successive horizons differ by at most c^{n+1} (Theorem 2 both are
         // within c^{n+1} of the limit; adjacent ones within 2c^{n+1} — here we
         // just check they are close).

@@ -144,8 +144,7 @@ mod tests {
     #[test]
     fn self_similarity_estimate_is_high() {
         let g = fig1_graph();
-        let mut sampling =
-            SamplingEstimator::new(&g, SimRankConfig::default().with_samples(2000));
+        let mut sampling = SamplingEstimator::new(&g, SimRankConfig::default().with_samples(2000));
         // m(0) = 1 exactly; later steps are (at least) the probability that
         // two independent walks follow the same trajectory, so s(u,u) is
         // large but not necessarily 1 under uncertainty.

@@ -165,8 +165,12 @@ impl SingleSourceEstimator {
     /// most one out-arc (each arc is instantiated with its probability, one
     /// survivor is chosen uniformly), exactly as the per-sample offline
     /// filter-vector construction of SR-SP.
-    fn sample_functional_map(&mut self, next: &mut [Option<VertexId>], choices: &mut Vec<VertexId>) {
-        for w in 0..self.graph.num_vertices() {
+    fn sample_functional_map(
+        &mut self,
+        next: &mut [Option<VertexId>],
+        choices: &mut Vec<VertexId>,
+    ) {
+        for (w, slot) in next.iter_mut().enumerate().take(self.graph.num_vertices()) {
             let (neighbors, probabilities) = self.graph.out_arcs(w as VertexId);
             choices.clear();
             for (&x, &p) in neighbors.iter().zip(probabilities) {
@@ -174,7 +178,7 @@ impl SingleSourceEstimator {
                     choices.push(x);
                 }
             }
-            next[w] = if choices.is_empty() {
+            *slot = if choices.is_empty() {
                 None
             } else {
                 Some(choices[self.rng.gen_range(0..choices.len())])
@@ -320,8 +324,7 @@ mod tests {
         let g = fig1_graph();
         let config = SimRankConfig::default().with_samples(3000).with_seed(23);
         let baseline = BaselineEstimator::new(&g, config);
-        let mut single =
-            SingleSourceEstimator::new(&g, config).with_source_mode(SourceMode::Exact);
+        let mut single = SingleSourceEstimator::new(&g, config).with_source_mode(SourceMode::Exact);
         let result = single.try_query(0).unwrap();
         for v in g.vertices() {
             let exact = baseline.try_similarity(0, v).unwrap();
@@ -336,10 +339,8 @@ mod tests {
     #[test]
     fn self_meeting_probability_at_step_zero_is_one() {
         let g = fig1_graph();
-        let mut single = SingleSourceEstimator::new(
-            &g,
-            SimRankConfig::default().with_samples(100).with_seed(3),
-        );
+        let mut single =
+            SingleSourceEstimator::new(&g, SimRankConfig::default().with_samples(100).with_seed(3));
         let result = single.query(2);
         assert_eq!(result.meeting_probability(0, 2), 1.0);
         for v in g.vertices() {
@@ -356,8 +357,12 @@ mod tests {
     fn scores_are_probability_like_and_deterministic_per_seed() {
         let g = fig1_graph();
         let config = SimRankConfig::default().with_samples(500).with_seed(9);
-        let first = SingleSourceEstimator::new(&g, config).query(0).similarities();
-        let second = SingleSourceEstimator::new(&g, config).query(0).similarities();
+        let first = SingleSourceEstimator::new(&g, config)
+            .query(0)
+            .similarities();
+        let second = SingleSourceEstimator::new(&g, config)
+            .query(0)
+            .similarities();
         assert_eq!(first, second, "same seed must give identical estimates");
         for (v, s) in first.iter().enumerate() {
             assert!((0.0..=1.0 + 1e-12).contains(s), "s(0,{v}) = {s}");
@@ -365,16 +370,17 @@ mod tests {
         let different_seed = SingleSourceEstimator::new(&g, config.with_seed(10))
             .query(0)
             .similarities();
-        assert_ne!(first, different_seed, "different seeds should perturb the estimate");
+        assert_ne!(
+            first, different_seed,
+            "different seeds should perturb the estimate"
+        );
     }
 
     #[test]
     fn top_k_is_sorted_excludes_the_source_and_truncates() {
         let g = fig1_graph();
-        let mut single = SingleSourceEstimator::new(
-            &g,
-            SimRankConfig::default().with_samples(800).with_seed(5),
-        );
+        let mut single =
+            SingleSourceEstimator::new(&g, SimRankConfig::default().with_samples(800).with_seed(5));
         let top = single.top_k(1, 3);
         assert_eq!(top.len(), 3);
         assert!(top.iter().all(|s| s.vertex != 1));

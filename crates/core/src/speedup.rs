@@ -32,8 +32,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rwalk::transpr::{transition_rows_from, TransPrOptions};
 use std::collections::HashMap;
-use umatrix::BitVec;
 use ugraph::{UncertainGraph, VertexId};
+use umatrix::BitVec;
 
 /// Which filter-vector cache a propagation pass uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,7 +176,11 @@ impl SpeedupEstimator {
     fn propagate(&mut self, start: VertexId, side: Side) -> Vec<HashMap<VertexId, BitVec>> {
         let n = self.config.horizon;
         let n_samples = self.config.num_samples;
-        let effective_side = if self.shared_filters { Side::Source } else { side };
+        let effective_side = if self.shared_filters {
+            Side::Source
+        } else {
+            side
+        };
         let mut levels: Vec<HashMap<VertexId, BitVec>> = Vec::with_capacity(n + 1);
         let mut first = HashMap::new();
         first.insert(start, BitVec::ones(n_samples));
@@ -195,9 +199,7 @@ impl SpeedupEstimator {
                 let vectors = cache.get(&w).expect("filters ensured above");
                 for (idx, &x) in neighbors.iter().enumerate() {
                     let filter = &vectors[idx];
-                    let entry = next
-                        .entry(x)
-                        .or_insert_with(|| BitVec::zeros(n_samples));
+                    let entry = next.entry(x).or_insert_with(|| BitVec::zeros(n_samples));
                     entry.or_and_assign(bits, filter);
                 }
             }

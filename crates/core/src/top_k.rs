@@ -23,7 +23,11 @@ pub struct ScoredPair {
     pub score: f64,
 }
 
-fn sort_descending_by_score<T>(items: &mut [T], score: impl Fn(&T) -> f64, tie: impl Fn(&T) -> u64) {
+fn sort_descending_by_score<T>(
+    items: &mut [T],
+    score: impl Fn(&T) -> f64,
+    tie: impl Fn(&T) -> u64,
+) {
     items.sort_by(|a, b| {
         score(b)
             .partial_cmp(&score(a))
@@ -89,9 +93,8 @@ pub fn top_k_pairs<E: SimRankEstimator + ?Sized>(
 /// Enumerates every unordered vertex pair of a graph with `num_vertices`
 /// vertices — convenience for exhaustive top-k pair queries on small graphs.
 pub fn all_pairs(num_vertices: usize) -> impl Iterator<Item = (VertexId, VertexId)> {
-    (0..num_vertices as VertexId).flat_map(move |u| {
-        ((u + 1)..num_vertices as VertexId).map(move |v| (u, v))
-    })
+    (0..num_vertices as VertexId)
+        .flat_map(move |u| ((u + 1)..num_vertices as VertexId).map(move |v| (u, v)))
 }
 
 #[cfg(test)]
@@ -177,10 +180,16 @@ mod tests {
 
     #[test]
     fn scored_items_serialise_for_result_archives() {
-        let vertex = ScoredVertex { vertex: 7, score: 0.5 };
+        let vertex = ScoredVertex {
+            vertex: 7,
+            score: 0.5,
+        };
         let json = serde_json::to_string(&vertex).unwrap();
         assert_eq!(serde_json::from_str::<ScoredVertex>(&json).unwrap(), vertex);
-        let pair = ScoredPair { pair: (1, 9), score: 0.25 };
+        let pair = ScoredPair {
+            pair: (1, 9),
+            score: 0.25,
+        };
         let json = serde_json::to_string(&pair).unwrap();
         assert_eq!(serde_json::from_str::<ScoredPair>(&json).unwrap(), pair);
     }

@@ -147,7 +147,9 @@ mod tests {
     #[test]
     fn exact_phase_steps_match_the_baseline_exactly() {
         let g = fig1_graph();
-        let config = SimRankConfig::default().with_phase_switch(3).with_samples(50);
+        let config = SimRankConfig::default()
+            .with_phase_switch(3)
+            .with_samples(50);
         let baseline = BaselineEstimator::new(&g, config);
         let mut two_phase = TwoPhaseEstimator::new(&g, config);
         let exact = baseline.profile(0, 1);
@@ -211,16 +213,10 @@ mod tests {
             let seeded = config.with_seed(1000 + trial);
             let mut sampling = SamplingEstimator::new(&g, seeded);
             let mut two_phase = TwoPhaseEstimator::new(&g, seeded.with_phase_switch(2));
-            sampling_error_total += average_relative_error(
-                &baseline,
-                &mut |u, v| sampling.similarity(u, v),
-                &pairs,
-            );
-            two_phase_error_total += average_relative_error(
-                &baseline,
-                &mut |u, v| two_phase.similarity(u, v),
-                &pairs,
-            );
+            sampling_error_total +=
+                average_relative_error(&baseline, &mut |u, v| sampling.similarity(u, v), &pairs);
+            two_phase_error_total +=
+                average_relative_error(&baseline, &mut |u, v| two_phase.similarity(u, v), &pairs);
         }
         assert!(
             two_phase_error_total < sampling_error_total,
@@ -243,8 +239,10 @@ mod tests {
             let seeded = base_config.with_seed(7000 + trial);
             let mut with_l1 = TwoPhaseEstimator::new(&g, seeded.with_phase_switch(1));
             let mut with_l4 = TwoPhaseEstimator::new(&g, seeded.with_phase_switch(4));
-            error_l1 += average_relative_error(&baseline, &mut |u, v| with_l1.similarity(u, v), &pairs);
-            error_l4 += average_relative_error(&baseline, &mut |u, v| with_l4.similarity(u, v), &pairs);
+            error_l1 +=
+                average_relative_error(&baseline, &mut |u, v| with_l1.similarity(u, v), &pairs);
+            error_l4 +=
+                average_relative_error(&baseline, &mut |u, v| with_l4.similarity(u, v), &pairs);
         }
         assert!(
             error_l4 < error_l1,

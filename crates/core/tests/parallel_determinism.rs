@@ -1,0 +1,91 @@
+//! Determinism of the parallel batch-query helpers across thread counts.
+//!
+//! `usim_core::parallel` promises that, for estimators whose answers do not
+//! depend on query order (every exact estimator, and any estimator freshly
+//! derived from the factory), the batch results are identical regardless of
+//! how many rayon workers execute the batch.  These tests pin that promise
+//! by running the same batch under 1-thread and N-thread pools.
+
+use rayon::ThreadPoolBuilder;
+use ugraph::{UncertainGraph, UncertainGraphBuilder, VertexId};
+use usim_core::parallel::{par_mean_similarity, par_similarities, par_top_k_pairs};
+use usim_core::{BaselineEstimator, SimRankConfig};
+
+fn fig1_graph() -> UncertainGraph {
+    UncertainGraphBuilder::new(5)
+        .arc(0, 2, 0.8)
+        .arc(0, 3, 0.5)
+        .arc(1, 0, 0.8)
+        .arc(1, 2, 0.9)
+        .arc(2, 0, 0.7)
+        .arc(2, 3, 0.6)
+        .arc(3, 4, 0.6)
+        .arc(3, 1, 0.8)
+        .build()
+        .unwrap()
+}
+
+fn all_ordered_pairs(n: u32) -> Vec<(VertexId, VertexId)> {
+    (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+}
+
+#[test]
+fn batch_queries_are_identical_for_1_and_n_threads() {
+    let graph = fig1_graph();
+    let config = SimRankConfig::default();
+    let pairs = all_ordered_pairs(5);
+
+    let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let many = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+
+    let sequential: Vec<f64> =
+        single.install(|| par_similarities(|| BaselineEstimator::new(&graph, config), &pairs));
+    let parallel: Vec<f64> =
+        many.install(|| par_similarities(|| BaselineEstimator::new(&graph, config), &pairs));
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "pair {i}: 1-thread {a} differs from 8-thread {b}"
+        );
+    }
+}
+
+#[test]
+fn top_k_ranking_is_identical_for_1_and_n_threads() {
+    let graph = fig1_graph();
+    let config = SimRankConfig::default();
+    let pairs = all_ordered_pairs(5);
+
+    let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let many = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+
+    let a =
+        single.install(|| par_top_k_pairs(|| BaselineEstimator::new(&graph, config), &pairs, 4));
+    let b = many.install(|| par_top_k_pairs(|| BaselineEstimator::new(&graph, config), &pairs, 4));
+
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.pair, y.pair);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+}
+
+#[test]
+fn mean_similarity_is_identical_for_1_and_n_threads() {
+    let graph = fig1_graph();
+    let config = SimRankConfig::default();
+    let pairs = all_ordered_pairs(5);
+
+    let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let many = ThreadPoolBuilder::new().num_threads(16).build().unwrap();
+
+    let a =
+        single.install(|| par_mean_similarity(|| BaselineEstimator::new(&graph, config), &pairs));
+    let b = many.install(|| par_mean_similarity(|| BaselineEstimator::new(&graph, config), &pairs));
+    assert!(
+        (a - b).abs() < 1e-12,
+        "means diverged across thread counts: {a} vs {b}"
+    );
+}

@@ -60,7 +60,10 @@ impl CoauthorGenerator {
     /// Generates the uncertain co-authorship network (symmetric arcs).
     pub fn generate(&self) -> UncertainGraph {
         assert!(self.num_authors >= 2, "need at least two authors");
-        assert!(self.edges_per_author >= 1, "each author needs a collaborator");
+        assert!(
+            self.edges_per_author >= 1,
+            "each author needs a collaborator"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Preferential attachment: keep a multiset of endpoints; new vertices

@@ -155,7 +155,8 @@ impl ErGenerator {
         }
         let factor = total_records as f64 / current as f64;
         for group in &mut self.groups {
-            group.num_records = ((group.num_records as f64 * factor).round() as usize).max(group.num_authors);
+            group.num_records =
+                ((group.num_records as f64 * factor).round() as usize).max(group.num_authors);
         }
         self
     }
@@ -167,7 +168,10 @@ impl ErGenerator {
         let mut group_of = Vec::new();
         let mut next_author = 0usize;
         for (group_index, group) in self.groups.iter().enumerate() {
-            assert!(group.num_authors >= 1, "a name group needs at least one author");
+            assert!(
+                group.num_authors >= 1,
+                "a name group needs at least one author"
+            );
             assert!(
                 group.num_records >= group.num_authors,
                 "group {} has fewer records than authors",
@@ -182,7 +186,9 @@ impl ErGenerator {
                     authors[i]
                 } else {
                     // Zipf-ish skew: earlier authors get more records.
-                    let mut pick = rng.gen_range(0..authors.len()).min(rng.gen_range(0..authors.len()));
+                    let mut pick = rng
+                        .gen_range(0..authors.len())
+                        .min(rng.gen_range(0..authors.len()));
                     if rng.gen::<f64>() < 0.3 {
                         pick = 0;
                     }
@@ -206,13 +212,13 @@ impl ErGenerator {
                 }
                 if author_of[a] == author_of[b] {
                     if rng.gen::<f64>() < self.same_author_density {
-                        let p = rng
-                            .gen_range(self.same_author_similarity.0..self.same_author_similarity.1);
+                        let p = rng.gen_range(
+                            self.same_author_similarity.0..self.same_author_similarity.1,
+                        );
                         connect(&mut staged, a, b, p);
                     }
                 } else if rng.gen::<f64>() < self.same_name_density {
-                    let p =
-                        rng.gen_range(self.same_name_similarity.0..self.same_name_similarity.1);
+                    let p = rng.gen_range(self.same_name_similarity.0..self.same_name_similarity.1);
                     connect(&mut staged, a, b, p);
                 }
             }
@@ -300,8 +306,18 @@ mod tests {
         assert!((total as i64 - 1000).abs() < 60, "total = {total}");
         // Relative ordering preserved.
         assert!(
-            generator.groups.iter().find(|g| g.name == "Wei Wang").unwrap().num_records
-                > generator.groups.iter().find(|g| g.name == "Hui Fang").unwrap().num_records
+            generator
+                .groups
+                .iter()
+                .find(|g| g.name == "Wei Wang")
+                .unwrap()
+                .num_records
+                > generator
+                    .groups
+                    .iter()
+                    .find(|g| g.name == "Hui Fang")
+                    .unwrap()
+                    .num_records
         );
     }
 

@@ -142,13 +142,11 @@ impl PpiGenerator {
             .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
             .forbid_self_loops();
         let mut staged: Vec<(VertexId, VertexId, f64)> = Vec::new();
-        let add_interaction = |staged: &mut Vec<(VertexId, VertexId, f64)>,
-                                   u: VertexId,
-                                   v: VertexId,
-                                   p: f64| {
-            staged.push((u, v, p));
-            staged.push((v, u, p));
-        };
+        let add_interaction =
+            |staged: &mut Vec<(VertexId, VertexId, f64)>, u: VertexId, v: VertexId, p: f64| {
+                staged.push((u, v, p));
+                staged.push((v, u, p));
+            };
 
         // Dense, high-confidence interactions within each complex.
         for complex in &complexes {
@@ -220,11 +218,7 @@ mod tests {
             assert!(dataset.same_complex(pair.0, pair.1));
         }
         // A protein outside every complex matches nothing.
-        if let Some(outside) = dataset
-            .complex_of
-            .iter()
-            .position(|c| c.is_none())
-        {
+        if let Some(outside) = dataset.complex_of.iter().position(|c| c.is_none()) {
             assert!(!dataset.same_complex(outside as VertexId, dataset.complexes[0][0]));
         }
     }

@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn registries_cover_table2() {
         let names: Vec<&str> = paper_registry().iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["PPI1", "PPI2", "PPI3", "Condmat", "Net", "DBLP"]);
+        assert_eq!(
+            names,
+            vec!["PPI1", "PPI2", "PPI3", "Condmat", "Net", "DBLP"]
+        );
         assert_eq!(ci_registry().len(), 6);
     }
 

@@ -53,7 +53,10 @@ impl RmatGenerator {
     pub fn generate(&self) -> UncertainGraph {
         let (a, b, c) = self.partition;
         let d = 1.0 - a - b - c;
-        assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "invalid R-MAT partition");
+        assert!(
+            a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+            "invalid R-MAT partition"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = self.num_vertices();
         let mut staged = Vec::with_capacity(self.num_edges);

@@ -1,11 +1,9 @@
 //! The four entity-resolution algorithms compared in the paper's case study.
 
 use crate::cluster::{cluster_records, Clustering};
-use usim_core::{
-    DeterministicSimRank, SimRankConfig, SimRankEstimator, SpeedupEstimator,
-};
-use usim_similarity::{cosine, jaccard, NeighborhoodMode};
 use ugraph::{DiGraph, UncertainGraph, VertexId};
+use usim_core::{DeterministicSimRank, SimRankConfig, SimRankEstimator, SpeedupEstimator};
+use usim_similarity::{cosine, jaccard, NeighborhoodMode};
 
 /// Which ER algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,8 +160,8 @@ pub fn induced_subgraph(
             }
         }
     }
-    let subgraph = UncertainGraph::from_arcs(records.len(), arcs)
-        .expect("induced subgraph arcs are valid");
+    let subgraph =
+        UncertainGraph::from_arcs(records.len(), arcs).expect("induced subgraph arcs are valid");
     (subgraph, records.to_vec())
 }
 
@@ -203,7 +201,10 @@ mod tests {
         for arc in subgraph.arcs() {
             let old_source = records[arc.source as usize];
             let old_target = records[arc.target as usize];
-            let original = dataset.graph.arc_probability(old_source, old_target).unwrap();
+            let original = dataset
+                .graph
+                .arc_probability(old_source, old_target)
+                .unwrap();
             assert!((original - arc.probability).abs() < 1e-12);
         }
     }
@@ -228,8 +229,7 @@ mod tests {
                 assert_eq!(clustering.records, records);
                 assert!(clustering.num_clusters() >= 1);
                 assert!(clustering.num_clusters() <= records.len());
-                let quality =
-                    evaluate_clustering(&clustering, |a, b| dataset.same_author(a, b));
+                let quality = evaluate_clustering(&clustering, |a, b| dataset.same_author(a, b));
                 assert!(quality.precision >= 0.0 && quality.precision <= 1.0);
                 assert!(quality.recall >= 0.0 && quality.recall <= 1.0);
                 assert!(quality.f1 >= 0.0 && quality.f1 <= 1.0);
@@ -261,7 +261,10 @@ mod tests {
         assert_eq!(ErAlgorithm::new(ErAlgorithmKind::SimEr).name(), "SimER");
         assert_eq!(ErAlgorithm::new(ErAlgorithmKind::SimDer).name(), "SimDER");
         assert_eq!(ErAlgorithm::new(ErAlgorithmKind::Eif).name(), "EIF");
-        assert_eq!(ErAlgorithm::new(ErAlgorithmKind::Distinct).name(), "DISTINCT");
+        assert_eq!(
+            ErAlgorithm::new(ErAlgorithmKind::Distinct).name(),
+            "DISTINCT"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn evaluate_clustering(
 
 /// Averages a set of quality metrics (used for the "Average" row of Table V).
 pub fn average_metrics(metrics: &[QualityMetrics]) -> QualityMetrics {
-    assert!(!metrics.is_empty(), "cannot average an empty set of metrics");
+    assert!(
+        !metrics.is_empty(),
+        "cannot average an empty set of metrics"
+    );
     let n = metrics.len() as f64;
     QualityMetrics {
         precision: metrics.iter().map(|m| m.precision).sum::<f64>() / n,

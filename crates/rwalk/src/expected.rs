@@ -20,8 +20,8 @@
 //!   comparison baseline.
 
 use crate::walkpr::{inv, presence_count_distribution};
-use umatrix::SparseMatrix;
 use ugraph::{Probability, UncertainGraph, VertexId};
+use umatrix::SparseMatrix;
 
 /// Removes one Bernoulli variable with success probability `p` from a
 /// Poisson-binomial presence-count distribution `r` (the deconvolution step
@@ -235,7 +235,10 @@ mod tests {
             let expected = presence_count_distribution(&others);
             let removed = remove_bernoulli(&full, p);
             for (a, b) in removed.iter().zip(&expected) {
-                assert!((a - b).abs() < 1e-10, "removing p={p}: {removed:?} vs {expected:?}");
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "removing p={p}: {removed:?} vs {expected:?}"
+                );
             }
         }
     }

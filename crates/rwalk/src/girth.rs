@@ -123,8 +123,7 @@ mod tests {
     #[test]
     fn shortest_of_several_cycles_wins() {
         // A 4-cycle 0..3 plus a chord creating a 2-cycle between 1 and 2.
-        let g =
-            DiGraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 1)]).unwrap();
+        let g = DiGraph::from_arcs(4, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 1)]).unwrap();
         assert_eq!(directed_girth(&g, None), Some(2));
     }
 
@@ -149,7 +148,16 @@ mod tests {
         // v1 <-> v3 (0 <-> 2) forms a 2-cycle in the paper's running example.
         let g = DiGraph::from_arcs(
             5,
-            [(0, 2), (0, 3), (1, 0), (1, 2), (2, 0), (2, 3), (3, 4), (3, 1)],
+            [
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (3, 1),
+            ],
         )
         .unwrap();
         assert_eq!(directed_girth(&g, None), Some(2));

@@ -22,8 +22,8 @@
 use crate::expected::expected_one_step_row;
 use crate::walkpr::alpha;
 use std::collections::BTreeMap;
-use umatrix::{DenseMatrix, SparseVector};
 use ugraph::{UncertainGraph, VertexId};
+use umatrix::{DenseMatrix, SparseVector};
 
 /// Options for the `TransPr` computation.
 #[derive(Debug, Clone)]
@@ -173,10 +173,7 @@ fn extend_frontier(
     step: usize,
 ) -> Result<Vec<ActiveWalk>, TransPrError> {
     // Estimate the size of the next frontier to enforce the budget up front.
-    let projected: usize = frontier
-        .iter()
-        .map(|w| g.out_degree(w.end))
-        .sum();
+    let projected: usize = frontier.iter().map(|w| g.out_degree(w.end)).sum();
     if projected > options.max_walks {
         return Err(TransPrError::WalkBudgetExceeded {
             step,
@@ -252,10 +249,7 @@ pub fn transition_matrices(
     options: &TransPrOptions,
 ) -> Result<TransitionMatrices, TransPrError> {
     let n = g.num_vertices();
-    let one_step_rows: Vec<Vec<f64>> = g
-        .vertices()
-        .map(|u| expected_one_step_row(g, u))
-        .collect();
+    let one_step_rows: Vec<Vec<f64>> = g.vertices().map(|u| expected_one_step_row(g, u)).collect();
     let mut frontier: Vec<ActiveWalk> = g.vertices().map(ActiveWalk::new).collect();
     let mut matrices = Vec::with_capacity(k_max);
     for step in 1..=k_max {
@@ -284,18 +278,13 @@ pub fn transition_rows_from(
     k_max: usize,
     options: &TransPrOptions,
 ) -> Result<Vec<SparseVector>, TransPrError> {
-    let one_step_rows: Vec<Vec<f64>> = g
-        .vertices()
-        .map(|u| expected_one_step_row(g, u))
-        .collect();
+    let one_step_rows: Vec<Vec<f64>> = g.vertices().map(|u| expected_one_step_row(g, u)).collect();
     let mut rows = Vec::with_capacity(k_max + 1);
     rows.push(SparseVector::unit(source, 1.0));
     let mut frontier = vec![ActiveWalk::new(source)];
     for step in 1..=k_max {
         frontier = extend_frontier(g, frontier, &one_step_rows, options, step)?;
-        let row = SparseVector::from_pairs(
-            frontier.iter().map(|w| (w.end, w.probability)),
-        );
+        let row = SparseVector::from_pairs(frontier.iter().map(|w| (w.end, w.probability)));
         rows.push(row);
     }
     Ok(rows)
@@ -408,9 +397,9 @@ mod tests {
             let rows = transition_rows_from(&g, source, k_max, &TransPrOptions::default()).unwrap();
             assert_eq!(rows.len(), k_max + 1);
             assert_eq!(rows[0].get(source), 1.0);
-            for k in 1..=k_max {
+            for (k, row) in rows.iter().enumerate().skip(1) {
                 for v in g.vertices() {
-                    let from_rows = rows[k].get(v);
+                    let from_rows = row.get(v);
                     let from_matrix = tm.probability(k, source, v);
                     assert!(
                         (from_rows - from_matrix).abs() < 1e-12,
@@ -458,7 +447,10 @@ mod tests {
             let sums = tm.step(k).row_sums();
             for (u, (&s, &prev)) in sums.iter().zip(&previous).enumerate() {
                 assert!(s <= 1.0 + 1e-12, "row {u} of W({k}) sums to {s}");
-                assert!(s <= prev + 1e-12, "survival must not increase (row {u}, k={k})");
+                assert!(
+                    s <= prev + 1e-12,
+                    "survival must not increase (row {u}, k={k})"
+                );
             }
             previous = sums;
         }

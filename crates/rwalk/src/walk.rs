@@ -52,7 +52,10 @@ impl Walk {
     /// vertex.
     pub fn from_vertices(vertices: impl Into<Vec<VertexId>>) -> Self {
         let vertices = vertices.into();
-        assert!(!vertices.is_empty(), "a walk must contain at least one vertex");
+        assert!(
+            !vertices.is_empty(),
+            "a walk must contain at least one vertex"
+        );
         Walk { vertices }
     }
 

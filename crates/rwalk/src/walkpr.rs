@@ -58,13 +58,11 @@ pub fn presence_count_distribution(probabilities: &[Probability]) -> Vec<f64> {
 ///
 /// Returns 0 when some arc `(v, w)` with `w ∈ O_W(v)` does not exist in the
 /// uncertain graph (then `W` is not a walk on `G`).
-pub fn alpha(
-    g: &UncertainGraph,
-    v: VertexId,
-    walk_out: &[VertexId],
-    walk_out_count: usize,
-) -> f64 {
-    debug_assert!(walk_out.windows(2).all(|w| w[0] < w[1]), "walk_out must be sorted");
+pub fn alpha(g: &UncertainGraph, v: VertexId, walk_out: &[VertexId], walk_out_count: usize) -> f64 {
+    debug_assert!(
+        walk_out.windows(2).all(|w| w[0] < w[1]),
+        "walk_out must be sorted"
+    );
     if walk_out_count == 0 {
         // A vertex that the walk never leaves contributes a factor of 1.
         return 1.0;
@@ -260,9 +258,8 @@ mod tests {
         // The key observation of Section IV: for a walk that revisits a
         // vertex, Pr(W) != product of one-step probabilities.
         let g = fig1_graph();
-        let one_step = |u: VertexId, v: VertexId| {
-            walk_probability(&g, &Walk::from_vertices(vec![u, v]))
-        };
+        let one_step =
+            |u: VertexId, v: VertexId| walk_probability(&g, &Walk::from_vertices(vec![u, v]));
         // Walk 0 -> 2 -> 0 -> 2 revisits both 0 and 2.
         let w = Walk::from_vertices(vec![0, 2, 0, 2]);
         let exact = walk_probability(&g, &w);

@@ -119,7 +119,13 @@ mod tests {
 
     #[test]
     fn identical_nonempty_neighborhoods_give_one() {
-        let g = DiGraphBuilder::new(4).arc(2, 0).arc(2, 1).arc(3, 0).arc(3, 1).build().unwrap();
+        let g = DiGraphBuilder::new(4)
+            .arc(2, 0)
+            .arc(2, 1)
+            .arc(3, 0)
+            .arc(3, 1)
+            .build()
+            .unwrap();
         assert_eq!(jaccard(&g, 0, 1, NeighborhoodMode::In), 1.0);
         assert_eq!(dice(&g, 0, 1, NeighborhoodMode::In), 1.0);
         assert_eq!(cosine(&g, 0, 1, NeighborhoodMode::In), 1.0);

@@ -114,10 +114,10 @@ fn expectation_over_joint(
     let dist = joint_distribution(&candidates);
     let m = candidates.len();
     let mut total = 0.0;
-    for i in 0..=m {
-        for a in 0..=m {
-            for b in 0..=m {
-                let mass = dist[i][a][b];
+    debug_assert_eq!(dist.len(), m + 1);
+    for (i, plane) in dist.iter().enumerate() {
+        for (a, row) in plane.iter().enumerate() {
+            for (b, &mass) in row.iter().enumerate() {
                 if mass > 0.0 {
                     total += mass * f(i, a, b);
                 }
@@ -146,12 +146,7 @@ pub fn expected_jaccard(
 }
 
 /// Exact expected Dice similarity `E[ 2|N(u) ∩ N(v)| / (|N(u)| + |N(v)|) ]`.
-pub fn expected_dice(
-    g: &UncertainGraph,
-    u: VertexId,
-    v: VertexId,
-    mode: NeighborhoodMode,
-) -> f64 {
+pub fn expected_dice(g: &UncertainGraph, u: VertexId, v: VertexId, mode: NeighborhoodMode) -> f64 {
     expectation_over_joint(g, u, v, mode, |i, a, b| {
         if a + b == 0 {
             0.0
@@ -235,8 +230,7 @@ mod tests {
     fn expected_measures_match_possible_world_enumeration() {
         let g = toy();
         let mode = NeighborhoodMode::In;
-        let brute_jaccard =
-            expectation_over_worlds(&g, |world| jaccard(world, 0, 1, mode));
+        let brute_jaccard = expectation_over_worlds(&g, |world| jaccard(world, 0, 1, mode));
         let brute_dice = expectation_over_worlds(&g, |world| dice(world, 0, 1, mode));
         let brute_cosine = expectation_over_worlds(&g, |world| cosine(world, 0, 1, mode));
         assert!((expected_jaccard(&g, 0, 1, mode) - brute_jaccard).abs() < 1e-10);
@@ -252,9 +246,7 @@ mod tests {
             (expected_jaccard(&g, 0, 1, mode) - jaccard(g.skeleton(), 0, 1, mode)).abs() < 1e-12
         );
         assert!((expected_dice(&g, 0, 1, mode) - dice(g.skeleton(), 0, 1, mode)).abs() < 1e-12);
-        assert!(
-            (expected_cosine(&g, 0, 1, mode) - cosine(g.skeleton(), 0, 1, mode)).abs() < 1e-12
-        );
+        assert!((expected_cosine(&g, 0, 1, mode) - cosine(g.skeleton(), 0, 1, mode)).abs() < 1e-12);
     }
 
     #[test]
@@ -299,7 +291,10 @@ mod tests {
         let deterministic = jaccard(g.skeleton(), 0, 1, NeighborhoodMode::In);
         let expected = expected_jaccard(&g, 0, 1, NeighborhoodMode::In);
         assert_eq!(deterministic, 1.0);
-        assert!(expected < 0.7, "expected Jaccard {expected} should drop well below 1");
+        assert!(
+            expected < 0.7,
+            "expected Jaccard {expected} should drop well below 1"
+        );
         assert!(expected > 0.0);
     }
 
@@ -310,7 +305,10 @@ mod tests {
         let exact = expected_jaccard(&g, 0, 1, NeighborhoodMode::In);
         let estimate =
             monte_carlo_expected_jaccard(&g, 0, 1, NeighborhoodMode::In, 40_000, &mut rng);
-        assert!((exact - estimate).abs() < 0.01, "exact {exact}, MC {estimate}");
+        assert!(
+            (exact - estimate).abs() < 0.01,
+            "exact {exact}, MC {estimate}"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub fn write_binary<W: Write>(graph: &UncertainGraph, writer: W) -> Result<(), G
 }
 
 /// Writes `graph` to a file in the binary format.
-pub fn write_binary_file<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<(), GraphError> {
+pub fn write_binary_file<P: AsRef<Path>>(
+    graph: &UncertainGraph,
+    path: P,
+) -> Result<(), GraphError> {
     let file = File::create(path)?;
     write_binary(graph, file)
 }
@@ -94,13 +97,14 @@ pub fn read_binary<R: Read>(reader: R) -> Result<UncertainGraph, GraphError> {
     let mut reader = BufReader::new(reader);
     let mut checksum = Fnv1a::new();
 
-    let mut read_exact = |reader: &mut BufReader<R>, buffer: &mut [u8], what: &str| -> Result<(), GraphError> {
-        reader
-            .read_exact(buffer)
-            .map_err(|e| format_error(format!("truncated file while reading {what}: {e}")))?;
-        checksum.update(buffer);
-        Ok(())
-    };
+    let mut read_exact =
+        |reader: &mut BufReader<R>, buffer: &mut [u8], what: &str| -> Result<(), GraphError> {
+            reader
+                .read_exact(buffer)
+                .map_err(|e| format_error(format!("truncated file while reading {what}: {e}")))?;
+            checksum.update(buffer);
+            Ok(())
+        };
 
     let mut magic = [0u8; 8];
     read_exact(&mut reader, &mut magic, "the file magic")?;
@@ -267,7 +271,9 @@ mod tests {
             assume_compact: true,
             ..Default::default()
         };
-        let from_text = crate::io::read_edge_list(text.as_slice(), &options).unwrap().graph;
+        let from_text = crate::io::read_edge_list(text.as_slice(), &options)
+            .unwrap()
+            .graph;
         let from_binary = read_binary(encode(&graph).as_slice()).unwrap();
         assert_eq!(from_text.num_vertices(), from_binary.num_vertices());
         assert_eq!(from_text.num_arcs(), from_binary.num_arcs());

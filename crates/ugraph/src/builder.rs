@@ -179,7 +179,7 @@ impl UncertainGraphBuilder {
         }
         match self.duplicate_policy {
             DuplicatePolicy::Error => {
-                triples.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                triples.sort_unstable_by_key(|a| (a.0, a.1));
                 if let Some(w) = triples
                     .windows(2)
                     .find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
@@ -192,7 +192,7 @@ impl UncertainGraphBuilder {
             }
             DuplicatePolicy::KeepFirst => {
                 // Stable sort keeps the first insertion first within a group.
-                triples.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+                triples.sort_by_key(|a| (a.0, a.1));
                 triples.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
             }
             DuplicatePolicy::KeepMaxProbability => {
@@ -241,7 +241,11 @@ mod tests {
 
     #[test]
     fn digraph_builder_duplicate_policies() {
-        let err = DiGraphBuilder::new(2).arc(0, 1).arc(0, 1).build().unwrap_err();
+        let err = DiGraphBuilder::new(2)
+            .arc(0, 1)
+            .arc(0, 1)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GraphError::DuplicateArc { .. }));
 
         let g = DiGraphBuilder::new(2)
@@ -290,8 +294,14 @@ mod tests {
 
     #[test]
     fn uncertain_builder_validates_probability_and_range() {
-        assert!(UncertainGraphBuilder::new(2).arc(0, 1, 0.0).build().is_err());
-        assert!(UncertainGraphBuilder::new(2).arc(0, 9, 0.5).build().is_err());
+        assert!(UncertainGraphBuilder::new(2)
+            .arc(0, 1, 0.0)
+            .build()
+            .is_err());
+        assert!(UncertainGraphBuilder::new(2)
+            .arc(0, 9, 0.5)
+            .build()
+            .is_err());
         assert!(UncertainGraphBuilder::new(2)
             .forbid_self_loops()
             .arc(0, 0, 0.5)

@@ -73,7 +73,10 @@ impl fmt::Display for GraphError {
                 write!(f, "arc ({source}, {target}) was inserted more than once")
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop on vertex {vertex} is not allowed by this builder")
+                write!(
+                    f,
+                    "self-loop on vertex {vertex} is not allowed by this builder"
+                )
             }
             GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
             GraphError::Parse { line, message } => {
@@ -114,7 +117,10 @@ mod tests {
         };
         assert!(e.to_string().contains("1.5"));
 
-        let e = GraphError::DuplicateArc { source: 3, target: 4 };
+        let e = GraphError::DuplicateArc {
+            source: 3,
+            target: 4,
+        };
         assert!(e.to_string().contains("(3, 4)"));
 
         let e = GraphError::Parse {

@@ -164,7 +164,7 @@ impl DiGraph {
 
     /// Iterator over all vertex ids `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices as VertexId).into_iter()
+        0..self.num_vertices as VertexId
     }
 
     /// Average out-degree `|E| / |V|` (0 for the empty graph).
@@ -183,8 +183,7 @@ impl DiGraph {
     /// forward on the transposed graph; the SimRank estimators transpose the
     /// input once and reuse the forward-walk machinery.
     pub fn transpose(&self) -> DiGraph {
-        let mut arcs: Vec<(VertexId, VertexId)> =
-            self.arcs().map(|(u, v)| (v, u)).collect();
+        let mut arcs: Vec<(VertexId, VertexId)> = self.arcs().map(|(u, v)| (v, u)).collect();
         arcs.sort_unstable();
         DiGraph::from_sorted_unique_arcs(self.num_vertices, &arcs)
     }
@@ -294,7 +293,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_vertices() {
         let err = DiGraph::from_arcs(3, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]

@@ -140,7 +140,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(
 
 /// Writes an uncertain graph to any writer in edge-list format.
 pub fn write_edge_list<W: Write>(graph: &UncertainGraph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# uncertain graph: {} vertices, {} arcs", graph.num_vertices(), graph.num_arcs())?;
+    writeln!(
+        writer,
+        "# uncertain graph: {} vertices, {} arcs",
+        graph.num_vertices(),
+        graph.num_arcs()
+    )?;
     for arc in graph.arcs() {
         writeln!(writer, "{} {} {}", arc.source, arc.target, arc.probability)?;
     }

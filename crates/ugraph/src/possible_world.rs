@@ -49,7 +49,11 @@ pub fn world_probability(g: &UncertainGraph, present: &[usize]) -> Probability {
             prob *= 1.0 - arc.probability;
         }
     }
-    debug_assert_eq!(cursor, present.len(), "present contains out-of-range indices");
+    debug_assert_eq!(
+        cursor,
+        present.len(),
+        "present contains out-of-range indices"
+    );
     prob
 }
 
@@ -104,8 +108,7 @@ pub fn sample_world<R: Rng + ?Sized>(g: &UncertainGraph, rng: &mut R) -> DiGraph
             pairs.push((arc.source, arc.target));
         }
     }
-    DiGraph::from_arcs(g.num_vertices(), pairs)
-        .expect("sampled arcs are a subset of valid arcs")
+    DiGraph::from_arcs(g.num_vertices(), pairs).expect("sampled arcs are a subset of valid arcs")
 }
 
 /// A reusable sampler of possible worlds that avoids re-allocating the arc

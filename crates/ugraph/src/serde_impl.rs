@@ -95,7 +95,8 @@ mod tests {
     #[test]
     fn invalid_serialised_graphs_are_rejected_with_context() {
         // Probability outside (0, 1].
-        let bad_probability = r#"{"num_vertices":2,"arcs":[{"source":0,"target":1,"probability":1.5}]}"#;
+        let bad_probability =
+            r#"{"num_vertices":2,"arcs":[{"source":0,"target":1,"probability":1.5}]}"#;
         let err = serde_json::from_str::<crate::UncertainGraph>(bad_probability).unwrap_err();
         assert!(err.to_string().contains("probability"), "{err}");
 

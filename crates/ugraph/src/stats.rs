@@ -92,7 +92,11 @@ pub fn uncertain_graph_stats(g: &UncertainGraph) -> UncertainGraphStats {
     }
     UncertainGraphStats {
         topology,
-        mean_probability: if count == 0 { 0.0 } else { sum_p / count as f64 },
+        mean_probability: if count == 0 {
+            0.0
+        } else {
+            sum_p / count as f64
+        },
         min_probability: min_p,
         max_probability: max_p,
         expected_num_arcs: sum_p,
@@ -118,11 +122,7 @@ mod tests {
     use crate::{DiGraph, UncertainGraph};
 
     fn toy() -> UncertainGraph {
-        UncertainGraph::from_arcs(
-            4,
-            [(0, 1, 0.2), (0, 2, 0.4), (1, 2, 0.6), (2, 3, 1.0)],
-        )
-        .unwrap()
+        UncertainGraph::from_arcs(4, [(0, 1, 0.2), (0, 2, 0.4), (1, 2, 0.6), (2, 3, 1.0)]).unwrap()
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl UncertainGraph {
             }
         }
         triples.sort_unstable_by_key(|&(u, v, _)| (u, v));
-        if let Some(w) = triples.windows(2).find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1)) {
+        if let Some(w) = triples
+            .windows(2)
+            .find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+        {
             return Err(GraphError::DuplicateArc {
                 source: w[0].0,
                 target: w[0].1,
@@ -186,14 +189,13 @@ impl UncertainGraph {
 
     /// Iterator over all probabilistic arcs in `(source, target)` order.
     pub fn arcs(&self) -> impl Iterator<Item = ProbArc> + '_ {
-        self.skeleton
-            .arcs()
-            .zip(self.out_probabilities.iter())
-            .map(|((source, target), &probability)| ProbArc {
+        self.skeleton.arcs().zip(self.out_probabilities.iter()).map(
+            |((source, target), &probability)| ProbArc {
                 source,
                 target,
                 probability,
-            })
+            },
+        )
     }
 
     /// Iterator over all vertex ids `0..n`.
@@ -336,7 +338,16 @@ mod tests {
         let arcs: Vec<(VertexId, VertexId)> = g.arcs().map(|a| (a.source, a.target)).collect();
         assert_eq!(
             arcs,
-            vec![(0, 2), (0, 3), (1, 0), (1, 2), (2, 0), (2, 3), (3, 1), (3, 4)]
+            vec![
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 1),
+                (3, 4)
+            ]
         );
     }
 

@@ -72,14 +72,22 @@ impl BitVec {
     /// Gets bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        debug_assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        debug_assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
     /// Sets bit `i` to `value`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        debug_assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        debug_assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let word = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         if value {

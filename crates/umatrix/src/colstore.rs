@@ -153,7 +153,7 @@ impl ColumnStore {
     }
 
     fn blocks_per_column(&self) -> u64 {
-        ((self.num_rows * 8 + self.block_size - 1) / self.block_size) as u64
+        (self.num_rows * 8).div_ceil(self.block_size) as u64
     }
 
     /// Writes column `col`.

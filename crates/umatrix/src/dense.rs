@@ -86,7 +86,11 @@ impl DenseMatrix {
     ///
     /// Panics if `out.len() != self.rows()`.
     pub fn copy_column_into(&self, j: usize, out: &mut [f64]) {
-        assert_eq!(out.len(), self.rows, "output slice must have `rows` elements");
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "output slice must have `rows` elements"
+        );
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.data[i * self.cols + j];
         }

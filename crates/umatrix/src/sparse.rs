@@ -15,7 +15,9 @@ pub struct SparseVector {
 impl SparseVector {
     /// The empty vector.
     pub fn new() -> Self {
-        SparseVector { entries: Vec::new() }
+        SparseVector {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a sparse vector from unsorted `(index, value)` pairs, summing
@@ -87,7 +89,10 @@ impl SparseVector {
 
     /// Dot product with another sparse vector.
     pub fn dot(&self, other: &SparseVector) -> f64 {
-        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        let (mut a, mut b) = (
+            self.entries.iter().peekable(),
+            other.entries.iter().peekable(),
+        );
         let mut total = 0.0;
         while let (Some(&&(ia, va)), Some(&&(ib, vb))) = (a.peek(), b.peek()) {
             match ia.cmp(&ib) {
@@ -113,7 +118,10 @@ impl SparseVector {
             return;
         }
         let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
-        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        let (mut a, mut b) = (
+            self.entries.iter().peekable(),
+            other.entries.iter().peekable(),
+        );
         loop {
             match (a.peek(), b.peek()) {
                 (Some(&&(ia, va)), Some(&&(ib, vb))) => match ia.cmp(&ib) {
@@ -193,10 +201,8 @@ impl SparseMatrix {
         cols: usize,
         triplets: impl IntoIterator<Item = (u32, u32, f64)>,
     ) -> Self {
-        let mut triplets: Vec<(u32, u32, f64)> = triplets
-            .into_iter()
-            .filter(|&(_, _, v)| v != 0.0)
-            .collect();
+        let mut triplets: Vec<(u32, u32, f64)> =
+            triplets.into_iter().filter(|&(_, _, v)| v != 0.0).collect();
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
         // Merge duplicates.
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(triplets.len());
@@ -434,7 +440,8 @@ mod tests {
 
     #[test]
     fn sparse_matrix_from_triplets() {
-        let m = SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 2, 2.0), (0, 1, 0.5), (2, 0, 0.0)]);
+        let m =
+            SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 2, 2.0), (0, 1, 0.5), (2, 0, 0.0)]);
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.get(0, 1), 1.5);
         assert_eq!(m.get(1, 2), 2.0);

@@ -31,7 +31,10 @@ fn main() {
         ErAlgorithm::new(ErAlgorithmKind::Distinct),
     ];
 
-    println!("{:<10} {:>10} {:>10} {:>10}", "algorithm", "precision", "recall", "F1");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "algorithm", "precision", "recall", "F1"
+    );
     for algorithm in &algorithms {
         let mut per_group = Vec::new();
         for (group_index, _) in dataset.groups.iter().enumerate() {

@@ -69,7 +69,10 @@ fn main() {
     let config = SimRankConfig::default().with_samples(200).with_seed(3);
     let mut estimator = TwoPhaseEstimator::new(&reread, config);
     let (u, v) = (0, 1);
-    println!("s({u}, {v}) on the re-read graph = {:.6}", estimator.similarity(u, v));
+    println!(
+        "s({u}, {v}) on the re-read graph = {:.6}",
+        estimator.similarity(u, v)
+    );
 
     std::fs::remove_file(&text_path).ok();
     std::fs::remove_file(&binary_path).ok();

@@ -8,8 +8,8 @@
 //! Run with `cargo run --release --example measure_comparison`.
 
 use uncertain_simrank::prelude::*;
-use uncertain_simrank::simrank::{deterministic::simrank_single_pair, DuEtAlEstimator};
 use uncertain_simrank::similarity::{expected_jaccard, jaccard, NeighborhoodMode};
+use uncertain_simrank::simrank::{deterministic::simrank_single_pair, DuEtAlEstimator};
 
 fn main() {
     let graph = CoauthorGenerator {
@@ -34,7 +34,14 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "pair", "SimRank-I", "SimRank-II", "SimRank-III", "Jaccard-I", "Jaccard-II"
     );
-    let pairs = [(10u32, 11u32), (20, 25), (40, 80), (5, 6), (100, 101), (150, 151)];
+    let pairs = [
+        (10u32, 11u32),
+        (20, 25),
+        (40, 80),
+        (5, 6),
+        (100, 101),
+        (150, 151),
+    ];
     for (u, v) in pairs {
         let simrank_uncertain = baseline.try_similarity(u, v).unwrap();
         let simrank_skeleton = simrank_single_pair(&skeleton, u, v, config.decay, config.horizon);

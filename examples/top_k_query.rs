@@ -10,10 +10,10 @@
 //!
 //! Run with `cargo run --release --example top_k_query`.
 
+use std::time::Instant;
 use uncertain_simrank::datasets::PpiGenerator;
 use uncertain_simrank::prelude::*;
 use uncertain_simrank::simrank::{par_top_k_similar_to, SourceMode};
-use std::time::Instant;
 
 fn main() {
     // A small planted-complex PPI network: proteins inside the same planted

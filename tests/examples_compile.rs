@@ -1,0 +1,35 @@
+//! Smoke test: every example in `examples/` must keep compiling.
+//!
+//! CI runs `cargo build --examples` explicitly; this test keeps the same
+//! guarantee in plain `cargo test` runs by invoking the already-resolved
+//! cargo on the already-built dependency graph (cheap after the first
+//! build, and fully offline).
+
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let examples: Vec<String> = std::fs::read_dir(format!("{manifest_dir}/examples"))
+        .expect("examples directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    assert!(
+        !examples.is_empty(),
+        "the examples directory should contain at least one example"
+    );
+
+    let output = Command::new(env!("CARGO"))
+        .args(["build", "--examples", "--offline"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -94,7 +94,9 @@ fn exact_source_mode_reduces_to_the_baseline_rows() {
         .with_seed(21);
     let mut single = SingleSourceEstimator::new(&graph, config).with_source_mode(SourceMode::Exact);
     let baseline = BaselineEstimator::new(&graph, config);
-    let result = single.try_query(4).expect("certain graph stays within budget");
+    let result = single
+        .try_query(4)
+        .expect("certain graph stays within budget");
     for target in [0u32, 4, 10, 20] {
         let exact = baseline.try_similarity(4, target).unwrap();
         assert!(

@@ -4,10 +4,10 @@
 use uncertain_simrank::datasets::{CoauthorGenerator, ErGenerator, PpiGenerator};
 use uncertain_simrank::entity_resolution::{evaluate_clustering, ErAlgorithm, ErAlgorithmKind};
 use uncertain_simrank::prelude::*;
+use uncertain_simrank::similarity::{expected_jaccard, NeighborhoodMode};
 use uncertain_simrank::simrank::{
     deterministic::simrank_all_pairs, top_k::top_k_pairs, BaselineEstimator, DuEtAlEstimator,
 };
-use uncertain_simrank::similarity::{expected_jaccard, NeighborhoodMode};
 
 /// The paper's Fig. 1(a) running example.
 fn fig1_graph() -> UncertainGraph {
@@ -141,7 +141,10 @@ fn measures_disagree_on_uncertain_graphs_but_agree_on_certain_ones() {
                 .max((baseline.try_similarity(u, v).unwrap() - du.similarity(u, v)).abs());
         }
     }
-    assert!(simrank_gap > 1e-4, "Du et al. should differ under uncertainty");
+    assert!(
+        simrank_gap > 1e-4,
+        "Du et al. should differ under uncertainty"
+    );
 
     let certain = graph.certain();
     let baseline_certain = BaselineEstimator::new(&certain, config);
@@ -150,7 +153,10 @@ fn measures_disagree_on_uncertain_graphs_but_agree_on_certain_ones() {
         for v in certain.vertices() {
             let a = baseline_certain.try_similarity(u, v).unwrap();
             let b = du_certain.similarity(u, v);
-            assert!((a - b).abs() < 1e-9, "on a certain graph the measures coincide");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "on a certain graph the measures coincide"
+            );
         }
     }
 }
@@ -173,7 +179,10 @@ fn jaccard_is_zero_without_common_neighbors_but_simrank_is_not() {
     assert_eq!(jaccard, 0.0);
     let baseline = BaselineEstimator::new(&graph, SimRankConfig::default());
     let simrank = baseline.try_similarity(0, 1).unwrap();
-    assert!(simrank > 0.05, "SimRank should see the two-hop structure, got {simrank}");
+    assert!(
+        simrank > 0.05,
+        "SimRank should see the two-hop structure, got {simrank}"
+    );
 }
 
 #[test]
@@ -181,10 +190,9 @@ fn external_baseline_round_trips_through_the_column_store() {
     let graph = fig1_graph();
     let config = SimRankConfig::default().with_horizon(3);
     let directory = std::env::temp_dir().join(format!("usim_integration_{}", std::process::id()));
-    let external = uncertain_simrank::simrank::ExternalBaseline::build(
-        &graph, config, &directory, 1024,
-    )
-    .unwrap();
+    let external =
+        uncertain_simrank::simrank::ExternalBaseline::build(&graph, config, &directory, 1024)
+            .unwrap();
     let in_memory = BaselineEstimator::new(&graph, config);
     for u in graph.vertices() {
         for v in graph.vertices() {

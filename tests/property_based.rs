@@ -24,10 +24,7 @@ fn small_uncertain_graph(
 ) -> impl Strategy<Value = UncertainGraph> {
     (2..=max_vertices)
         .prop_flat_map(move |n| {
-            let arcs = proptest::collection::vec(
-                (0..n, 0..n, 0.05f64..1.0f64),
-                1..=max_arcs,
-            );
+            let arcs = proptest::collection::vec((0..n, 0..n, 0.05f64..1.0f64), 1..=max_arcs);
             (Just(n), arcs)
         })
         .prop_map(|(n, arcs)| {

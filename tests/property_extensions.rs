@@ -13,7 +13,12 @@ fn arbitrary_graph(max_vertices: usize) -> impl Strategy<Value = UncertainGraph>
     (2usize..=max_vertices)
         .prop_flat_map(|n| {
             let arcs = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0.01f64..=1.0f64, proptest::bool::weighted(0.3)),
+                (
+                    0..n as u32,
+                    0..n as u32,
+                    0.01f64..=1.0f64,
+                    proptest::bool::weighted(0.3),
+                ),
                 0..(n * n).min(64),
             );
             (Just(n), arcs)
