@@ -1,0 +1,54 @@
+//! `batch_throughput` — the acceptance benchmark of the batch engine: 1k+
+//! pair queries over the R-MAT dataset, answered by (a) looping the
+//! sequential `QueryEngine::profile` per pair and (b) one thread-sharded
+//! `QueryEngine::batch_profile` call.  Pair-keyed RNG streams make the two
+//! outputs bit-identical, so the comparison is pure throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ugraph::UncertainGraph;
+use usim_bench::random_pairs;
+use usim_core::{QueryEngine, SimRankConfig};
+use usim_datasets::RmatGenerator;
+
+const NUM_PAIRS: usize = 1024;
+
+fn rmat_graph() -> UncertainGraph {
+    RmatGenerator::small(0xba7c).generate()
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let graph = rmat_graph();
+    let pairs = random_pairs(&graph, NUM_PAIRS, 0x7007);
+    // Reduced sample count so one iteration stays benchmark-sized; the
+    // speedup ratio is what matters, and it is sample-count-independent.
+    let config = SimRankConfig::default().with_samples(20).with_seed(42);
+    let engine = QueryEngine::new(&graph, config);
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(2500));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("sequential_profile_loop", |b| {
+        b.iter(|| {
+            let total: f64 = pairs
+                .iter()
+                .map(|&(u, v)| engine.profile(u, v).score())
+                .sum();
+            black_box(total)
+        })
+    });
+
+    group.bench_function("batch_profile", |b| {
+        b.iter(|| {
+            let profiles = engine.batch_profile(&pairs);
+            black_box(profiles.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

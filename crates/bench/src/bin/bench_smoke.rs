@@ -1,0 +1,135 @@
+//! `bench_smoke` — the CI perf-tracking gate for the batch query engine.
+//!
+//! Runs a reduced-size version of the `batch_throughput` benchmark (1k pair
+//! queries over a small R-MAT graph, sequential `profile` loop versus
+//! thread-sharded `batch_profile`), writes the measurements to a
+//! `BENCH_batch_smoke.json` artifact, and exits non-zero when the batch
+//! speedup regresses more than 2x against the checked-in baseline.
+//!
+//! The gate compares the **speedup ratio** (batch throughput divided by
+//! same-run sequential throughput), not absolute times: CI runners differ
+//! wildly in clock speed, but the ratio only depends on the engine's
+//! sharding and allocation behaviour.  Because the ratio is bounded by the
+//! worker count, the baseline expectation is first clamped to the runner's
+//! thread count.
+//!
+//! Environment:
+//! * `USIM_BENCH_PAIRS`   — number of query pairs (default 1024)
+//! * `USIM_BENCH_SAMPLES` — walk samples per query (default 20)
+//! * `USIM_BENCH_OUT`     — artifact path (default `BENCH_batch_smoke.json`)
+//! * `USIM_BENCH_BASELINE`— baseline path (default
+//!   `crates/bench/baselines/batch_smoke.json`)
+
+use std::time::Instant;
+use usim_bench::random_pairs;
+use usim_core::{QueryEngine, SimRankConfig};
+use usim_datasets::RmatGenerator;
+
+/// The measurements the artifact records and the baseline pins.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct SmokeReport {
+    /// Number of query pairs measured.
+    pairs: usize,
+    /// Walk samples per query.
+    samples: usize,
+    /// Walk horizon `n`.
+    horizon: usize,
+    /// Worker threads available to the batch path.
+    threads: usize,
+    /// Sequential `profile` loop throughput, pairs per second.
+    sequential_pairs_per_sec: f64,
+    /// `batch_profile` throughput, pairs per second.
+    batch_pairs_per_sec: f64,
+    /// `batch_pairs_per_sec / sequential_pairs_per_sec` — the gated number.
+    speedup_ratio: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let pairs_count = env_usize("USIM_BENCH_PAIRS", 1024);
+    let samples = env_usize("USIM_BENCH_SAMPLES", 20);
+    let out_path =
+        std::env::var("USIM_BENCH_OUT").unwrap_or_else(|_| "BENCH_batch_smoke.json".to_string());
+    let baseline_path = std::env::var("USIM_BENCH_BASELINE")
+        .unwrap_or_else(|_| format!("{}/baselines/batch_smoke.json", env!("CARGO_MANIFEST_DIR")));
+
+    let graph = RmatGenerator::small(0xba7c).generate();
+    let pairs = random_pairs(&graph, pairs_count, 0x7007);
+    let config = SimRankConfig::default().with_samples(samples).with_seed(42);
+    let engine = QueryEngine::new(&graph, config);
+    let threads = rayon::current_num_threads();
+
+    // Warm-up: touch both paths once so page faults and lazy init are paid.
+    let warm_sequential: f64 = pairs[..pairs.len().min(64)]
+        .iter()
+        .map(|&(u, v)| engine.profile(u, v).score())
+        .sum();
+    let warm_batch = engine.batch_profile(&pairs[..pairs.len().min(64)]).len();
+    std::hint::black_box((warm_sequential, warm_batch));
+
+    let sequential_secs = best_of(3, || {
+        pairs
+            .iter()
+            .map(|&(u, v)| engine.profile(u, v).score())
+            .sum::<f64>()
+    });
+    let batch_secs = best_of(3, || engine.batch_profile(&pairs));
+
+    let report = SmokeReport {
+        pairs: pairs.len(),
+        samples,
+        horizon: config.horizon,
+        threads,
+        sequential_pairs_per_sec: pairs.len() as f64 / sequential_secs,
+        batch_pairs_per_sec: pairs.len() as f64 / batch_secs,
+        speedup_ratio: sequential_secs / batch_secs,
+    };
+    let json = serde_json::to_string(&report).expect("report serialises");
+    std::fs::write(&out_path, &json).expect("artifact is writable");
+    println!("bench_smoke: {json}");
+    println!("bench_smoke: artifact written to {out_path}");
+
+    // Gate against the checked-in baseline.
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_smoke: WARNING: no baseline at {baseline_path} ({e}); gate skipped");
+            return;
+        }
+    };
+    let baseline: SmokeReport =
+        serde_json::from_str(&baseline_text).expect("baseline parses as SmokeReport");
+    // The achievable ratio is capped by the worker count, so clamp the
+    // baseline expectation before applying the 2x tolerance.
+    let expected = baseline.speedup_ratio.min(threads as f64);
+    let floor = expected / 2.0;
+    println!(
+        "bench_smoke: speedup ratio {:.2} (baseline {:.2}, {} threads -> floor {:.2})",
+        report.speedup_ratio, baseline.speedup_ratio, threads, floor
+    );
+    if report.speedup_ratio < floor {
+        eprintln!(
+            "bench_smoke: FAIL: batch throughput regressed more than 2x \
+             (ratio {:.2} < floor {:.2})",
+            report.speedup_ratio, floor
+        );
+        std::process::exit(1);
+    }
+    println!("bench_smoke: OK");
+}

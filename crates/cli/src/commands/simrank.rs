@@ -1,18 +1,34 @@
-//! `usim simrank` — SimRank similarity of one vertex pair.
+//! `usim simrank` — SimRank similarity of one vertex pair, or of a whole
+//! batch of pairs.
 //!
 //! By default the two-phase (SR-TS) estimator answers the query; `--algorithm`
 //! selects another family, and `--compare` runs every family (including the
 //! uncertainty-blind SimRank-II and Du et al.'s SimRank-III baselines) and
 //! prints a comparison table with per-algorithm timings.
+//!
+//! `--batch FILE` switches to the CSR batch engine
+//! ([`usim_core::QueryEngine`]): the file lists one `source target` pair per
+//! line (original file labels; blank lines and `#` comments are skipped),
+//! all pairs are answered in one thread-sharded pass, and `--threads N` pins
+//! the worker count.  Batch output is bit-identical at any thread count.
 
 use crate::args::{ArgSpec, Arguments};
 use crate::estimators::{config_from_args, AlgorithmKind, CONFIG_OPTIONS};
-use crate::graphio::load_graph;
+use crate::graphio::{load_graph, LoadedGraph};
 use crate::table::{fmt_millis, fmt_score, TextTable};
 use crate::CliError;
 use std::time::Instant;
+use ugraph::VertexId;
+use usim_core::QueryEngine;
 
-const BASE_OPTIONS: &[&str] = &["source", "target", "algorithm", "format"];
+const BASE_OPTIONS: &[&str] = &[
+    "source",
+    "target",
+    "algorithm",
+    "format",
+    "batch",
+    "threads",
+];
 
 fn spec() -> ArgSpec<'static> {
     // The full option list is the union of the command's own options and the
@@ -33,10 +49,21 @@ fn spec() -> ArgSpec<'static> {
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let args = Arguments::parse(tokens, &spec())?;
     let path = args.require_positional(0, "the graph file")?;
-    let source_label: u64 = args.require_option("source")?;
-    let target_label: u64 = args.require_option("target")?;
     let config = config_from_args(&args)?;
 
+    if let Some(batch_path) = args.option("batch") {
+        if let Some(algorithm) = args.option("algorithm") {
+            return Err(CliError::new(format!(
+                "--batch always uses the CSR batch engine (sampling algorithm); \
+                 --algorithm {algorithm:?} cannot be combined with it"
+            )));
+        }
+        let loaded = load_graph(path, args.option("format"))?;
+        return run_batch(&args, path, batch_path, &loaded, config);
+    }
+
+    let source_label: u64 = args.require_option("source")?;
+    let target_label: u64 = args.require_option("target")?;
     let loaded = load_graph(path, args.option("format"))?;
     let u = loaded.vertex_for_label(source_label)?;
     let v = loaded.vertex_for_label(target_label)?;
@@ -71,6 +98,95 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         kind.display_name(),
         fmt_millis(start.elapsed()),
     ))
+}
+
+/// A parsed pairs file: the original file labels of every pair, and the
+/// corresponding compacted vertex ids.
+type ParsedPairs = (Vec<(u64, u64)>, Vec<(VertexId, VertexId)>);
+
+/// Reads a pairs file: one `source target` pair of file labels per line;
+/// blank lines and lines starting with `#` are skipped.
+fn read_pairs_file(batch_path: &str, loaded: &LoadedGraph) -> Result<ParsedPairs, CliError> {
+    let text = std::fs::read_to_string(batch_path)
+        .map_err(|e| CliError::new(format!("cannot read pairs file {batch_path}: {e}")))?;
+    let mut labels = Vec::new();
+    let mut pairs = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
+            return Err(CliError::new(format!(
+                "{batch_path}:{}: expected \"source target\", got {line:?}",
+                number + 1
+            )));
+        };
+        let parse = |s: &str| -> Result<u64, CliError> {
+            s.parse()
+                .map_err(|_| CliError::new(format!("{batch_path}:{}: bad label {s:?}", number + 1)))
+        };
+        let (a, b) = (parse(a)?, parse(b)?);
+        pairs.push((loaded.vertex_for_label(a)?, loaded.vertex_for_label(b)?));
+        labels.push((a, b));
+    }
+    if pairs.is_empty() {
+        return Err(CliError::new(format!(
+            "pairs file {batch_path} contains no pairs"
+        )));
+    }
+    Ok((labels, pairs))
+}
+
+/// Answers a whole pairs file with the CSR batch engine.
+fn run_batch(
+    args: &Arguments,
+    path: &str,
+    batch_path: &str,
+    loaded: &LoadedGraph,
+    config: usim_core::SimRankConfig,
+) -> Result<String, CliError> {
+    let (labels, pairs) = read_pairs_file(batch_path, loaded)?;
+    let threads: usize = args.parse_option("threads", 0usize)?;
+
+    let start = Instant::now();
+    let engine = QueryEngine::new(&loaded.graph, config);
+    let build_time = start.elapsed();
+
+    let start = Instant::now();
+    let scores = if threads > 0 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| CliError::new(format!("cannot build thread pool: {e}")))?;
+        pool.install(|| engine.batch_similarities(&pairs))
+    } else {
+        engine.batch_similarities(&pairs)
+    };
+    let query_time = start.elapsed();
+
+    let mut table = TextTable::new(&["source", "target", "s(u, v)"]);
+    for (&(a, b), score) in labels.iter().zip(&scores) {
+        table.row(vec![a.to_string(), b.to_string(), fmt_score(*score)]);
+    }
+    let per_pair = query_time.as_secs_f64() * 1000.0 / pairs.len() as f64;
+    let mut output = format!(
+        "{} pairs from {batch_path} on {path} \
+         (N = {}, n = {}, threads = {}, CSR build {} ms, queries {} ms, {per_pair:.3} ms/pair)\n\n",
+        pairs.len(),
+        config.num_samples,
+        config.horizon,
+        if threads > 0 {
+            threads.to_string()
+        } else {
+            "auto".to_string()
+        },
+        fmt_millis(build_time),
+        fmt_millis(query_time),
+    );
+    output.push_str(&table.render());
+    Ok(output)
 }
 
 #[cfg(test)]
@@ -150,6 +266,70 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("999"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_mode_answers_every_pair_and_is_thread_invariant() {
+        let path = fig1_file("batch.tsv");
+        let pairs_path =
+            std::env::temp_dir().join(format!("usim_cli_simrank_pairs_{}", std::process::id()));
+        std::fs::write(&pairs_path, "# pairs\n0 1\n1 2\n\n2 3\n").unwrap();
+        let base = vec![
+            path.to_str().unwrap().to_string(),
+            "--batch".to_string(),
+            pairs_path.to_str().unwrap().to_string(),
+            "--samples".to_string(),
+            "200".to_string(),
+            "--seed".to_string(),
+            "9".to_string(),
+        ];
+        let mut one_thread = base.clone();
+        one_thread.extend(["--threads".to_string(), "1".to_string()]);
+        let mut four_threads = base.clone();
+        four_threads.extend(["--threads".to_string(), "4".to_string()]);
+        let out_1 = run(&one_thread).unwrap();
+        let out_4 = run(&four_threads).unwrap();
+        assert!(out_1.contains("3 pairs"), "{out_1}");
+        // The score table must be identical at any thread count.
+        let table = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(table(&out_1), table(&out_4));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&pairs_path).unwrap();
+    }
+
+    #[test]
+    fn batch_mode_rejects_bad_pair_files() {
+        let path = fig1_file("badbatch.tsv");
+        let pairs_path =
+            std::env::temp_dir().join(format!("usim_cli_simrank_badpairs_{}", std::process::id()));
+        std::fs::write(&pairs_path, "0\n").unwrap();
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--batch",
+            pairs_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("source target"), "{err}");
+        std::fs::write(&pairs_path, "# only comments\n").unwrap();
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--batch",
+            pairs_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no pairs"), "{err}");
+        // --algorithm conflicts with --batch (the engine is sampling-only).
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--batch",
+            pairs_path.to_str().unwrap(),
+            "--algorithm",
+            "sr-ts",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--algorithm"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&pairs_path).unwrap();
     }
 
     #[test]

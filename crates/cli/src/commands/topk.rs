@@ -1,10 +1,15 @@
 //! `usim topk` — the k vertices most similar to a source vertex.
 //!
-//! Uses the single-source estimator ([`usim_core::SingleSourceEstimator`]),
-//! which answers all `|V|` targets in one pass instead of issuing `|V|`
-//! single-pair queries; `--exact-source` switches the source side from a
-//! sampled walk to the exact transition rows (lower variance, but subject to
-//! the exact enumeration's walk budget).
+//! By default this uses the single-source estimator
+//! ([`usim_core::SingleSourceEstimator`]), which answers all `|V|` targets in
+//! one pass instead of issuing `|V|` single-pair queries; `--exact-source`
+//! switches the source side from a sampled walk to the exact transition rows
+//! (lower variance, but subject to the exact enumeration's walk budget).
+//!
+//! `--engine batch` ranks through the CSR batch engine
+//! ([`usim_core::QueryEngine`]) instead: one independent pair query per
+//! candidate, sharded across rayon workers (`--threads N` pins the count),
+//! with thread-count-invariant output.
 
 use crate::args::{ArgSpec, Arguments};
 use crate::estimators::{config_from_args, CONFIG_OPTIONS};
@@ -12,9 +17,10 @@ use crate::graphio::load_graph;
 use crate::table::{fmt_millis, fmt_score, TextTable};
 use crate::CliError;
 use std::time::Instant;
-use usim_core::{SingleSourceEstimator, SourceMode};
+use ugraph::VertexId;
+use usim_core::{QueryEngine, ScoredVertex, SingleSourceEstimator, SourceMode};
 
-const BASE_OPTIONS: &[&str] = &["source", "k", "format"];
+const BASE_OPTIONS: &[&str] = &["source", "k", "format", "engine", "threads"];
 
 fn spec() -> ArgSpec<'static> {
     static ALL: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
@@ -40,18 +46,59 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let loaded = load_graph(path, args.option("format"))?;
     let source = loaded.vertex_for_label(source_label)?;
 
-    let mode = if args.switch("exact-source") {
-        SourceMode::Exact
-    } else {
-        SourceMode::Sampled
-    };
+    let engine_kind = args.option("engine").unwrap_or("single-source");
     let start = Instant::now();
-    let mut estimator = SingleSourceEstimator::new(&loaded.graph, config).with_source_mode(mode);
-    let result = estimator.try_query(source)?;
+    let (top, how): (Vec<ScoredVertex>, String) = match engine_kind {
+        "single-source" => {
+            let mode = if args.switch("exact-source") {
+                SourceMode::Exact
+            } else {
+                SourceMode::Sampled
+            };
+            let mut estimator =
+                SingleSourceEstimator::new(&loaded.graph, config).with_source_mode(mode);
+            let result = estimator.try_query(source)?;
+            (result.top_k(k), format!("source mode = {mode:?}"))
+        }
+        "batch" => {
+            if args.switch("exact-source") {
+                return Err(CliError::new(
+                    "--exact-source requires --engine single-source; the batch engine \
+                     always samples the source side",
+                ));
+            }
+            let threads: usize = args.parse_option("threads", 0usize)?;
+            let engine = QueryEngine::new(&loaded.graph, config);
+            let candidates: Vec<VertexId> = (0..loaded.graph.num_vertices() as VertexId).collect();
+            let top = if threads > 0 {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .map_err(|e| CliError::new(format!("cannot build thread pool: {e}")))?;
+                pool.install(|| engine.batch_top_k_similar_to(source, &candidates, k))
+            } else {
+                engine.batch_top_k_similar_to(source, &candidates, k)
+            };
+            let how = format!(
+                "batch engine, threads = {}",
+                if threads > 0 {
+                    threads.to_string()
+                } else {
+                    "auto".to_string()
+                }
+            );
+            (top, how)
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown engine {other:?}; expected \"single-source\" or \"batch\""
+            )))
+        }
+    };
     let elapsed = start.elapsed();
 
     let mut table = TextTable::new(&["rank", "vertex", "s(source, vertex)"]);
-    for (rank, scored) in result.top_k(k).into_iter().enumerate() {
+    for (rank, scored) in top.into_iter().enumerate() {
         table.row(vec![
             (rank + 1).to_string(),
             loaded.label_of(scored.vertex).to_string(),
@@ -60,7 +107,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     }
     let mut output = format!(
         "top-{k} vertices most similar to {source_label} on {path} \
-         (N = {}, n = {}, source mode = {mode:?}, {} ms)\n\n",
+         (N = {}, n = {}, {how}, {} ms)\n\n",
         config.num_samples,
         config.horizon,
         fmt_millis(elapsed),
@@ -126,6 +173,73 @@ mod tests {
         ]))
         .unwrap();
         assert!(output.contains("Exact"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_engine_ranks_the_sibling_first_and_is_thread_invariant() {
+        let path = graph_file("engine.tsv");
+        let base = |threads: &str| {
+            tokens(&[
+                path.to_str().unwrap(),
+                "--source",
+                "0",
+                "--k",
+                "3",
+                "--samples",
+                "600",
+                "--seed",
+                "5",
+                "--engine",
+                "batch",
+                "--threads",
+                threads,
+            ])
+        };
+        let out_1 = run(&base("1")).unwrap();
+        let out_4 = run(&base("4")).unwrap();
+        assert!(out_1.contains("batch engine"), "{out_1}");
+        let table = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(table(&out_1), table(&out_4));
+        let first_data_line = out_1
+            .lines()
+            .find(|l| l.trim_start().starts_with('1'))
+            .unwrap_or_default();
+        assert!(
+            first_data_line.split_whitespace().nth(1) == Some("1"),
+            "vertex 1 should rank first:\n{out_1}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_engine_is_an_error() {
+        let path = graph_file("badengine.tsv");
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--engine",
+            "warp",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exact_source_conflicts_with_the_batch_engine() {
+        let path = graph_file("conflict.tsv");
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--engine",
+            "batch",
+            "--exact-source",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("single-source"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

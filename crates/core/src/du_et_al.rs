@@ -1,6 +1,6 @@
 //! Du et al.'s probabilistic SimRank (the paper's SimRank-III baseline).
 //!
-//! The prior work [7] (Du et al., *Probabilistic SimRank computation over
+//! The prior work \[7\] (Du et al., *Probabilistic SimRank computation over
 //! uncertain graphs*, Information Sciences 2015) assumes that the k-step
 //! transition probability matrix of an uncertain graph is the k-th power of
 //! the expected one-step matrix, `W(k) = (W(1))^k`.  Section IV of the

@@ -1,0 +1,416 @@
+//! The batch query engine: CSR-backed, thread-sharded, deterministic.
+//!
+//! The paper's evaluation — and any service built on these estimators —
+//! issues *batches* of queries against one fixed graph.  [`QueryEngine`] is
+//! the subsystem built for that workload:
+//!
+//! * the graph is converted **once** into a [`CsrGraph`] (flat
+//!   `offsets`/`targets`/`probs` arrays with a transpose view), so no
+//!   estimator ever materialises a transposed graph copy again;
+//! * every worker thread owns a reusable [`WalkArena`], so sampling is
+//!   allocation-free in steady state;
+//! * every pair draws its randomness from a **pair-keyed RNG stream**
+//!   (seeded from `(config.seed, u, v)`), so the result of a batch is
+//!   *bit-identical* to looping [`QueryEngine::profile`] over the pairs
+//!   sequentially — **regardless of the number of rayon threads** or how the
+//!   batch is sharded across them.  This strengthens the 1-vs-N-thread
+//!   determinism guarantee of [`crate::parallel`], whose `map_init` chunking
+//!   makes randomised per-pair estimates depend on the work split.
+//!
+//! The engine implements the paper's Sampling algorithm (Section VI-B,
+//! Fig. 4) per pair; the exact and two-phase algorithms keep their dedicated
+//! estimators, which share the same CSR fast path for their sampling phases.
+
+use crate::config::{SimRankConfig, WalkDirection};
+use crate::meeting::MeetingProfile;
+use crate::top_k::{ScoredPair, ScoredVertex};
+use crate::SimRankEstimator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use rwalk::arena::{CsrSampler, WalkArena, DEAD};
+use ugraph::{CsrGraph, CsrView, UncertainGraph, VertexId};
+
+/// Derives the deterministic RNG seed of a pair `(u, v)` from the engine
+/// seed: a SplitMix64 finalizer over the packed pair, xor-folded with the
+/// engine seed.  Stable across runs, platforms and thread counts.
+fn pair_seed(seed: u64, u: VertexId, v: VertexId) -> u64 {
+    let mut z = (u as u64) << 32 | v as u64;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-worker scratch: one arena plus the two walk-position buffers.
+/// Constructed once per rayon worker chunk, reused across that chunk's pairs.
+#[derive(Debug, Default)]
+struct Scratch {
+    arena: WalkArena,
+    walk_u: Vec<VertexId>,
+    walk_v: Vec<VertexId>,
+}
+
+/// CSR-backed batch SimRank query engine (sampling estimator semantics).
+///
+/// Build it once per graph and issue any number of single-pair or batch
+/// queries; the engine is immutable after construction (`&self` queries), so
+/// it can be shared across threads freely.
+///
+/// # Example
+///
+/// ```
+/// use ugraph::UncertainGraphBuilder;
+/// use usim_core::{QueryEngine, SimRankConfig};
+///
+/// let g = UncertainGraphBuilder::new(4)
+///     .arc(2, 0, 0.9)
+///     .arc(2, 1, 0.8)
+///     .arc(3, 2, 0.7)
+///     .build()
+///     .unwrap();
+/// let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(200));
+/// let batch = engine.batch_similarities(&[(0, 1), (1, 2)]);
+/// // Batch output is bit-identical to sequential per-pair queries.
+/// assert_eq!(batch[0], engine.similarity(0, 1));
+/// assert_eq!(batch[1], engine.similarity(1, 2));
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    csr: CsrGraph,
+    config: SimRankConfig,
+}
+
+impl QueryEngine {
+    /// Builds the engine for `graph` under `config`.  The CSR representation
+    /// (both directions) is materialised here, once; queries never touch the
+    /// original graph again.
+    pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
+        config.validate();
+        QueryEngine {
+            csr: CsrGraph::from_uncertain(graph),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimRankConfig {
+        &self.config
+    }
+
+    /// The CSR representation the engine walks.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// The direction-resolved view walks run on: the reverse (transpose)
+    /// view for the SimRank convention of in-neighbor walks, the forward
+    /// view for [`WalkDirection::OutNeighbors`].
+    #[inline]
+    fn view(&self) -> CsrView<'_> {
+        match self.config.direction {
+            WalkDirection::InNeighbors => self.csr.reverse(),
+            WalkDirection::OutNeighbors => self.csr.forward(),
+        }
+    }
+
+    /// Estimated meeting probabilities `m̂(0), …, m̂(n)` of one pair, using
+    /// the pair's own deterministic RNG stream.
+    ///
+    /// Repeated calls with the same pair return identical profiles (the
+    /// stream is keyed on `(seed, u, v)`, not on call order), and a batch
+    /// query over pairs containing `(u, v)` returns this exact profile for
+    /// that entry.
+    pub fn profile(&self, u: VertexId, v: VertexId) -> MeetingProfile {
+        self.profile_with(&mut Scratch::default(), u, v)
+    }
+
+    /// Estimated SimRank `s⁽ⁿ⁾(u, v)` (the combination of
+    /// [`QueryEngine::profile`] under Eq. 12).
+    pub fn similarity(&self, u: VertexId, v: VertexId) -> f64 {
+        self.profile(u, v).score()
+    }
+
+    fn profile_with(&self, scratch: &mut Scratch, u: VertexId, v: VertexId) -> MeetingProfile {
+        let num_vertices = self.num_vertices();
+        assert!(
+            (u as usize) < num_vertices && (v as usize) < num_vertices,
+            "query pair ({u}, {v}) out of range (graph has {num_vertices} vertices)"
+        );
+        let n = self.config.horizon;
+        let num_samples = self.config.num_samples;
+        let view = self.view();
+        let sampler = CsrSampler::new(view);
+        let mut rng = StdRng::seed_from_u64(pair_seed(self.config.seed, u, v));
+        let mut meeting = vec![0.0f64; n + 1];
+        meeting[0] = if u == v { 1.0 } else { 0.0 };
+        for _ in 0..num_samples {
+            sampler.sample_walk_into(&mut scratch.arena, u, n, &mut rng, &mut scratch.walk_u);
+            sampler.sample_walk_into(&mut scratch.arena, v, n, &mut rng, &mut scratch.walk_v);
+            for (k, slot) in meeting.iter_mut().enumerate().take(n + 1).skip(1) {
+                let a = scratch.walk_u[k];
+                if a != DEAD && a == scratch.walk_v[k] {
+                    *slot += 1.0;
+                }
+            }
+        }
+        for slot in meeting.iter_mut().skip(1) {
+            *slot /= num_samples as f64;
+        }
+        MeetingProfile::new(meeting, self.config.decay)
+    }
+
+    /// Meeting profiles for a batch of pairs, sharded across rayon workers
+    /// (one [`WalkArena`] per worker), in input order.
+    ///
+    /// Bit-identical to `pairs.iter().map(|&(u, v)| self.profile(u, v))` at
+    /// any thread count.
+    pub fn batch_profile(&self, pairs: &[(VertexId, VertexId)]) -> Vec<MeetingProfile> {
+        pairs
+            .par_iter()
+            .map_init(Scratch::default, |scratch, &(u, v)| {
+                self.profile_with(scratch, u, v)
+            })
+            .collect()
+    }
+
+    /// SimRank scores for a batch of pairs, in input order.  Bit-identical
+    /// to sequential [`QueryEngine::similarity`] calls at any thread count.
+    pub fn batch_similarities(&self, pairs: &[(VertexId, VertexId)]) -> Vec<f64> {
+        pairs
+            .par_iter()
+            .map_init(Scratch::default, |scratch, &(u, v)| {
+                self.profile_with(scratch, u, v).score()
+            })
+            .collect()
+    }
+
+    /// The `k` highest-scoring pairs among `pairs`: self-pairs are skipped,
+    /// each unordered pair is evaluated once, ties break by pair id.
+    /// Deterministic at any thread count (unlike
+    /// [`crate::par_top_k_pairs`] with randomised estimators).
+    pub fn batch_top_k(&self, pairs: &[(VertexId, VertexId)], k: usize) -> Vec<ScoredPair> {
+        let mut unique: Vec<(VertexId, VertexId)> = pairs
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let scores = self.batch_similarities(&unique);
+        let mut scored: Vec<ScoredPair> = unique
+            .into_iter()
+            .zip(scores)
+            .map(|(pair, score)| ScoredPair { pair, score })
+            .collect();
+        crate::top_k::sort_descending_by_score(
+            &mut scored,
+            |s| s.score,
+            |s| (s.pair.0 as u64) << 32 | s.pair.1 as u64,
+        );
+        scored.truncate(k);
+        scored
+    }
+
+    /// The `k` candidates most similar to `query` (the query vertex itself
+    /// and duplicate candidates are skipped), evaluated as one batch.
+    pub fn batch_top_k_similar_to(
+        &self,
+        query: VertexId,
+        candidates: &[VertexId],
+        k: usize,
+    ) -> Vec<ScoredVertex> {
+        let mut unique: Vec<VertexId> =
+            candidates.iter().copied().filter(|&v| v != query).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let pairs: Vec<(VertexId, VertexId)> = unique.iter().map(|&v| (query, v)).collect();
+        let scores = self.batch_similarities(&pairs);
+        let mut scored: Vec<ScoredVertex> = unique
+            .into_iter()
+            .zip(scores)
+            .map(|(vertex, score)| ScoredVertex { vertex, score })
+            .collect();
+        crate::top_k::sort_descending_by_score(&mut scored, |s| s.score, |s| s.vertex as u64);
+        scored.truncate(k);
+        scored
+    }
+}
+
+impl SimRankEstimator for QueryEngine {
+    fn similarity(&mut self, u: VertexId, v: VertexId) -> f64 {
+        QueryEngine::similarity(self, u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        "QueryEngine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineEstimator;
+    use rayon::ThreadPoolBuilder;
+    use ugraph::UncertainGraphBuilder;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    fn all_ordered_pairs(n: u32) -> Vec<(VertexId, VertexId)> {
+        (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect()
+    }
+
+    #[test]
+    fn batch_equals_sequential_bit_for_bit() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(300).with_seed(7));
+        let pairs = all_ordered_pairs(5);
+        let batch = engine.batch_similarities(&pairs);
+        let sequential: Vec<f64> = pairs
+            .iter()
+            .map(|&(u, v)| engine.similarity(u, v))
+            .collect();
+        assert_eq!(batch, sequential);
+        let profiles = engine.batch_profile(&pairs);
+        for (profile, &(u, v)) in profiles.iter().zip(&pairs) {
+            assert_eq!(profile, &engine.profile(u, v));
+        }
+    }
+
+    #[test]
+    fn batch_results_are_thread_count_invariant() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(200).with_seed(3));
+        let pairs = all_ordered_pairs(5);
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let many = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let a = single.install(|| engine.batch_similarities(&pairs));
+        let b = many.install(|| engine.batch_similarities(&pairs));
+        assert_eq!(a, b, "pair-keyed RNG streams must make sharding invisible");
+    }
+
+    #[test]
+    fn estimates_are_close_to_the_exact_baseline() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(4000).with_seed(17);
+        let baseline = BaselineEstimator::new(&g, config);
+        let engine = QueryEngine::new(&g, config);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (0, 3), (3, 4)] {
+            let exact = baseline.try_similarity(u, v).unwrap();
+            let estimate = engine.similarity(u, v);
+            assert!(
+                (exact - estimate).abs() < 0.03,
+                "pair ({u},{v}): exact {exact}, engine {estimate}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_and_duplicate_batch_entries_are_identical() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(100).with_seed(9));
+        assert_eq!(engine.similarity(0, 1), engine.similarity(0, 1));
+        let batch = engine.batch_similarities(&[(0, 1), (2, 3), (0, 1)]);
+        assert_eq!(batch[0], batch[2]);
+    }
+
+    #[test]
+    fn different_pairs_use_different_streams() {
+        // (u, v) and (v, u) are distinct streams; both estimate the same
+        // symmetric quantity but need not be bit-equal.
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(2000).with_seed(5));
+        let ab = engine.similarity(0, 1);
+        let ba = engine.similarity(1, 0);
+        assert!((ab - ba).abs() < 0.05, "symmetric in expectation");
+        assert_ne!(
+            pair_seed(5, 0, 1),
+            pair_seed(5, 1, 0),
+            "pair seeds are order-sensitive"
+        );
+    }
+
+    #[test]
+    fn seed_changes_the_whole_batch() {
+        let g = fig1_graph();
+        let pairs = all_ordered_pairs(5);
+        let a = QueryEngine::new(&g, SimRankConfig::default().with_samples(50).with_seed(1))
+            .batch_similarities(&pairs);
+        let b = QueryEngine::new(&g, SimRankConfig::default().with_samples(50).with_seed(2))
+            .batch_similarities(&pairs);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn top_k_pairs_dedupes_ranks_and_truncates() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(400).with_seed(11));
+        let pairs = vec![(0u32, 1u32), (1, 0), (2, 3), (0, 2), (4, 4), (3, 2)];
+        let top = engine.batch_top_k(&pairs, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].score >= top[1].score);
+        for scored in &top {
+            assert!([(0, 1), (2, 3), (0, 2)].contains(&scored.pair));
+        }
+    }
+
+    #[test]
+    fn top_k_similar_to_excludes_query_and_sorts() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(400).with_seed(13));
+        let candidates: Vec<VertexId> = vec![0, 1, 2, 3, 4, 4, 1];
+        let top = engine.batch_top_k_similar_to(1, &candidates, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|s| s.vertex != 1));
+        for window in top.windows(2) {
+            assert!(window[0].score >= window[1].score);
+        }
+    }
+
+    #[test]
+    fn trait_impl_matches_inherent_method() {
+        let g = fig1_graph();
+        let mut engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(100));
+        let via_inherent = QueryEngine::similarity(&engine, 2, 3);
+        let via_trait = SimRankEstimator::similarity(&mut engine, 2, 3);
+        assert_eq!(via_inherent, via_trait);
+        assert_eq!(engine.name(), "QueryEngine");
+        assert_eq!(engine.num_vertices(), 5);
+        assert_eq!(engine.csr().num_arcs(), 8);
+        assert_eq!(engine.config().num_samples, 100);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(10));
+        assert!(engine.batch_similarities(&[]).is_empty());
+        assert!(engine.batch_profile(&[]).is_empty());
+        assert!(engine.batch_top_k(&[], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pair_panics() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default());
+        let _ = engine.similarity(0, 99);
+    }
+}

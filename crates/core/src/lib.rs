@@ -23,6 +23,11 @@
 //! * Du et al.'s uncertain SimRank ([`du_et_al`]), the prior work whose
 //!   assumption `W(k) = (W(1))^k` the paper refutes (SimRank-III).
 //!
+//! For batched traffic, [`QueryEngine`] serves many pairs against one
+//! CSR-compiled graph with per-worker walk arenas and pair-keyed RNG
+//! streams, making batch output bit-identical to sequential queries at any
+//! thread count.
+//!
 //! # Walk direction
 //!
 //! SimRank is defined through in-neighbors ("two vertices are similar if
@@ -62,6 +67,7 @@ pub mod bounds;
 pub mod config;
 pub mod deterministic;
 pub mod du_et_al;
+pub mod engine;
 pub mod meeting;
 pub mod parallel;
 pub mod sampling;
@@ -77,6 +83,7 @@ pub use bounds::{
 pub use config::{SimRankConfig, WalkDirection};
 pub use deterministic::{simrank_all_pairs, simrank_single_pair, DeterministicSimRank};
 pub use du_et_al::DuEtAlEstimator;
+pub use engine::QueryEngine;
 pub use meeting::{combine_meeting_probabilities, MeetingProfile};
 pub use parallel::{
     par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs, par_top_k_similar_to,

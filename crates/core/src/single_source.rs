@@ -31,9 +31,9 @@ use crate::top_k::ScoredVertex;
 use crate::SimRankEstimator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rwalk::sampler::WalkSampler;
+use rwalk::arena::{CsrSampler, WalkArena};
 use rwalk::transpr::{transition_rows_from, TransPrError, TransPrOptions};
-use ugraph::{UncertainGraph, VertexId};
+use ugraph::{CsrGraph, CsrView, UncertainGraph, VertexId};
 
 /// How the source-side walk distribution is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,25 +116,38 @@ impl SingleSourceResult {
 }
 
 /// Single-source SimRank estimator (`s(u, v)` for all `v` at once).
+///
+/// The per-sample functional instantiation and the source-side walks both
+/// run on the [`CsrGraph`] compiled from the working graph (flat arrays, a
+/// persistent [`WalkArena`]); the working [`UncertainGraph`] is kept for the
+/// exact `TransPr` rows of [`SourceMode::Exact`].
 #[derive(Debug)]
 pub struct SingleSourceEstimator {
     graph: UncertainGraph,
+    csr: CsrGraph,
     config: SimRankConfig,
     options: TransPrOptions,
     source_mode: SourceMode,
     rng: StdRng,
+    arena: WalkArena,
+    source_walk: Vec<VertexId>,
 }
 
 impl SingleSourceEstimator {
     /// Creates a single-source estimator for `graph` under `config`.
     pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
         config.validate();
+        let working = working_graph(graph, config.direction);
+        let csr = CsrGraph::from_uncertain(&working);
         SingleSourceEstimator {
-            graph: working_graph(graph, config.direction),
+            graph: working,
+            csr,
             config,
             options: TransPrOptions::default(),
             source_mode: SourceMode::Sampled,
             rng: StdRng::seed_from_u64(config.seed),
+            arena: WalkArena::with_capacity(graph.num_vertices()),
+            source_walk: Vec::new(),
         }
     }
 
@@ -164,24 +177,26 @@ impl SingleSourceEstimator {
     /// Draws one functional instantiation of the graph: every vertex keeps at
     /// most one out-arc (each arc is instantiated with its probability, one
     /// survivor is chosen uniformly), exactly as the per-sample offline
-    /// filter-vector construction of SR-SP.
+    /// filter-vector construction of SR-SP.  Walks the flat CSR arrays.
     fn sample_functional_map(
-        &mut self,
+        view: CsrView<'_>,
+        rng: &mut StdRng,
         next: &mut [Option<VertexId>],
         choices: &mut Vec<VertexId>,
     ) {
-        for (w, slot) in next.iter_mut().enumerate().take(self.graph.num_vertices()) {
-            let (neighbors, probabilities) = self.graph.out_arcs(w as VertexId);
+        for (w, slot) in next.iter_mut().enumerate().take(view.num_vertices()) {
+            let neighbors = view.neighbors(w as VertexId);
+            let probabilities = view.probabilities(w as VertexId);
             choices.clear();
             for (&x, &p) in neighbors.iter().zip(probabilities) {
-                if self.rng.gen::<f64>() < p {
+                if rng.gen::<f64>() < p {
                     choices.push(x);
                 }
             }
             *slot = if choices.is_empty() {
                 None
             } else {
-                Some(choices[self.rng.gen_range(0..choices.len())])
+                Some(choices[rng.gen_range(0..choices.len())])
             };
         }
     }
@@ -210,18 +225,24 @@ impl SingleSourceEstimator {
         let mut positions: Vec<Option<VertexId>> = vec![None; num_vertices];
         let mut choices: Vec<VertexId> = Vec::new();
 
+        let sampler = CsrSampler::new(self.csr.forward());
         for _ in 0..num_samples {
-            // Source side: one independent walk (only needed in Sampled mode).
-            let source_positions = if exact_rows.is_none() {
-                let mut sampler = WalkSampler::new(&self.graph);
-                Some(sampler.sample_walk(source, n, &mut self.rng))
-            } else {
-                None
-            };
+            // Source side: one independent walk (only needed in Sampled
+            // mode), sampled allocation-free through the walk arena.
+            let sampled_source = exact_rows.is_none();
+            if sampled_source {
+                sampler.sample_walk_into(
+                    &mut self.arena,
+                    source,
+                    n,
+                    &mut self.rng,
+                    &mut self.source_walk,
+                );
+            }
 
             // Target side: one shared functional instantiation drives the
             // walks of all vertices simultaneously.
-            self.sample_functional_map(&mut next, &mut choices);
+            Self::sample_functional_map(self.csr.forward(), &mut self.rng, &mut next, &mut choices);
             for (v, slot) in positions.iter_mut().enumerate() {
                 *slot = Some(v as VertexId);
             }
@@ -229,14 +250,15 @@ impl SingleSourceEstimator {
                 for v in 0..num_vertices {
                     positions[v] = positions[v].and_then(|w| next[w as usize]);
                     let Some(w) = positions[v] else { continue };
-                    match (&exact_rows, &source_positions) {
-                        (Some(rows), _) => counts[k][v] += rows[k].get(w),
-                        (None, Some(walk)) => {
-                            if walk.position(k) == Some(w) {
+                    match &exact_rows {
+                        Some(rows) => counts[k][v] += rows[k].get(w),
+                        None => {
+                            // DEAD never equals a live vertex id, so a dead
+                            // source walk simply never scores.
+                            if self.source_walk[k] == w {
                                 counts[k][v] += 1.0;
                             }
                         }
-                        (None, None) => unreachable!("one of the source modes is always active"),
                     }
                 }
             }

@@ -23,7 +23,10 @@ pub struct ScoredPair {
     pub score: f64,
 }
 
-fn sort_descending_by_score<T>(
+/// Sorts by descending score, breaking ties by the given id for determinism.
+/// Shared by the generic top-k helpers and [`crate::QueryEngine`]'s batch
+/// ranking so every ranking path orders identically.
+pub(crate) fn sort_descending_by_score<T>(
     items: &mut [T],
     score: impl Fn(&T) -> f64,
     tie: impl Fn(&T) -> u64,

@@ -13,28 +13,43 @@ use crate::meeting::MeetingProfile;
 use crate::SimRankEstimator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rwalk::sampler::WalkSampler;
+use rwalk::arena::{CsrSampler, WalkArena, DEAD};
 use rwalk::transpr::{transition_rows_from, TransPrOptions};
-use ugraph::{UncertainGraph, VertexId};
+use ugraph::{CsrGraph, UncertainGraph, VertexId};
 
 /// The two-phase single-pair SimRank estimator (the paper's SR-TS).
+///
+/// The exact phase runs `TransPr` on the direction-resolved working graph;
+/// the sampling phase walks the [`CsrGraph`] compiled from it through a
+/// persistent [`WalkArena`] (allocation-free hot loop, RNG-stream-compatible
+/// with the original `WalkSampler` implementation).
 #[derive(Debug)]
 pub struct TwoPhaseEstimator {
     graph: UncertainGraph,
+    csr: CsrGraph,
     config: SimRankConfig,
     options: TransPrOptions,
     rng: StdRng,
+    arena: WalkArena,
+    walk_u: Vec<VertexId>,
+    walk_v: Vec<VertexId>,
 }
 
 impl TwoPhaseEstimator {
     /// Creates a two-phase estimator for `graph` under `config`.
     pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
         config.validate();
+        let working = working_graph(graph, config.direction);
+        let csr = CsrGraph::from_uncertain(&working);
         TwoPhaseEstimator {
-            graph: working_graph(graph, config.direction),
+            graph: working,
+            csr,
             config,
             options: TransPrOptions::default(),
             rng: StdRng::seed_from_u64(config.seed),
+            arena: WalkArena::with_capacity(graph.num_vertices()),
+            walk_u: Vec::new(),
+            walk_v: Vec::new(),
         }
     }
 
@@ -73,17 +88,17 @@ impl TwoPhaseEstimator {
             }
         }
 
-        // Phase 2: sampled meeting probabilities for l < k <= n.
+        // Phase 2: sampled meeting probabilities for l < k <= n, walked on
+        // the CSR fast path (the working graph's forward view).
         if l < n {
-            let mut sampler = WalkSampler::new(&self.graph);
+            let sampler = CsrSampler::new(self.csr.forward());
             for _ in 0..num_samples {
-                let walk_u = sampler.sample_walk(u, n, &mut self.rng);
-                let walk_v = sampler.sample_walk(v, n, &mut self.rng);
+                sampler.sample_walk_into(&mut self.arena, u, n, &mut self.rng, &mut self.walk_u);
+                sampler.sample_walk_into(&mut self.arena, v, n, &mut self.rng, &mut self.walk_v);
                 for (k, slot) in meeting.iter_mut().enumerate().take(n + 1).skip(l + 1) {
-                    if let (Some(a), Some(b)) = (walk_u.position(k), walk_v.position(k)) {
-                        if a == b {
-                            *slot += 1.0;
-                        }
+                    let a = self.walk_u[k];
+                    if a != DEAD && a == self.walk_v[k] {
+                        *slot += 1.0;
                     }
                 }
             }

@@ -4,7 +4,7 @@
 //! Co-authorship networks have heavy-tailed degree distributions, which a
 //! Barabási–Albert style preferential-attachment process reproduces.  The
 //! paper assigns uncertainty to the (deterministic) co-authorship edges
-//! "using the method in [44]", which derives an edge probability from the
+//! "using the method in \[44\]", which derives an edge probability from the
 //! collaboration strength; we model the number of joint papers `w` as a
 //! geometric variable and set `p = 1 − exp(−w/μ)`, the standard exponential
 //! soft-threshold used in the uncertain-graph literature.
@@ -51,7 +51,7 @@ impl CoauthorGenerator {
         }
     }
 
-    /// The uncertainty assigner of [44]: collaboration strength `w` maps to
+    /// The uncertainty assigner of \[44\]: collaboration strength `w` maps to
     /// existence probability `1 − exp(−w/μ)`.
     pub fn weight_to_probability(&self, weight: f64) -> f64 {
         (1.0 - (-weight / self.mu).exp()).clamp(f64::MIN_POSITIVE, 1.0)

@@ -2,7 +2,7 @@
 //! data.
 //!
 //! The paper evaluates on three protein-protein interaction networks
-//! (PPI1–PPI3, from [18] and the STRING database), two co-authorship networks
+//! (PPI1–PPI3, from \[18\] and the STRING database), two co-authorship networks
 //! (Net, Condmat), the DBLP co-authorship graph, R-MAT synthetic graphs for
 //! the scalability experiment, and a DBLP author-disambiguation workload for
 //! the entity-resolution case study.  None of those datasets ship with this
@@ -15,7 +15,7 @@
 //!
 //! * [`ppi`] — planted-complex PPI generator (Fig. 13 / Fig. 14 ground truth);
 //! * [`coauthor`] — preferential-attachment co-authorship generator with the
-//!   `p = 1 − exp(−w/μ)` uncertainty assigner of [44];
+//!   `p = 1 − exp(−w/μ)` uncertainty assigner of \[44\];
 //! * [`rmat`] — R-MAT generator with uniform edge probabilities (Fig. 12);
 //! * [`er_records`] — ambiguous-author record-graph generator (Table IV/V,
 //!   Fig. 15);

@@ -13,10 +13,10 @@ pub enum ErAlgorithmKind {
     /// Deterministic SimRank on the record graph's skeleton (SimDER).
     SimDer,
     /// Jaccard similarity on the weight-thresholded deterministic graph
-    /// (the EIF framework of Li et al. [22]).
+    /// (the EIF framework of Li et al. \[22\]).
     Eif,
     /// Cosine common-neighborhood similarity on the weight-thresholded
-    /// deterministic graph (standing in for DISTINCT [35]).
+    /// deterministic graph (standing in for DISTINCT \[35\]).
     Distinct,
 }
 

@@ -15,9 +15,9 @@
 //!   proposal);
 //! * **SimDER** — deterministic SimRank on the skeleton of the record graph;
 //! * **EIF** — Jaccard similarity on the thresholded deterministic graph
-//!   (Li et al. [22]);
+//!   (Li et al. \[22\]);
 //! * **DISTINCT** — a common-neighborhood baseline standing in for Yin, Han &
-//!   Yu's DISTINCT [35] (cosine similarity on the thresholded graph).
+//!   Yu's DISTINCT \[35\] (cosine similarity on the thresholded graph).
 //!
 //! Clustering quality is measured by pairwise precision / recall / F1 against
 //! the ground-truth record→author assignment ([`metrics`]).

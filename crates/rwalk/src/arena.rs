@@ -1,0 +1,376 @@
+//! Allocation-free walk sampling on [`CsrView`]s via a reusable
+//! [`WalkArena`].
+//!
+//! [`crate::sampler::WalkSampler`] is correct but allocation-heavy: every
+//! walk clears a `HashMap<VertexId, Vec<VertexId>>` memo and every first
+//! visit to a vertex allocates a fresh `Vec` for its instantiated out-arcs,
+//! and every sampled walk allocates a `Vec<Option<VertexId>>` of positions.
+//! At batch-query rates (thousands of pairs × thousands of walks) that
+//! allocator traffic dominates the profile.
+//!
+//! [`WalkArena`] replaces all of it with flat, reusable buffers:
+//!
+//! * an **epoch-stamped visit table** — `stamp[v] == epoch` means vertex `v`
+//!   was instantiated during the current walk, so "clearing" the memo between
+//!   walks is a single integer increment;
+//! * a **bump-allocated instantiation pool** — the surviving out-neighbors of
+//!   every first-visited vertex are appended to one shared `Vec`, truncated
+//!   (capacity kept) at walk start;
+//! * caller-provided **position buffers** (`Vec<VertexId>` with
+//!   [`DEAD`] as the tombstone), reused across samples.
+//!
+//! In steady state a worker thread owns one arena and samples arbitrarily
+//! many walks without touching the allocator.
+//!
+//! [`CsrSampler`] reproduces the lazily-instantiated walk semantics of
+//! Fig. 4 of the paper **and** the exact RNG draw order of
+//! [`crate::sampler::WalkSampler`] (per first visit: one uniform draw per
+//! possible out-arc in neighbor order, then one `gen_range` over the
+//! survivors), so a walk sampled through the arena from a given RNG state is
+//! bit-identical to one sampled by `WalkSampler` from the same state.  The
+//! estimator migration in `usim_core` relies on this equivalence.
+
+use crate::sampler::DeadEndPolicy;
+use rand::Rng;
+use ugraph::{CsrView, VertexId};
+
+/// Tombstone marking a dead walk position (the walk terminated earlier).
+/// Real vertex ids are `< num_vertices`, far below `u32::MAX` in practice.
+pub const DEAD: VertexId = VertexId::MAX;
+
+/// Reusable per-worker scratch space for allocation-free walk sampling.
+///
+/// An arena is independent of any particular graph: it grows its tables to
+/// the largest `num_vertices` it has seen and can be reused across graphs
+/// and queries.  It is `Send`, so batch engines hand one to each worker.
+#[derive(Debug, Default)]
+pub struct WalkArena {
+    /// Current walk epoch; `stamp[v] == epoch` ⇔ `v` instantiated this walk.
+    epoch: u32,
+    /// Per-vertex epoch stamps.
+    stamp: Vec<u32>,
+    /// Per-vertex `(start, len)` into `pool`, valid when the stamp matches.
+    slots: Vec<(u32, u32)>,
+    /// Bump-allocated instantiated out-neighbors of first-visited vertices.
+    pool: Vec<VertexId>,
+}
+
+impl WalkArena {
+    /// Creates an empty arena; tables grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an arena pre-sized for graphs with `num_vertices` vertices.
+    pub fn with_capacity(num_vertices: usize) -> Self {
+        WalkArena {
+            epoch: 0,
+            stamp: vec![0; num_vertices],
+            slots: vec![(0, 0); num_vertices],
+            pool: Vec::new(),
+        }
+    }
+
+    /// Grows the per-vertex tables to cover `num_vertices` vertices.
+    fn ensure_vertices(&mut self, num_vertices: usize) {
+        if self.stamp.len() < num_vertices {
+            self.stamp.resize(num_vertices, 0);
+            self.slots.resize(num_vertices, (0, 0));
+        }
+    }
+
+    /// Starts a fresh walk: invalidates every instantiation in O(1).
+    fn begin_walk(&mut self) {
+        self.pool.clear();
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(next) => next,
+            None => {
+                // Epoch wrapped (once per 2^32 walks): reset all stamps so no
+                // stale entry can alias the new epoch.
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Returns `(pool_start, len)` of the instantiated out-arcs of `v` for
+    /// the current walk, instantiating them on first visit (one uniform draw
+    /// per possible arc, in neighbor order — the `WalkSampler` draw order).
+    fn instantiate<R: Rng + ?Sized>(
+        &mut self,
+        view: CsrView<'_>,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (u32, u32) {
+        if self.stamp[v as usize] == self.epoch {
+            return self.slots[v as usize];
+        }
+        let start = self.pool.len() as u32;
+        let neighbors = view.neighbors(v);
+        let probabilities = view.probabilities(v);
+        for (&w, &p) in neighbors.iter().zip(probabilities) {
+            if rng.gen::<f64>() < p {
+                self.pool.push(w);
+            }
+        }
+        let slot = (start, self.pool.len() as u32 - start);
+        self.stamp[v as usize] = self.epoch;
+        self.slots[v as usize] = slot;
+        slot
+    }
+}
+
+/// A sampler of lazily-instantiated random walks over a [`CsrView`],
+/// writing positions into caller-provided buffers through a [`WalkArena`].
+#[derive(Debug, Clone, Copy)]
+pub struct CsrSampler<'g> {
+    view: CsrView<'g>,
+    dead_end_policy: DeadEndPolicy,
+}
+
+impl<'g> CsrSampler<'g> {
+    /// Creates a sampler over `view` with the default dead-end policy
+    /// (terminate, matching the sub-stochastic exact transition rows).
+    pub fn new(view: CsrView<'g>) -> Self {
+        Self::with_policy(view, DeadEndPolicy::default())
+    }
+
+    /// Creates a sampler with an explicit dead-end policy.
+    pub fn with_policy(view: CsrView<'g>, dead_end_policy: DeadEndPolicy) -> Self {
+        CsrSampler {
+            view,
+            dead_end_policy,
+        }
+    }
+
+    /// The view this sampler walks.
+    pub fn view(&self) -> CsrView<'g> {
+        self.view
+    }
+
+    /// The dead-end policy in use.
+    pub fn dead_end_policy(&self) -> DeadEndPolicy {
+        self.dead_end_policy
+    }
+
+    /// Samples one walk of horizon `length` from `start`, writing the
+    /// `length + 1` positions (step `k` at index `k`; [`DEAD`] once the walk
+    /// terminated) into `positions`, which is cleared first and reused
+    /// without reallocation across calls.
+    ///
+    /// Each call is one independent walk: arc instantiations are shared
+    /// *within* the call across revisits (Fig. 4 of the paper) and discarded
+    /// between calls.
+    pub fn sample_walk_into<R: Rng + ?Sized>(
+        &self,
+        arena: &mut WalkArena,
+        start: VertexId,
+        length: usize,
+        rng: &mut R,
+        positions: &mut Vec<VertexId>,
+    ) {
+        debug_assert!((start as usize) < self.view.num_vertices());
+        arena.ensure_vertices(self.view.num_vertices());
+        arena.begin_walk();
+        positions.clear();
+        positions.reserve(length + 1);
+        positions.push(start);
+        let mut current = start;
+        for step in 0..length {
+            if current == DEAD {
+                // Already dead: pad the remaining steps in one go.
+                positions.resize(length + 1, DEAD);
+                debug_assert_eq!(positions.len(), step + 1 + (length - step));
+                break;
+            }
+            let (pool_start, len) = arena.instantiate(self.view, current, rng);
+            current = if len == 0 {
+                match self.dead_end_policy {
+                    DeadEndPolicy::Terminate => DEAD,
+                    DeadEndPolicy::StayInPlace => current,
+                }
+            } else {
+                arena.pool[pool_start as usize + rng.gen_range(0..len as usize)]
+            };
+            positions.push(current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::WalkSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ugraph::{CsrGraph, UncertainGraph, UncertainGraphBuilder};
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn walks_are_bit_identical_to_walk_sampler() {
+        // The arena sampler consumes the RNG in exactly the same order as
+        // WalkSampler, so from equal RNG states the walks must be equal —
+        // this is what lets the estimators migrate without changing results.
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::new(csr.forward());
+        let mut arena = WalkArena::new();
+        let mut positions = Vec::new();
+
+        let mut legacy = WalkSampler::new(&g);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for start in [0u32, 1, 2, 3, 4] {
+            for _ in 0..50 {
+                let reference = legacy.sample_walk(start, 6, &mut rng_a);
+                sampler.sample_walk_into(&mut arena, start, 6, &mut rng_b, &mut positions);
+                assert_eq!(positions.len(), 7);
+                for (k, &position) in positions.iter().enumerate() {
+                    let expected = reference.position(k).unwrap_or(DEAD);
+                    assert_eq!(position, expected, "start {start}, step {k}");
+                }
+            }
+        }
+        // Both RNGs must have advanced identically.
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn reverse_view_walks_match_walking_the_transpose() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let transposed = g.transpose();
+        let mut legacy = WalkSampler::new(&transposed);
+        let sampler = CsrSampler::new(csr.reverse());
+        let mut arena = WalkArena::new();
+        let mut positions = Vec::new();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for start in [0u32, 2, 4] {
+            for _ in 0..30 {
+                let reference = legacy.sample_walk(start, 5, &mut rng_a);
+                sampler.sample_walk_into(&mut arena, start, 5, &mut rng_b, &mut positions);
+                for (k, &position) in positions.iter().enumerate() {
+                    assert_eq!(position, reference.position(k).unwrap_or(DEAD));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instantiation_is_shared_within_a_walk() {
+        // One probabilistic 2-cycle: a walk either dies within its first
+        // visit to each vertex or survives the whole horizon (revisits reuse
+        // the instantiation).
+        let g = UncertainGraphBuilder::new(2)
+            .arc(0, 1, 0.5)
+            .arc(1, 0, 0.5)
+            .build()
+            .unwrap();
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::new(csr.forward());
+        let mut arena = WalkArena::new();
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut survived = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            sampler.sample_walk_into(&mut arena, 0, 6, &mut rng, &mut positions);
+            let steps = positions.iter().take_while(|&&p| p != DEAD).count() - 1;
+            assert!(
+                steps == 0 || steps == 1 || steps == 6,
+                "shared instantiation allows death only at first visits; survived {steps}"
+            );
+            if steps == 6 {
+                survived += 1;
+            }
+        }
+        let rate = survived as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "survival rate {rate}");
+    }
+
+    #[test]
+    fn stay_in_place_policy_keeps_the_walk_at_dead_ends() {
+        let g = fig1_graph(); // vertex 4 has no out-arcs
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::with_policy(csr.forward(), DeadEndPolicy::StayInPlace);
+        assert_eq!(sampler.dead_end_policy(), DeadEndPolicy::StayInPlace);
+        let mut arena = WalkArena::new();
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        sampler.sample_walk_into(&mut arena, 4, 3, &mut rng, &mut positions);
+        assert_eq!(positions, vec![4, 4, 4, 4]);
+
+        let terminating = CsrSampler::new(csr.forward());
+        terminating.sample_walk_into(&mut arena, 4, 3, &mut rng, &mut positions);
+        assert_eq!(positions, vec![4, DEAD, DEAD, DEAD]);
+    }
+
+    #[test]
+    fn buffers_are_reused_without_reallocation() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::new(csr.forward());
+        let mut arena = WalkArena::with_capacity(g.num_vertices());
+        let mut positions = Vec::with_capacity(8);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Warm until every buffer has reached steady-state size.
+        for _ in 0..50 {
+            sampler.sample_walk_into(&mut arena, 0, 7, &mut rng, &mut positions);
+        }
+        let pool_capacity = arena.pool.capacity();
+        let positions_capacity = positions.capacity();
+        for _ in 0..500 {
+            sampler.sample_walk_into(&mut arena, 0, 7, &mut rng, &mut positions);
+        }
+        assert_eq!(arena.pool.capacity(), pool_capacity);
+        assert_eq!(positions.capacity(), positions_capacity);
+        assert_eq!(arena.stamp.len(), 5);
+    }
+
+    #[test]
+    fn zero_length_walk_is_just_the_start() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::new(csr.forward());
+        let mut arena = WalkArena::new();
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        sampler.sample_walk_into(&mut arena, 2, 0, &mut rng, &mut positions);
+        assert_eq!(positions, vec![2]);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::new(csr.forward());
+        let mut arena = WalkArena::with_capacity(5);
+        arena.epoch = u32::MAX - 1;
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..4 {
+            // Crosses the wrap; walks must stay valid (no stale aliasing).
+            sampler.sample_walk_into(&mut arena, 0, 4, &mut rng, &mut positions);
+            for window in positions.windows(2) {
+                if window[0] != DEAD && window[1] != DEAD {
+                    assert!(g.has_arc(window[0], window[1]));
+                }
+            }
+        }
+        assert!(arena.epoch >= 1 && arena.epoch < 10);
+    }
+}

@@ -16,7 +16,7 @@
 //! * it seeds the `TransPr` walk extension (and is the Lemma 3 shortcut for
 //!   walks that have not yet revisited a vertex);
 //! * raised to the k-th power it is exactly the (incorrect) k-step matrix
-//!   assumed by Du et al. [7], which the paper uses as the SimRank-III
+//!   assumed by Du et al. \[7\], which the paper uses as the SimRank-III
 //!   comparison baseline.
 
 use crate::walkpr::{inv, presence_count_distribution};

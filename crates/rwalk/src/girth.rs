@@ -5,7 +5,7 @@
 //! shorter than the shortest cycle it cannot revisit a vertex, so its
 //! probability factors into one-step transition probabilities and no
 //! `α`-ratio needs to be recomputed.  The paper cites Horton's algorithm
-//! [12]; for directed graphs a per-vertex BFS (overall `O(|V|·|E|)`) is the
+//! \[12\]; for directed graphs a per-vertex BFS (overall `O(|V|·|E|)`) is the
 //! standard approach and is what we implement, with an optional depth cap
 //! because the algorithms only ever need to know whether the girth exceeds
 //! the (small) walk length `K`.

@@ -19,7 +19,10 @@
 //!   (the only `W(k)` that is sparse), which is also the matrix that Du et
 //!   al.'s prior work raises to the k-th power;
 //! * [`sampler`] — the lazily-instantiated random-walk sampler of the
-//!   Sampling algorithm (Fig. 4, lines 1–18).
+//!   Sampling algorithm (Fig. 4, lines 1–18);
+//! * [`arena`] — the allocation-free CSR fast path of the same sampler: a
+//!   reusable per-worker [`WalkArena`] plus [`CsrSampler`], which walks a
+//!   [`ugraph::CsrView`] with bit-identical RNG consumption.
 //!
 //! The central fact motivating all of this (Section IV of the paper) is that
 //! on an uncertain graph `W(k) ≠ (W(1))^k`: when a walk revisits a vertex,
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod expected;
 pub mod girth;
 pub mod sampler;
@@ -38,6 +42,7 @@ pub mod transpr;
 pub mod walk;
 pub mod walkpr;
 
+pub use arena::{CsrSampler, WalkArena, DEAD};
 pub use expected::expected_one_step_matrix;
 pub use girth::{directed_girth, girth_at_least};
 pub use sampler::{SampledWalk, WalkSampler};

@@ -1,5 +1,5 @@
 //! Expected Jaccard / Dice / cosine similarity over the possible worlds of an
-//! uncertain graph (the structural-context similarities of Zou & Li [44],
+//! uncertain graph (the structural-context similarities of Zou & Li \[44\],
 //! used as the Jaccard-I baseline in the paper's experiments).
 //!
 //! For two query vertices `u` and `v`, each candidate common neighbor `w`

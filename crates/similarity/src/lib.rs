@@ -5,7 +5,7 @@
 //! its uncertain SimRank with
 //!
 //! * **Jaccard-I** — the *expected* Jaccard similarity over possible worlds
-//!   (the structural-context similarity of Zou & Li [44]), and
+//!   (the structural-context similarity of Zou & Li \[44\]), and
 //! * **Jaccard-II** — plain Jaccard similarity on the deterministic skeleton,
 //!
 //! and the related work section mentions the expected Dice and cosine

@@ -1,0 +1,382 @@
+//! A compact, walk-oriented compressed-sparse-row view of a graph.
+//!
+//! [`DiGraph`] and [`UncertainGraph`] already store their adjacency in CSR
+//! form, but the SimRank estimators need more than raw adjacency: the
+//! random-walk interpretation of SimRank follows arcs *backwards*, so every
+//! estimator used to materialise a full transposed copy of the input
+//! (`UncertainGraph::transpose`, a sort + rebuild of all arcs) before it could
+//! walk anything.  [`CsrGraph`] removes that step: it is built **once** from a
+//! graph and exposes *both* directions as flat `offsets` / `targets` / `probs`
+//! arrays through [`CsrView`], so a sampler picks the forward or the reverse
+//! (transpose) view at query time with zero copying.
+//!
+//! Neighbor slices are sorted by vertex id (inherited from the [`DiGraph`]
+//! build), which keeps arc lookups a binary search and iteration
+//! deterministic.
+//!
+//! # Layout
+//!
+//! For each direction the graph is three parallel flat arrays:
+//!
+//! ```text
+//! offsets: [0, d(0), d(0)+d(1), …]          (num_vertices + 1 entries)
+//! targets: neighbors of 0, neighbors of 1, …  (num_arcs entries, sorted per vertex)
+//! probs:   probability of each arc, aligned with `targets`
+//! ```
+//!
+//! `neighbors(v)` and `probabilities(v)` are the sub-slices
+//! `targets[offsets[v]..offsets[v+1]]` and `probs[offsets[v]..offsets[v+1]]`.
+
+use crate::graph::DiGraph;
+use crate::uncertain::UncertainGraph;
+use crate::{Probability, VertexId};
+
+/// One direction of a [`CsrGraph`]: flat offsets / targets / probabilities.
+#[derive(Debug, Clone, PartialEq)]
+struct CsrDirection {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    probs: Vec<Probability>,
+}
+
+/// A compact CSR representation of an uncertain (or deterministic) graph with
+/// both the forward adjacency and its transpose materialised as flat arrays.
+///
+/// Built once (see [`CsrGraph::from_uncertain`] / [`CsrGraph::from_digraph`]);
+/// all samplers and the batch [`QueryEngine`] walk [`CsrView`]s of this
+/// structure instead of re-deriving adjacency per query.
+///
+/// [`QueryEngine`]: https://docs.rs/usim_core (crates/core)
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    forward: CsrDirection,
+    reverse: CsrDirection,
+}
+
+impl CsrGraph {
+    /// Builds the CSR representation of an uncertain graph.
+    ///
+    /// The forward view reproduces `graph.out_arcs`, the reverse view
+    /// reproduces `graph.in_arcs` (equivalently: the forward view of
+    /// `graph.transpose()`, without building the transpose).
+    pub fn from_uncertain(graph: &UncertainGraph) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_arcs();
+        let mut forward = CsrDirection {
+            offsets: Vec::with_capacity(n + 1),
+            targets: Vec::with_capacity(m),
+            probs: Vec::with_capacity(m),
+        };
+        let mut reverse = CsrDirection {
+            offsets: Vec::with_capacity(n + 1),
+            targets: Vec::with_capacity(m),
+            probs: Vec::with_capacity(m),
+        };
+        forward.offsets.push(0);
+        reverse.offsets.push(0);
+        for v in 0..n as VertexId {
+            let (out_nbrs, out_probs) = graph.out_arcs(v);
+            forward.targets.extend_from_slice(out_nbrs);
+            forward.probs.extend_from_slice(out_probs);
+            forward.offsets.push(forward.targets.len());
+            let (in_nbrs, in_probs) = graph.in_arcs(v);
+            reverse.targets.extend_from_slice(in_nbrs);
+            reverse.probs.extend_from_slice(in_probs);
+            reverse.offsets.push(reverse.targets.len());
+        }
+        CsrGraph {
+            num_vertices: n,
+            forward,
+            reverse,
+        }
+    }
+
+    /// Builds the CSR representation of a deterministic graph; every arc gets
+    /// probability 1, so walks on it are ordinary uniform random walks.
+    pub fn from_digraph(graph: &DiGraph) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_arcs();
+        let mut forward = CsrDirection {
+            offsets: Vec::with_capacity(n + 1),
+            targets: Vec::with_capacity(m),
+            probs: vec![1.0; m],
+        };
+        let mut reverse = CsrDirection {
+            offsets: Vec::with_capacity(n + 1),
+            targets: Vec::with_capacity(m),
+            probs: vec![1.0; m],
+        };
+        forward.offsets.push(0);
+        reverse.offsets.push(0);
+        for v in 0..n as VertexId {
+            forward.targets.extend_from_slice(graph.out_neighbors(v));
+            forward.offsets.push(forward.targets.len());
+            reverse.targets.extend_from_slice(graph.in_neighbors(v));
+            reverse.offsets.push(reverse.targets.len());
+        }
+        CsrGraph {
+            num_vertices: n,
+            forward,
+            reverse,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of arcs `|E|`.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.forward.targets.len()
+    }
+
+    /// The forward view: `neighbors(v)` are the out-neighbors of `v`.
+    #[inline]
+    pub fn forward(&self) -> CsrView<'_> {
+        CsrView {
+            num_vertices: self.num_vertices,
+            offsets: &self.forward.offsets,
+            targets: &self.forward.targets,
+            probs: &self.forward.probs,
+        }
+    }
+
+    /// The reverse (transpose) view: `neighbors(v)` are the in-neighbors of
+    /// `v`.  Walking this view is identical to walking the forward view of
+    /// the transposed graph — the direction SimRank's walks use.
+    #[inline]
+    pub fn reverse(&self) -> CsrView<'_> {
+        CsrView {
+            num_vertices: self.num_vertices,
+            offsets: &self.reverse.offsets,
+            targets: &self.reverse.targets,
+            probs: &self.reverse.probs,
+        }
+    }
+}
+
+/// A borrowed, direction-fixed view of a [`CsrGraph`]: the three flat arrays
+/// of one direction.  `Copy`, pointer-sized ×4 — hand it to workers freely.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    num_vertices: usize,
+    offsets: &'a [usize],
+    targets: &'a [VertexId],
+    probs: &'a [Probability],
+}
+
+impl<'a> CsrView<'a> {
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of arcs `|E|`.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Index range of `v`'s arcs within [`Self::targets_flat`] /
+    /// [`Self::probs_flat`].
+    #[inline]
+    pub fn arc_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.offsets[v], self.offsets[v + 1])
+    }
+
+    /// Neighbors of `v` in this direction, sorted by vertex id.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &'a [VertexId] {
+        let (start, end) = self.arc_range(v);
+        &self.targets[start..end]
+    }
+
+    /// Probabilities of `v`'s arcs, aligned with [`Self::neighbors`].
+    #[inline]
+    pub fn probabilities(&self, v: VertexId) -> &'a [Probability] {
+        let (start, end) = self.arc_range(v);
+        &self.probs[start..end]
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let (start, end) = self.arc_range(v);
+        end - start
+    }
+
+    /// Whether the arc `(u, v)` exists in this direction — a binary search
+    /// over `u`'s sorted neighbor slice.
+    #[inline]
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Existence probability of the arc `(u, v)` in this direction, or `None`
+    /// when the arc is absent — a binary search over `u`'s sorted neighbors.
+    #[inline]
+    pub fn arc_probability(&self, u: VertexId, v: VertexId) -> Option<Probability> {
+        let (start, _) = self.arc_range(u);
+        let idx = self.neighbors(u).binary_search(&v).ok()?;
+        Some(self.probs[start + idx])
+    }
+
+    /// One-step transition probability `1 / degree(u)` of the uniform random
+    /// walk on the skeleton, 0 when `(u, v)` is not an arc (binary search).
+    #[inline]
+    pub fn transition_probability(&self, u: VertexId, v: VertexId) -> f64 {
+        let d = self.degree(u);
+        if d > 0 && self.has_arc(u, v) {
+            1.0 / d as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The entire flat target array (all vertices concatenated).
+    #[inline]
+    pub fn targets_flat(&self) -> &'a [VertexId] {
+        self.targets
+    }
+
+    /// The entire flat probability array, aligned with
+    /// [`Self::targets_flat`].
+    #[inline]
+    pub fn probs_flat(&self) -> &'a [Probability] {
+        self.probs
+    }
+
+    /// The offsets array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &'a [usize] {
+        self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraph::from_arcs(
+            5,
+            [
+                (0, 2, 0.8),
+                (0, 3, 0.5),
+                (1, 0, 0.8),
+                (1, 2, 0.9),
+                (2, 0, 0.7),
+                (2, 3, 0.6),
+                (3, 4, 0.6),
+                (3, 1, 0.8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_view_matches_out_arcs() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_arcs(), 8);
+        let fwd = csr.forward();
+        for v in g.vertices() {
+            let (nbrs, probs) = g.out_arcs(v);
+            assert_eq!(fwd.neighbors(v), nbrs);
+            assert_eq!(fwd.probabilities(v), probs);
+            assert_eq!(fwd.degree(v), g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn reverse_view_matches_in_arcs_and_the_transpose() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let rev = csr.reverse();
+        for v in g.vertices() {
+            let (nbrs, probs) = g.in_arcs(v);
+            assert_eq!(rev.neighbors(v), nbrs);
+            assert_eq!(rev.probabilities(v), probs);
+        }
+        // The reverse view IS the forward view of the transpose.
+        let transposed = CsrGraph::from_uncertain(&g.transpose());
+        let tf = transposed.forward();
+        for v in g.vertices() {
+            assert_eq!(rev.neighbors(v), tf.neighbors(v));
+            assert_eq!(rev.probabilities(v), tf.probabilities(v));
+        }
+    }
+
+    #[test]
+    fn neighbor_slices_are_sorted_for_binary_search() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        for view in [csr.forward(), csr.reverse()] {
+            for v in 0..csr.num_vertices() as VertexId {
+                let nbrs = view.neighbors(v);
+                assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn arc_lookups_use_both_directions() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let fwd = csr.forward();
+        let rev = csr.reverse();
+        assert!(fwd.has_arc(0, 2));
+        assert!(!fwd.has_arc(2, 1));
+        assert!(rev.has_arc(2, 0), "reverse direction flips the arc");
+        assert_eq!(fwd.arc_probability(0, 2), Some(0.8));
+        assert_eq!(rev.arc_probability(2, 0), Some(0.8));
+        assert_eq!(fwd.arc_probability(0, 4), None);
+        assert!((fwd.transition_probability(0, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(fwd.transition_probability(0, 4), 0.0);
+        assert_eq!(fwd.transition_probability(4, 0), 0.0);
+    }
+
+    #[test]
+    fn digraph_build_gets_unit_probabilities() {
+        let d = DiGraph::from_arcs(4, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let csr = CsrGraph::from_digraph(&d);
+        assert_eq!(csr.num_arcs(), 5);
+        let fwd = csr.forward();
+        for v in d.vertices() {
+            assert_eq!(fwd.neighbors(v), d.out_neighbors(v));
+            assert!(fwd.probabilities(v).iter().all(|&p| p == 1.0));
+            assert_eq!(csr.reverse().neighbors(v), d.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn flat_arrays_are_consistent_with_offsets() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let fwd = csr.forward();
+        assert_eq!(fwd.offsets().len(), 6);
+        assert_eq!(*fwd.offsets().last().unwrap(), fwd.targets_flat().len());
+        assert_eq!(fwd.targets_flat().len(), fwd.probs_flat().len());
+        let (start, end) = fwd.arc_range(1);
+        assert_eq!(&fwd.targets_flat()[start..end], fwd.neighbors(1));
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = UncertainGraph::from_arcs(3, [(0, 1, 0.5)]).unwrap();
+        let csr = CsrGraph::from_uncertain(&g);
+        assert_eq!(csr.forward().degree(2), 0);
+        assert_eq!(csr.forward().neighbors(2), &[] as &[VertexId]);
+        assert_eq!(csr.reverse().degree(0), 0);
+        let empty = CsrGraph::from_uncertain(&UncertainGraph::from_arcs(0, []).unwrap());
+        assert_eq!(empty.num_vertices(), 0);
+        assert_eq!(empty.num_arcs(), 0);
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`UncertainGraph`] — a directed graph whose arcs carry independent
 //!   existence probabilities in `(0, 1]`, i.e. the tuple `(V, E, P)` of the
 //!   paper (Section II).
+//! * [`CsrGraph`] — a compact, walk-oriented CSR view (flat
+//!   `offsets`/`targets`/`probs` arrays for both the forward adjacency and
+//!   its transpose) built once and shared by all samplers, so estimators no
+//!   longer materialise transposed graph copies per query.
 //! * [`possible_world`] — the possible-world semantics: a possible world of an
 //!   uncertain graph `G` is a deterministic graph on the same vertex set whose
 //!   arc set is a subset of `E(G)`; its probability is the product in
@@ -47,6 +51,7 @@
 
 pub mod binfmt;
 mod builder;
+pub mod csr;
 mod error;
 mod graph;
 pub mod io;
@@ -56,6 +61,7 @@ pub mod stats;
 mod uncertain;
 
 pub use builder::{DiGraphBuilder, DuplicatePolicy, UncertainGraphBuilder};
+pub use csr::{CsrGraph, CsrView};
 pub use error::GraphError;
 pub use graph::{ArcIter, DiGraph};
 pub use uncertain::{ProbArc, UncertainGraph};

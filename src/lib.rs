@@ -62,10 +62,12 @@ pub use usim_er as entity_resolution;
 pub mod prelude {
     pub use crate::datasets::{CoauthorGenerator, ErGenerator, PpiGenerator, RmatGenerator};
     pub use crate::graph::{
-        DiGraph, DiGraphBuilder, GraphError, UncertainGraph, UncertainGraphBuilder, VertexId,
+        CsrGraph, CsrView, DiGraph, DiGraphBuilder, GraphError, UncertainGraph,
+        UncertainGraphBuilder, VertexId,
     };
+    pub use crate::random_walk::{CsrSampler, WalkArena};
     pub use crate::simrank::{
-        BaselineEstimator, SamplingEstimator, SimRankConfig, SimRankEstimator,
+        BaselineEstimator, QueryEngine, SamplingEstimator, SimRankConfig, SimRankEstimator,
         SingleSourceEstimator, SourceMode, SpeedupEstimator, TwoPhaseEstimator, WalkDirection,
     };
 }

@@ -1,0 +1,153 @@
+//! Property-based tests for the CSR fast path and the batch query engine:
+//! [`CsrGraph`] must round-trip arbitrary graphs exactly (degrees, neighbor
+//! slices, transpose view), and [`QueryEngine`] batch results must equal the
+//! sequential per-pair estimates bit-for-bit under a fixed seed, at any
+//! thread count.
+
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+use uncertain_simrank::graph::{CsrGraph, DiGraph, DuplicatePolicy, VertexId};
+use uncertain_simrank::prelude::*;
+use uncertain_simrank::simrank::QueryEngine;
+
+/// Strategy: a small deterministic graph with up to `max_vertices` vertices
+/// and up to `max_arcs` random arcs (duplicates collapsed).
+fn small_digraph(max_vertices: u32, max_arcs: usize) -> impl Strategy<Value = DiGraph> {
+    (2..=max_vertices)
+        .prop_flat_map(move |n| {
+            let arcs = proptest::collection::vec((0..n, 0..n), 0..=max_arcs);
+            (Just(n), arcs)
+        })
+        .prop_map(|(n, arcs)| {
+            let unique: std::collections::BTreeSet<(VertexId, VertexId)> =
+                arcs.into_iter().collect();
+            DiGraph::from_arcs(n as usize, unique).expect("strategy produces valid arcs")
+        })
+}
+
+/// Strategy: a small uncertain graph (duplicates keep the max probability).
+fn small_uncertain_graph(
+    max_vertices: u32,
+    max_arcs: usize,
+) -> impl Strategy<Value = UncertainGraph> {
+    (2..=max_vertices)
+        .prop_flat_map(move |n| {
+            let arcs = proptest::collection::vec((0..n, 0..n, 0.05f64..1.0f64), 1..=max_arcs);
+            (Just(n), arcs)
+        })
+        .prop_map(|(n, arcs)| {
+            UncertainGraphBuilder::new(n as usize)
+                .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
+                .arcs(arcs)
+                .build()
+                .expect("strategy produces valid arcs")
+        })
+}
+
+/// Strategy: a list of query pairs over `n` vertices.
+fn pairs_over(n: u32, max_pairs: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    proptest::collection::vec((0..n, 0..n), 1..=max_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CsrGraph round-trips an arbitrary DiGraph: per-vertex degrees and
+    /// sorted neighbor slices in both directions, and the reverse view is
+    /// exactly the forward view of the transposed graph.
+    #[test]
+    fn csr_roundtrips_arbitrary_digraphs(graph in small_digraph(12, 40)) {
+        let csr = CsrGraph::from_digraph(&graph);
+        prop_assert_eq!(csr.num_vertices(), graph.num_vertices());
+        prop_assert_eq!(csr.num_arcs(), graph.num_arcs());
+        let forward = csr.forward();
+        let reverse = csr.reverse();
+        for v in graph.vertices() {
+            prop_assert_eq!(forward.neighbors(v), graph.out_neighbors(v));
+            prop_assert_eq!(reverse.neighbors(v), graph.in_neighbors(v));
+            prop_assert_eq!(forward.degree(v), graph.out_degree(v));
+            prop_assert_eq!(reverse.degree(v), graph.in_degree(v));
+            prop_assert!(forward.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(reverse.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+        // Arc membership agrees with the graph's binary-search lookup, in
+        // both directions.
+        for u in graph.vertices() {
+            for v in graph.vertices() {
+                prop_assert_eq!(forward.has_arc(u, v), graph.has_arc(u, v));
+                prop_assert_eq!(reverse.has_arc(v, u), graph.has_arc(u, v));
+            }
+        }
+        // The reverse view is the transpose's forward view.
+        let transposed = CsrGraph::from_digraph(&graph.transpose());
+        for v in graph.vertices() {
+            prop_assert_eq!(reverse.neighbors(v), transposed.forward().neighbors(v));
+        }
+    }
+
+    /// CsrGraph round-trips an arbitrary UncertainGraph including the
+    /// probability arrays, and both views stay aligned with their targets.
+    #[test]
+    fn csr_roundtrips_arbitrary_uncertain_graphs(graph in small_uncertain_graph(10, 30)) {
+        let csr = CsrGraph::from_uncertain(&graph);
+        prop_assert_eq!(csr.num_arcs(), graph.num_arcs());
+        let forward = csr.forward();
+        let reverse = csr.reverse();
+        for v in graph.vertices() {
+            let (out_nbrs, out_probs) = graph.out_arcs(v);
+            prop_assert_eq!(forward.neighbors(v), out_nbrs);
+            prop_assert_eq!(forward.probabilities(v), out_probs);
+            let (in_nbrs, in_probs) = graph.in_arcs(v);
+            prop_assert_eq!(reverse.neighbors(v), in_nbrs);
+            prop_assert_eq!(reverse.probabilities(v), in_probs);
+        }
+        for arc in graph.arcs() {
+            prop_assert_eq!(forward.arc_probability(arc.source, arc.target), Some(arc.probability));
+            prop_assert_eq!(reverse.arc_probability(arc.target, arc.source), Some(arc.probability));
+        }
+    }
+
+    /// Batch results equal the sequential per-pair estimates bit-for-bit
+    /// under a fixed seed: scores, profiles and repeated queries.
+    #[test]
+    fn batch_equals_sequential_bit_for_bit(
+        input in small_uncertain_graph(10, 30)
+            .prop_flat_map(|g| {
+                let n = g.num_vertices() as u32;
+                (Just(g), pairs_over(n, 12))
+            }),
+        seed in 0u64..1000,
+    ) {
+        let (graph, pairs) = input;
+        let config = SimRankConfig::default().with_samples(40).with_seed(seed);
+        let engine = QueryEngine::new(&graph, config);
+        let batch = engine.batch_similarities(&pairs);
+        let sequential: Vec<f64> = pairs.iter().map(|&(u, v)| engine.similarity(u, v)).collect();
+        prop_assert_eq!(batch, sequential);
+        let profiles = engine.batch_profile(&pairs);
+        for (profile, &(u, v)) in profiles.iter().zip(&pairs) {
+            prop_assert_eq!(profile, &engine.profile(u, v));
+        }
+    }
+
+    /// The number of rayon threads is invisible in batch output: 1 worker
+    /// and 5 workers produce bit-identical score vectors.
+    #[test]
+    fn batch_is_thread_count_invariant(
+        input in small_uncertain_graph(8, 24)
+            .prop_flat_map(|g| {
+                let n = g.num_vertices() as u32;
+                (Just(g), pairs_over(n, 16))
+            }),
+        seed in 0u64..1000,
+    ) {
+        let (graph, pairs) = input;
+        let config = SimRankConfig::default().with_samples(30).with_seed(seed);
+        let engine = QueryEngine::new(&graph, config);
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let many = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let a = single.install(|| engine.batch_similarities(&pairs));
+        let b = many.install(|| engine.batch_similarities(&pairs));
+        prop_assert_eq!(a, b);
+    }
+}
