@@ -42,7 +42,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
 
     group.bench_function("batch_profile", |b| {
         b.iter(|| {
-            let profiles = engine.batch_profile(&pairs);
+            let profiles = engine.batch_profile(&pairs).expect("ids are in range");
             black_box(profiles.len())
         })
     });

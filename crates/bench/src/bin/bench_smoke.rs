@@ -80,7 +80,10 @@ fn main() {
         .iter()
         .map(|&(u, v)| engine.profile(u, v).score())
         .sum();
-    let warm_batch = engine.batch_profile(&pairs[..pairs.len().min(64)]).len();
+    let warm_batch = engine
+        .batch_profile(&pairs[..pairs.len().min(64)])
+        .expect("ids are in range")
+        .len();
     std::hint::black_box((warm_sequential, warm_batch));
 
     let sequential_secs = best_of(3, || {
@@ -89,7 +92,9 @@ fn main() {
             .map(|&(u, v)| engine.profile(u, v).score())
             .sum::<f64>()
     });
-    let batch_secs = best_of(3, || engine.batch_profile(&pairs));
+    let batch_secs = best_of(3, || {
+        engine.batch_profile(&pairs).expect("ids are in range")
+    });
 
     let report = SmokeReport {
         pairs: pairs.len(),

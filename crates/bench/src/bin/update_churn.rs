@@ -1,0 +1,234 @@
+//! `update_churn` — the CI perf-tracking gate for the dynamic-graph path.
+//!
+//! Simulates the streaming update-and-query workload the `DeltaOverlay`
+//! subsystem exists for: a fixed pair batch is answered on a pristine
+//! engine, then rounds of valid arc updates (deletes, re-inserts,
+//! re-weights) are applied through `QueryEngine::apply_updates` with the
+//! batch re-answered after every round.  The run writes a
+//! `BENCH_update_churn.json` artifact and exits non-zero when the
+//! **churn ratio** — query throughput under churn divided by same-run
+//! pristine query throughput — regresses more than 2x against the
+//! checked-in baseline.
+//!
+//! Like `bench_smoke`, the gate compares a same-run ratio, not absolute
+//! times, so it is machine-speed independent: the ratio isolates the cost
+//! of reading through the overlay (patched-row hash lookups, compactions)
+//! from the cost of the walks themselves.
+//!
+//! The run also asserts the dynamic engine's correctness contract: after
+//! all rounds, scores must be bit-identical to a fresh engine built on the
+//! mutated graph snapshot.
+//!
+//! Environment:
+//! * `USIM_BENCH_PAIRS`    — number of query pairs (default 256)
+//! * `USIM_BENCH_SAMPLES`  — walk samples per query (default 20)
+//! * `USIM_BENCH_ROUNDS`   — update rounds (default 8)
+//! * `USIM_BENCH_UPDATES`  — updates per round (default 128)
+//! * `USIM_BENCH_OUT`      — artifact path (default `BENCH_update_churn.json`)
+//! * `USIM_BENCH_BASELINE` — baseline path (default
+//!   `crates/bench/baselines/update_churn.json`)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ugraph::{GraphUpdate, VertexId};
+use usim_bench::random_pairs;
+use usim_core::{QueryEngine, SimRankConfig};
+use usim_datasets::RmatGenerator;
+
+/// The measurements the artifact records and the baseline pins.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ChurnReport {
+    /// Number of query pairs in the batch.
+    pairs: usize,
+    /// Walk samples per query.
+    samples: usize,
+    /// Walk horizon `n`.
+    horizon: usize,
+    /// Worker threads available to the batch path.
+    threads: usize,
+    /// Update rounds applied.
+    rounds: usize,
+    /// Updates per round.
+    updates_per_round: usize,
+    /// Compactions triggered while applying the rounds.
+    compactions: usize,
+    /// `apply_updates` throughput, update operations per second.
+    updates_per_sec: f64,
+    /// Batch query throughput on the pristine engine, pairs per second.
+    pristine_pairs_per_sec: f64,
+    /// Batch query throughput interleaved with update rounds, pairs/sec.
+    churn_pairs_per_sec: f64,
+    /// `churn_pairs_per_sec / pristine_pairs_per_sec` — the gated number.
+    churn_ratio: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Builds `rounds` rounds of `per_round` updates that are always valid
+/// against the evolving graph: deletes of live arcs, re-inserts of
+/// previously deleted arcs, and re-weights of live arcs, round-robin.
+fn build_rounds(
+    graph: &ugraph::UncertainGraph,
+    rounds: usize,
+    per_round: usize,
+    seed: u64,
+) -> Vec<Vec<GraphUpdate>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(VertexId, VertexId)> = graph.arcs().map(|a| (a.source, a.target)).collect();
+    let mut dead: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut out = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut batch = Vec::with_capacity(per_round);
+        for step in 0..per_round {
+            match (round + step) % 3 {
+                // Delete a random live arc (keep the graph from draining).
+                0 if live.len() > per_round => {
+                    let idx = rng.gen_range(0..live.len());
+                    let (source, target) = live.swap_remove(idx);
+                    dead.push((source, target));
+                    batch.push(GraphUpdate::DeleteArc { source, target });
+                }
+                // Re-insert a previously deleted arc with a fresh weight.
+                1 if !dead.is_empty() => {
+                    let idx = rng.gen_range(0..dead.len());
+                    let (source, target) = dead.swap_remove(idx);
+                    live.push((source, target));
+                    batch.push(GraphUpdate::InsertArc {
+                        source,
+                        target,
+                        probability: rng.gen_range(0.05..1.0),
+                    });
+                }
+                // Re-weight a random live arc.
+                _ => {
+                    let (source, target) = live[rng.gen_range(0..live.len())];
+                    batch.push(GraphUpdate::SetProbability {
+                        source,
+                        target,
+                        probability: rng.gen_range(0.05..1.0),
+                    });
+                }
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
+fn main() {
+    let pairs_count = env_usize("USIM_BENCH_PAIRS", 256);
+    let samples = env_usize("USIM_BENCH_SAMPLES", 20);
+    let rounds_count = env_usize("USIM_BENCH_ROUNDS", 8);
+    let per_round = env_usize("USIM_BENCH_UPDATES", 128);
+    let out_path =
+        std::env::var("USIM_BENCH_OUT").unwrap_or_else(|_| "BENCH_update_churn.json".to_string());
+    let baseline_path = std::env::var("USIM_BENCH_BASELINE")
+        .unwrap_or_else(|_| format!("{}/baselines/update_churn.json", env!("CARGO_MANIFEST_DIR")));
+
+    let graph = RmatGenerator::small(0xd13a).generate();
+    let pairs = random_pairs(&graph, pairs_count, 0x5eed);
+    let config = SimRankConfig::default().with_samples(samples).with_seed(42);
+    let threads = rayon::current_num_threads();
+    let rounds = build_rounds(&graph, rounds_count, per_round, 0xc0de);
+    let total_updates: usize = rounds.iter().map(Vec::len).sum();
+
+    // Pristine throughput: same engine type, no updates ever applied.
+    let pristine = QueryEngine::new(&graph, config);
+    let warm = pristine
+        .batch_similarities(&pairs)
+        .expect("ids are in range");
+    std::hint::black_box(warm.len());
+    let start = Instant::now();
+    let baseline_scores = pristine
+        .batch_similarities(&pairs)
+        .expect("ids are in range");
+    let pristine_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(baseline_scores.len());
+
+    // Churn: interleave apply_updates and the same batch, one live engine.
+    // The policy is tightened so the run crosses the compaction threshold
+    // several times — the gate then covers the full overlay lifecycle
+    // (patch, read-through, fold back into a fresh CSR).
+    let mut engine = QueryEngine::new(&graph, config);
+    engine.set_compaction_policy(ugraph::CompactionPolicy {
+        min_ops: (total_updates / 4).max(1),
+        ops_fraction: 0.0,
+    });
+    let mut update_secs = 0.0f64;
+    let mut query_secs = 0.0f64;
+    let mut compactions = 0usize;
+    for round in &rounds {
+        let start = Instant::now();
+        let summary = engine
+            .apply_updates(round)
+            .expect("generated rounds are valid");
+        update_secs += start.elapsed().as_secs_f64();
+        compactions += usize::from(summary.compacted);
+        let start = Instant::now();
+        let scores = engine.batch_similarities(&pairs).expect("ids are in range");
+        query_secs += start.elapsed().as_secs_f64();
+        std::hint::black_box(scores.len());
+    }
+
+    // Correctness contract: the dynamic engine must be bit-identical to a
+    // fresh engine built on the mutated graph.
+    let final_scores = engine.batch_similarities(&pairs).expect("ids are in range");
+    let fresh = QueryEngine::new(&engine.snapshot(), config);
+    let fresh_scores = fresh.batch_similarities(&pairs).expect("ids are in range");
+    assert_eq!(
+        final_scores, fresh_scores,
+        "dynamic engine diverged from a from-scratch rebuild"
+    );
+    println!("update_churn: dynamic == rebuilt engine (bit-identical scores)");
+
+    let churn_queries = rounds.len() * pairs.len();
+    let report = ChurnReport {
+        pairs: pairs.len(),
+        samples,
+        horizon: config.horizon,
+        threads,
+        rounds: rounds.len(),
+        updates_per_round: per_round,
+        compactions,
+        updates_per_sec: total_updates as f64 / update_secs,
+        pristine_pairs_per_sec: pairs.len() as f64 / pristine_secs,
+        churn_pairs_per_sec: churn_queries as f64 / query_secs,
+        churn_ratio: (churn_queries as f64 / query_secs) / (pairs.len() as f64 / pristine_secs),
+    };
+    let json = serde_json::to_string(&report).expect("report serialises");
+    std::fs::write(&out_path, &json).expect("artifact is writable");
+    println!("update_churn: {json}");
+    println!("update_churn: artifact written to {out_path}");
+
+    // Gate against the checked-in baseline.
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("update_churn: WARNING: no baseline at {baseline_path} ({e}); gate skipped");
+            return;
+        }
+    };
+    let baseline: ChurnReport =
+        serde_json::from_str(&baseline_text).expect("baseline parses as ChurnReport");
+    let floor = baseline.churn_ratio / 2.0;
+    println!(
+        "update_churn: churn ratio {:.3} (baseline {:.3} -> floor {:.3}), \
+         {:.0} updates/sec, {} compactions",
+        report.churn_ratio, baseline.churn_ratio, floor, report.updates_per_sec, compactions
+    );
+    if report.churn_ratio < floor {
+        eprintln!(
+            "update_churn: FAIL: query throughput under churn regressed more than 2x \
+             (ratio {:.3} < floor {:.3})",
+            report.churn_ratio, floor
+        );
+        std::process::exit(1);
+    }
+    println!("update_churn: OK");
+}

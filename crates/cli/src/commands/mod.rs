@@ -13,3 +13,4 @@ pub mod pairs;
 pub mod simrank;
 pub mod stats;
 pub mod topk;
+pub mod update;

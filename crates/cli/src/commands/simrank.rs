@@ -10,12 +10,20 @@
 //! ([`usim_core::QueryEngine`]): the file lists one `source target` pair per
 //! line (original file labels; blank lines and `#` comments are skipped),
 //! all pairs are answered in one thread-sharded pass, and `--threads N` pins
-//! the worker count.  Batch output is bit-identical at any thread count.
+//! the worker count (`--threads 0`, the default, uses the rayon default
+//! pool).  Batch output is bit-identical at any thread count.
+//!
+//! `--batch FILE --updates UPDATES` is the interleaved *churn mode* for
+//! dynamic graphs: the update file (format in [`crate::updates`]) is split
+//! into rounds at `---` separators, and the whole pair batch is answered
+//! before any update and again after each round — one engine, mutated in
+//! place through [`QueryEngine::apply_updates`], never rebuilt.
 
 use crate::args::{ArgSpec, Arguments};
 use crate::estimators::{config_from_args, AlgorithmKind, CONFIG_OPTIONS};
 use crate::graphio::{load_graph, LoadedGraph};
 use crate::table::{fmt_millis, fmt_score, TextTable};
+use crate::updates::read_update_rounds;
 use crate::CliError;
 use std::time::Instant;
 use ugraph::VertexId;
@@ -28,6 +36,7 @@ const BASE_OPTIONS: &[&str] = &[
     "format",
     "batch",
     "threads",
+    "updates",
 ];
 
 fn spec() -> ArgSpec<'static> {
@@ -60,6 +69,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         }
         let loaded = load_graph(path, args.option("format"))?;
         return run_batch(&args, path, batch_path, &loaded, config);
+    }
+    if args.option("updates").is_some() {
+        return Err(CliError::new(
+            "--updates requires --batch (churn mode interleaves update rounds \
+             with batch queries); use `usim update` to mutate a graph file",
+        ));
     }
 
     let source_label: u64 = args.require_option("source")?;
@@ -105,7 +120,9 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
 type ParsedPairs = (Vec<(u64, u64)>, Vec<(VertexId, VertexId)>);
 
 /// Reads a pairs file: one `source target` pair of file labels per line;
-/// blank lines and lines starting with `#` are skipped.
+/// blank lines and lines starting with `#` are skipped.  Every malformed
+/// line — missing or extra fields, unparsable labels, labels that do not
+/// appear in the graph — is a parse error carrying its 1-based line number.
 fn read_pairs_file(batch_path: &str, loaded: &LoadedGraph) -> Result<ParsedPairs, CliError> {
     let text = std::fs::read_to_string(batch_path)
         .map_err(|e| CliError::new(format!("cannot read pairs file {batch_path}: {e}")))?;
@@ -116,19 +133,25 @@ fn read_pairs_file(batch_path: &str, loaded: &LoadedGraph) -> Result<ParsedPairs
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut fields = line.split_whitespace();
-        let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
-            return Err(CliError::new(format!(
-                "{batch_path}:{}: expected \"source target\", got {line:?}",
-                number + 1
+        let fail =
+            |message: String| CliError::new(format!("{batch_path}:{}: {message}", number + 1));
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let &[a, b] = fields.as_slice() else {
+            return Err(fail(format!(
+                "expected \"source target\", got {} fields in {line:?}",
+                fields.len()
             )));
         };
         let parse = |s: &str| -> Result<u64, CliError> {
-            s.parse()
-                .map_err(|_| CliError::new(format!("{batch_path}:{}: bad label {s:?}", number + 1)))
+            s.parse().map_err(|_| fail(format!("bad label {s:?}")))
+        };
+        let resolve = |label: u64| -> Result<VertexId, CliError> {
+            loaded
+                .vertex_for_label(label)
+                .map_err(|_| fail(format!("vertex {label} does not appear in the graph")))
         };
         let (a, b) = (parse(a)?, parse(b)?);
-        pairs.push((loaded.vertex_for_label(a)?, loaded.vertex_for_label(b)?));
+        pairs.push((resolve(a)?, resolve(b)?));
         labels.push((a, b));
     }
     if pairs.is_empty() {
@@ -139,7 +162,8 @@ fn read_pairs_file(batch_path: &str, loaded: &LoadedGraph) -> Result<ParsedPairs
     Ok((labels, pairs))
 }
 
-/// Answers a whole pairs file with the CSR batch engine.
+/// Answers a whole pairs file with the CSR batch engine; with `--updates`
+/// the batch is re-answered after every update round (churn mode).
 fn run_batch(
     args: &Arguments,
     path: &str,
@@ -149,42 +173,85 @@ fn run_batch(
 ) -> Result<String, CliError> {
     let (labels, pairs) = read_pairs_file(batch_path, loaded)?;
     let threads: usize = args.parse_option("threads", 0usize)?;
+    let rounds = match args.option("updates") {
+        Some(updates_path) => read_update_rounds(updates_path, loaded)?,
+        None => Vec::new(),
+    };
+    // One pool for the whole run; rounds must not re-spawn worker threads.
+    let pool = crate::exec::build_thread_pool(threads)?;
 
     let start = Instant::now();
-    let engine = QueryEngine::new(&loaded.graph, config);
+    let mut engine = QueryEngine::new(&loaded.graph, config);
     let build_time = start.elapsed();
 
-    let start = Instant::now();
-    let scores = if threads > 0 {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .map_err(|e| CliError::new(format!("cannot build thread pool: {e}")))?;
-        pool.install(|| engine.batch_similarities(&pairs))
-    } else {
-        engine.batch_similarities(&pairs)
+    // Round 0 answers the pristine graph; each update round appends one
+    // more score column (same engine, mutated in place).  Query time is
+    // accumulated around the batch calls only, so the reported ms/pair is
+    // pure query latency even when rounds trigger compactions.
+    let mut query_time = std::time::Duration::ZERO;
+    let mut score_columns: Vec<Vec<f64>> = Vec::with_capacity(rounds.len() + 1);
+    let mut round_notes: Vec<String> = Vec::new();
+    let answer_batch = |engine: &QueryEngine,
+                        query_time: &mut std::time::Duration|
+     -> Result<Vec<f64>, CliError> {
+        let start = Instant::now();
+        let scores = crate::exec::install_in(pool.as_ref(), || engine.batch_similarities(&pairs))
+            .map_err(|e| CliError::new(format!("{batch_path}: {e}")))?;
+        *query_time += start.elapsed();
+        Ok(scores)
     };
-    let query_time = start.elapsed();
-
-    let mut table = TextTable::new(&["source", "target", "s(u, v)"]);
-    for (&(a, b), score) in labels.iter().zip(&scores) {
-        table.row(vec![a.to_string(), b.to_string(), fmt_score(*score)]);
+    score_columns.push(answer_batch(&engine, &mut query_time)?);
+    for (index, round) in rounds.iter().enumerate() {
+        let summary = engine.apply_updates(round).map_err(|e| {
+            CliError::new(format!(
+                "update round {}: {}",
+                index + 1,
+                crate::updates::describe_update_error(&e, loaded)
+            ))
+        })?;
+        round_notes.push(crate::updates::format_round_summary(index + 1, &summary));
+        score_columns.push(answer_batch(&engine, &mut query_time)?);
     }
-    let per_pair = query_time.as_secs_f64() * 1000.0 / pairs.len() as f64;
+
+    let mut header: Vec<String> = vec!["source".into(), "target".into()];
+    if rounds.is_empty() {
+        header.push("s(u, v)".into());
+    } else {
+        header.extend((0..score_columns.len()).map(|r| format!("s@r{r}")));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for (row, &(a, b)) in labels.iter().enumerate() {
+        let mut cells = vec![a.to_string(), b.to_string()];
+        cells.extend(score_columns.iter().map(|column| fmt_score(column[row])));
+        table.row(cells);
+    }
+    let total_queries = pairs.len() * score_columns.len();
+    let per_pair = query_time.as_secs_f64() * 1000.0 / total_queries as f64;
     let mut output = format!(
         "{} pairs from {batch_path} on {path} \
-         (N = {}, n = {}, threads = {}, CSR build {} ms, queries {} ms, {per_pair:.3} ms/pair)\n\n",
+         (N = {}, n = {}, threads = {}, CSR build {} ms, queries {} ms, {per_pair:.3} ms/pair{})\n",
         pairs.len(),
         config.num_samples,
         config.horizon,
-        if threads > 0 {
-            threads.to_string()
-        } else {
-            "auto".to_string()
-        },
+        crate::exec::describe_threads(threads),
         fmt_millis(build_time),
         fmt_millis(query_time),
+        if rounds.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", {} update rounds, final epoch {}",
+                rounds.len(),
+                engine.update_epoch()
+            )
+        },
     );
+    for note in &round_notes {
+        output.push_str(note);
+        output.push('\n');
+    }
+    output.push('\n');
     output.push_str(&table.render());
     Ok(output)
 }
@@ -293,6 +360,102 @@ mod tests {
         // The score table must be identical at any thread count.
         let table = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
         assert_eq!(table(&out_1), table(&out_4));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&pairs_path).unwrap();
+    }
+
+    #[test]
+    fn churn_mode_reanswers_the_batch_after_every_round() {
+        let path = fig1_file("churn.tsv");
+        let pairs_path = std::env::temp_dir().join(format!(
+            "usim_cli_simrank_churnpairs_{}",
+            std::process::id()
+        ));
+        std::fs::write(&pairs_path, "0 1\n2 3\n").unwrap();
+        let updates_path =
+            std::env::temp_dir().join(format!("usim_cli_simrank_churnupd_{}", std::process::id()));
+        std::fs::write(&updates_path, "= 0 2 0.05\n- 0 3\n---\n+ 4 0 0.9\n").unwrap();
+        let output = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--batch",
+            pairs_path.to_str().unwrap(),
+            "--updates",
+            updates_path.to_str().unwrap(),
+            "--samples",
+            "150",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        // One score column per round (pristine + 2 update rounds).
+        assert!(output.contains("s@r0"), "{output}");
+        assert!(output.contains("s@r2"), "{output}");
+        assert!(output.contains("2 update rounds"), "{output}");
+        assert!(
+            output.contains("round 1: +0 -1 =1 arcs -> 7 live"),
+            "{output}"
+        );
+        assert!(
+            output.contains("round 2: +1 -0 =0 arcs -> 8 live"),
+            "{output}"
+        );
+
+        // A round referencing a missing arc is a clean, located error.
+        std::fs::write(&updates_path, "- 0 4\n").unwrap();
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--batch",
+            pairs_path.to_str().unwrap(),
+            "--updates",
+            updates_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("round 1") && err.to_string().contains("does not exist"),
+            "{err}"
+        );
+
+        // --updates without --batch is rejected with a pointer to `update`.
+        let err = run(&tokens(&[
+            path.to_str().unwrap(),
+            "--source",
+            "0",
+            "--target",
+            "1",
+            "--updates",
+            updates_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("requires --batch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&pairs_path).unwrap();
+        std::fs::remove_file(&updates_path).unwrap();
+    }
+
+    #[test]
+    fn pair_file_errors_carry_line_numbers() {
+        let path = fig1_file("linenos.tsv");
+        let pairs_path =
+            std::env::temp_dir().join(format!("usim_cli_simrank_linenos_{}", std::process::id()));
+        let cases = [
+            ("0 1\n0 1 2\n", "expected \"source target\", got 3 fields"),
+            ("0 1\n0 x\n", "bad label \"x\""),
+            ("0 1\n0 777\n", "vertex 777 does not appear"),
+        ];
+        for (content, expected) in cases {
+            std::fs::write(&pairs_path, content).unwrap();
+            let err = run(&tokens(&[
+                path.to_str().unwrap(),
+                "--batch",
+                pairs_path.to_str().unwrap(),
+            ]))
+            .unwrap_err();
+            let message = err.to_string();
+            assert!(
+                message.contains(":2:") && message.contains(expected),
+                "{content:?}: {message}"
+            );
+        }
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(&pairs_path).unwrap();
     }

@@ -70,22 +70,14 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             let threads: usize = args.parse_option("threads", 0usize)?;
             let engine = QueryEngine::new(&loaded.graph, config);
             let candidates: Vec<VertexId> = (0..loaded.graph.num_vertices() as VertexId).collect();
-            let top = if threads > 0 {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .map_err(|e| CliError::new(format!("cannot build thread pool: {e}")))?;
-                pool.install(|| engine.batch_top_k_similar_to(source, &candidates, k))
-            } else {
+            let pool = crate::exec::build_thread_pool(threads)?;
+            let top = crate::exec::install_in(pool.as_ref(), || {
                 engine.batch_top_k_similar_to(source, &candidates, k)
-            };
+            })
+            .map_err(|e| CliError::new(e.to_string()))?;
             let how = format!(
                 "batch engine, threads = {}",
-                if threads > 0 {
-                    threads.to_string()
-                } else {
-                    "auto".to_string()
-                }
+                crate::exec::describe_threads(threads)
             );
             (top, how)
         }

@@ -12,6 +12,7 @@
 //! usim topk      GRAPH --source U --k 10       most similar vertices to a source
 //! usim topk-pairs GRAPH --k 10                 most similar vertex pairs
 //! usim matrices  GRAPH --steps 3               k-step transition probability matrices
+//! usim update    GRAPH --updates F --out OUT   apply arc updates to a graph
 //! usim convert   IN OUT                        convert between text and binary formats
 //! usim er        --records 300                 entity-resolution case study
 //! ```
@@ -22,8 +23,10 @@
 pub mod args;
 pub mod commands;
 pub mod estimators;
+pub mod exec;
 pub mod graphio;
 pub mod table;
+pub mod updates;
 
 use std::fmt;
 
@@ -85,6 +88,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "topk" => commands::topk::run(rest),
         "topk-pairs" => commands::pairs::run(rest),
         "matrices" => commands::matrices::run(rest),
+        "update" => commands::update::run(rest),
         "convert" => commands::convert::run(rest),
         "er" => commands::er::run(rest),
         other => Err(CliError::new(format!(
@@ -109,6 +113,7 @@ pub fn usage() -> String {
         "    topk         The k vertices most similar to a source vertex\n",
         "    topk-pairs   The k most similar vertex pairs of a graph\n",
         "    matrices     k-step transition probability matrices W(1)..W(K)\n",
+        "    update       Apply an arc-update file to a graph and write the result\n",
         "    convert      Convert a graph between the text and binary formats\n",
         "    er           Entity-resolution case study on a synthetic record graph\n",
         "    help         Show this message\n",
@@ -127,6 +132,17 @@ pub fn usage() -> String {
         "    --phase-switch L   exact steps of SR-TS / SR-SP    [default 1]\n",
         "    --seed S           RNG seed                        [default fixed]\n",
         "    --direction in|out walk direction                  [default in]\n",
+        "\n",
+        "BATCH / DYNAMIC-UPDATE OPTIONS:\n",
+        "    --batch FILE       answer a pairs file (`source target` per line) with\n",
+        "                       the CSR batch engine (simrank)\n",
+        "    --threads N        batch worker threads; 0 (the default) means \"use the\n",
+        "                       rayon default pool\" instead of a pinned pool\n",
+        "    --updates FILE     arc updates: `+ u v p` insert, `- u v` delete,\n",
+        "                       `= u v p` set probability, `---` separates rounds.\n",
+        "                       With `simrank --batch` the pair batch is re-answered\n",
+        "                       after every round (churn mode); `update` applies the\n",
+        "                       rounds and writes the mutated graph via --out\n",
         "\n",
         "Run `usim <COMMAND> --help` semantics are not supported; see README.md for\n",
         "per-command examples.\n",

@@ -1,21 +1,33 @@
-//! The batch query engine: CSR-backed, thread-sharded, deterministic.
+//! The batch query engine: CSR-backed, thread-sharded, deterministic — and
+//! dynamic.
 //!
 //! The paper's evaluation — and any service built on these estimators —
-//! issues *batches* of queries against one fixed graph.  [`QueryEngine`] is
-//! the subsystem built for that workload:
+//! issues *batches* of queries against one graph.  [`QueryEngine`] is the
+//! subsystem built for that workload:
 //!
-//! * the graph is converted **once** into a [`CsrGraph`] (flat
-//!   `offsets`/`targets`/`probs` arrays with a transpose view), so no
-//!   estimator ever materialises a transposed graph copy again;
-//! * every worker thread owns a reusable [`WalkArena`], so sampling is
-//!   allocation-free in steady state;
+//! * the graph is converted **once** into a [`CsrGraph`] base wrapped in a
+//!   [`DeltaOverlay`], so no estimator ever materialises a transposed graph
+//!   copy again, and [`QueryEngine::apply_updates`] mutates the live graph
+//!   (arc insertions, deletions, probability changes) without rebuilding the
+//!   engine — the overlay compacts itself back into a fresh CSR once churn
+//!   crosses its [`CompactionPolicy`] threshold;
+//! * every worker draws its scratch (a [`WalkArena`] plus walk buffers) from
+//!   a pool owned by the engine, so sampling is allocation-free in steady
+//!   state *across* batches; applying updates bumps every pooled arena's
+//!   epoch ([`WalkArena::invalidate`]), discarding all memoized arc
+//!   instantiations without reallocating a single buffer;
 //! * every pair draws its randomness from a **pair-keyed RNG stream**
 //!   (seeded from `(config.seed, u, v)`), so the result of a batch is
 //!   *bit-identical* to looping [`QueryEngine::profile`] over the pairs
 //!   sequentially — **regardless of the number of rayon threads** or how the
-//!   batch is sharded across them.  This strengthens the 1-vs-N-thread
-//!   determinism guarantee of [`crate::parallel`], whose `map_init` chunking
-//!   makes randomised per-pair estimates depend on the work split.
+//!   batch is sharded across them.  Because overlay reads return the
+//!   identical base slices for untouched vertices, this determinism also
+//!   survives updates: an engine that applied updates returns bit-identical
+//!   scores to a fresh engine built on the mutated graph.
+//!
+//! Batch entry points validate every vertex id up front and return a typed
+//! [`QueryError`] instead of panicking deep inside the CSR arrays — ids
+//! arriving from pair files or network requests are input, not invariants.
 //!
 //! The engine implements the paper's Sampling algorithm (Section VI-B,
 //! Fig. 4) per pair; the exact and two-phase algorithms keep their dedicated
@@ -25,11 +37,16 @@ use crate::config::{SimRankConfig, WalkDirection};
 use crate::meeting::MeetingProfile;
 use crate::top_k::{ScoredPair, ScoredVertex};
 use crate::SimRankEstimator;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use rwalk::arena::{CsrSampler, WalkArena, DEAD};
-use ugraph::{CsrGraph, CsrView, UncertainGraph, VertexId};
+use std::fmt;
+use ugraph::{
+    CompactionPolicy, CsrGraph, DeltaOverlay, GraphUpdate, OverlayView, UncertainGraph,
+    UpdateError, UpdateSummary, VertexId,
+};
 
 /// Derives the deterministic RNG seed of a pair `(u, v)` from the engine
 /// seed: a SplitMix64 finalizer over the packed pair, xor-folded with the
@@ -42,8 +59,40 @@ fn pair_seed(seed: u64, u: VertexId, v: VertexId) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Why a batch query was rejected before any walk was sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query referenced a vertex id `>= num_vertices`.  Out-of-range ids
+    /// in a pairs file used to panic deep inside the CSR offset arrays; the
+    /// batch entry points now reject them up front.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices of the engine's graph.
+        num_vertices: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "query references vertex {vertex}, but the graph has {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// Per-worker scratch: one arena plus the two walk-position buffers.
-/// Constructed once per rayon worker chunk, reused across that chunk's pairs.
+/// Checked out of the engine's [`ScratchPool`] for the duration of one query
+/// (or one worker's chunk of a batch) and returned afterwards, so buffers
+/// are reused across batches, not just within one.
 #[derive(Debug, Default)]
 struct Scratch {
     arena: WalkArena,
@@ -51,16 +100,64 @@ struct Scratch {
     walk_v: Vec<VertexId>,
 }
 
-/// CSR-backed batch SimRank query engine (sampling estimator semantics).
+/// A lock-protected free list of [`Scratch`] instances.  Checkout pops (or
+/// creates) a scratch; drop of the guard pushes it back.  The lock is taken
+/// once per worker chunk, not per pair, so contention is negligible.
+#[derive(Default)]
+struct ScratchPool {
+    free: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    fn checkout(&self) -> PooledScratch<'_> {
+        let scratch = self.free.lock().pop().unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+}
+
+impl fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("pooled", &self.free.lock().len())
+            .finish()
+    }
+}
+
+/// RAII checkout of a [`Scratch`] from a [`ScratchPool`].
+struct PooledScratch<'p> {
+    pool: &'p ScratchPool,
+    scratch: Option<Scratch>,
+}
+
+impl PooledScratch<'_> {
+    fn get_mut(&mut self) -> &mut Scratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.free.lock().push(scratch);
+        }
+    }
+}
+
+/// CSR-backed batch SimRank query engine (sampling estimator semantics) over
+/// a live, updatable graph.
 ///
 /// Build it once per graph and issue any number of single-pair or batch
-/// queries; the engine is immutable after construction (`&self` queries), so
-/// it can be shared across threads freely.
+/// queries (`&self`, freely shared across threads); apply
+/// [`GraphUpdate`] batches through [`QueryEngine::apply_updates`] (`&mut
+/// self`) to mutate the graph in place without rebuilding the engine.
 ///
 /// # Example
 ///
 /// ```
-/// use ugraph::UncertainGraphBuilder;
+/// use ugraph::{GraphUpdate, UncertainGraphBuilder};
 /// use usim_core::{QueryEngine, SimRankConfig};
 ///
 /// let g = UncertainGraphBuilder::new(4)
@@ -69,16 +166,26 @@ struct Scratch {
 ///     .arc(3, 2, 0.7)
 ///     .build()
 ///     .unwrap();
-/// let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(200));
-/// let batch = engine.batch_similarities(&[(0, 1), (1, 2)]);
+/// let mut engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(200));
+/// let batch = engine.batch_similarities(&[(0, 1), (1, 2)]).unwrap();
 /// // Batch output is bit-identical to sequential per-pair queries.
 /// assert_eq!(batch[0], engine.similarity(0, 1));
 /// assert_eq!(batch[1], engine.similarity(1, 2));
+///
+/// // The graph is live: re-weight an arc and query again, same engine.
+/// engine
+///     .apply_updates(&[GraphUpdate::SetProbability { source: 2, target: 0, probability: 0.1 }])
+///     .unwrap();
+/// assert_ne!(engine.similarity(0, 1), batch[0]);
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine {
-    csr: CsrGraph,
+    graph: DeltaOverlay,
     config: SimRankConfig,
+    /// Bumped on every applied update batch; exposed for observability and
+    /// used to reason about arena invalidation.
+    epoch: u64,
+    scratch: ScratchPool,
 }
 
 impl QueryEngine {
@@ -88,8 +195,10 @@ impl QueryEngine {
     pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
         config.validate();
         QueryEngine {
-            csr: CsrGraph::from_uncertain(graph),
+            graph: DeltaOverlay::from_graph(graph),
             config,
+            epoch: 0,
+            scratch: ScratchPool::default(),
         }
     }
 
@@ -98,25 +207,93 @@ impl QueryEngine {
         &self.config
     }
 
-    /// The CSR representation the engine walks.
+    /// The live graph: CSR base plus pending deltas.
+    pub fn graph(&self) -> &DeltaOverlay {
+        &self.graph
+    }
+
+    /// The compacted CSR base the engine walks.  After
+    /// [`QueryEngine::apply_updates`] and before the next compaction this
+    /// does **not** include pending deltas; use [`QueryEngine::graph`] for
+    /// the live adjacency.
     pub fn csr(&self) -> &CsrGraph {
-        &self.csr
+        self.graph.base()
     }
 
     /// Number of vertices of the underlying graph.
     pub fn num_vertices(&self) -> usize {
-        self.csr.num_vertices()
+        self.graph.num_vertices()
     }
 
-    /// The direction-resolved view walks run on: the reverse (transpose)
-    /// view for the SimRank convention of in-neighbor walks, the forward
-    /// view for [`WalkDirection::OutNeighbors`].
-    #[inline]
-    fn view(&self) -> CsrView<'_> {
-        match self.config.direction {
-            WalkDirection::InNeighbors => self.csr.reverse(),
-            WalkDirection::OutNeighbors => self.csr.forward(),
+    /// Number of live arcs (base arcs plus inserts minus deletes).
+    pub fn num_arcs(&self) -> usize {
+        self.graph.num_arcs()
+    }
+
+    /// How many update batches this engine has applied.
+    pub fn update_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Replaces the overlay's compaction policy (takes effect on the next
+    /// [`QueryEngine::apply_updates`]).
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        self.graph.set_compaction_policy(policy);
+    }
+
+    /// Materialises the live graph as an [`UncertainGraph`] snapshot.
+    pub fn snapshot(&self) -> UncertainGraph {
+        self.graph.to_uncertain()
+    }
+
+    /// Applies a batch of graph updates atomically: the batch is validated
+    /// first and an `Err` leaves the engine untouched.
+    ///
+    /// On success the live views serve the new adjacency immediately, the
+    /// update epoch is bumped, and every pooled worker arena is invalidated
+    /// in O(1) ([`WalkArena::invalidate`]) — memoized arc instantiations
+    /// recorded against the old graph are unreachable without a single
+    /// buffer being reallocated.  When accumulated churn crosses the
+    /// overlay's [`CompactionPolicy`] threshold the deltas are folded back
+    /// into a fresh CSR base (reported in the returned
+    /// [`UpdateSummary::compacted`]).
+    ///
+    /// Determinism: after any sequence of updates the engine's scores are
+    /// bit-identical to those of a fresh engine built on the mutated graph
+    /// with the same config.
+    pub fn apply_updates(&mut self, updates: &[GraphUpdate]) -> Result<UpdateSummary, UpdateError> {
+        let summary = self.graph.apply_all(updates)?;
+        self.epoch += 1;
+        for scratch in self.scratch.free.get_mut().iter_mut() {
+            scratch.arena.invalidate();
         }
+        Ok(summary)
+    }
+
+    /// The direction-resolved live view walks run on: the reverse
+    /// (transpose) view for the SimRank convention of in-neighbor walks, the
+    /// forward view for [`WalkDirection::OutNeighbors`].
+    #[inline]
+    fn view(&self) -> OverlayView<'_> {
+        match self.config.direction {
+            WalkDirection::InNeighbors => self.graph.reverse(),
+            WalkDirection::OutNeighbors => self.graph.forward(),
+        }
+    }
+
+    /// Validates every id of a batch against the graph, so the hot path can
+    /// index the CSR arrays unchecked.
+    fn validate_vertices(&self, ids: impl IntoIterator<Item = VertexId>) -> Result<(), QueryError> {
+        let num_vertices = self.num_vertices();
+        for vertex in ids {
+            if (vertex as usize) >= num_vertices {
+                return Err(QueryError::VertexOutOfRange {
+                    vertex,
+                    num_vertices,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Estimated meeting probabilities `m̂(0), …, m̂(n)` of one pair, using
@@ -126,14 +303,38 @@ impl QueryEngine {
     /// stream is keyed on `(seed, u, v)`, not on call order), and a batch
     /// query over pairs containing `(u, v)` returns this exact profile for
     /// that entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` or `v` is out of range; use [`QueryEngine::try_profile`]
+    /// for unvalidated input.
     pub fn profile(&self, u: VertexId, v: VertexId) -> MeetingProfile {
-        self.profile_with(&mut Scratch::default(), u, v)
+        let mut scratch = self.scratch.checkout();
+        self.profile_with(scratch.get_mut(), u, v)
+    }
+
+    /// Fallible [`QueryEngine::profile`]: out-of-range ids are a typed
+    /// [`QueryError`] instead of a panic.
+    pub fn try_profile(&self, u: VertexId, v: VertexId) -> Result<MeetingProfile, QueryError> {
+        self.validate_vertices([u, v])?;
+        Ok(self.profile(u, v))
     }
 
     /// Estimated SimRank `s⁽ⁿ⁾(u, v)` (the combination of
     /// [`QueryEngine::profile`] under Eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` or `v` is out of range; use
+    /// [`QueryEngine::try_similarity`] for unvalidated input.
     pub fn similarity(&self, u: VertexId, v: VertexId) -> f64 {
         self.profile(u, v).score()
+    }
+
+    /// Fallible [`QueryEngine::similarity`]: out-of-range ids are a typed
+    /// [`QueryError`] instead of a panic.
+    pub fn try_similarity(&self, u: VertexId, v: VertexId) -> Result<f64, QueryError> {
+        Ok(self.try_profile(u, v)?.score())
     }
 
     fn profile_with(&self, scratch: &mut Scratch, u: VertexId, v: VertexId) -> MeetingProfile {
@@ -166,35 +367,61 @@ impl QueryEngine {
     }
 
     /// Meeting profiles for a batch of pairs, sharded across rayon workers
-    /// (one [`WalkArena`] per worker), in input order.
+    /// (one pooled [`WalkArena`] per worker), in input order.
     ///
     /// Bit-identical to `pairs.iter().map(|&(u, v)| self.profile(u, v))` at
-    /// any thread count.
-    pub fn batch_profile(&self, pairs: &[(VertexId, VertexId)]) -> Vec<MeetingProfile> {
-        pairs
+    /// any thread count.  Every id is validated up front: an out-of-range id
+    /// anywhere in the batch returns [`QueryError::VertexOutOfRange`] before
+    /// any walk is sampled.
+    pub fn batch_profile(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<MeetingProfile>, QueryError> {
+        self.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+        Ok(pairs
             .par_iter()
-            .map_init(Scratch::default, |scratch, &(u, v)| {
-                self.profile_with(scratch, u, v)
-            })
-            .collect()
+            .map_init(
+                || self.scratch.checkout(),
+                |scratch, &(u, v)| self.profile_with(scratch.get_mut(), u, v),
+            )
+            .collect())
     }
 
     /// SimRank scores for a batch of pairs, in input order.  Bit-identical
-    /// to sequential [`QueryEngine::similarity`] calls at any thread count.
-    pub fn batch_similarities(&self, pairs: &[(VertexId, VertexId)]) -> Vec<f64> {
-        pairs
+    /// to sequential [`QueryEngine::similarity`] calls at any thread count;
+    /// out-of-range ids are rejected up front like
+    /// [`QueryEngine::batch_profile`].
+    pub fn batch_similarities(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<f64>, QueryError> {
+        self.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+        Ok(pairs
             .par_iter()
-            .map_init(Scratch::default, |scratch, &(u, v)| {
-                self.profile_with(scratch, u, v).score()
-            })
-            .collect()
+            .map_init(
+                || self.scratch.checkout(),
+                |scratch, &(u, v)| self.profile_with(scratch.get_mut(), u, v).score(),
+            )
+            .collect())
     }
 
     /// The `k` highest-scoring pairs among `pairs`: self-pairs are skipped,
     /// each unordered pair is evaluated once, ties break by pair id.
     /// Deterministic at any thread count (unlike
     /// [`crate::par_top_k_pairs`] with randomised estimators).
-    pub fn batch_top_k(&self, pairs: &[(VertexId, VertexId)], k: usize) -> Vec<ScoredPair> {
+    ///
+    /// `k` semantics are explicit: `k == 0` returns an empty vector without
+    /// evaluating anything, and `k` larger than the number of distinct
+    /// non-self pairs returns all of them, sorted.
+    pub fn batch_top_k(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        k: usize,
+    ) -> Result<Vec<ScoredPair>, QueryError> {
+        self.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let mut unique: Vec<(VertexId, VertexId)> = pairs
             .iter()
             .filter(|(a, b)| a != b)
@@ -202,7 +429,7 @@ impl QueryEngine {
             .collect();
         unique.sort_unstable();
         unique.dedup();
-        let scores = self.batch_similarities(&unique);
+        let scores = self.batch_similarities(&unique)?;
         let mut scored: Vec<ScoredPair> = unique
             .into_iter()
             .zip(scores)
@@ -214,23 +441,31 @@ impl QueryEngine {
             |s| (s.pair.0 as u64) << 32 | s.pair.1 as u64,
         );
         scored.truncate(k);
-        scored
+        Ok(scored)
     }
 
     /// The `k` candidates most similar to `query` (the query vertex itself
     /// and duplicate candidates are skipped), evaluated as one batch.
+    ///
+    /// `k` follows the same explicit semantics as
+    /// [`QueryEngine::batch_top_k`]: `0` is empty, larger than the distinct
+    /// candidate count is clamped.
     pub fn batch_top_k_similar_to(
         &self,
         query: VertexId,
         candidates: &[VertexId],
         k: usize,
-    ) -> Vec<ScoredVertex> {
+    ) -> Result<Vec<ScoredVertex>, QueryError> {
+        self.validate_vertices(std::iter::once(query).chain(candidates.iter().copied()))?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let mut unique: Vec<VertexId> =
             candidates.iter().copied().filter(|&v| v != query).collect();
         unique.sort_unstable();
         unique.dedup();
         let pairs: Vec<(VertexId, VertexId)> = unique.iter().map(|&v| (query, v)).collect();
-        let scores = self.batch_similarities(&pairs);
+        let scores = self.batch_similarities(&pairs)?;
         let mut scored: Vec<ScoredVertex> = unique
             .into_iter()
             .zip(scores)
@@ -238,7 +473,7 @@ impl QueryEngine {
             .collect();
         crate::top_k::sort_descending_by_score(&mut scored, |s| s.score, |s| s.vertex as u64);
         scored.truncate(k);
-        scored
+        Ok(scored)
     }
 }
 
@@ -282,13 +517,13 @@ mod tests {
         let g = fig1_graph();
         let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(300).with_seed(7));
         let pairs = all_ordered_pairs(5);
-        let batch = engine.batch_similarities(&pairs);
+        let batch = engine.batch_similarities(&pairs).unwrap();
         let sequential: Vec<f64> = pairs
             .iter()
             .map(|&(u, v)| engine.similarity(u, v))
             .collect();
         assert_eq!(batch, sequential);
-        let profiles = engine.batch_profile(&pairs);
+        let profiles = engine.batch_profile(&pairs).unwrap();
         for (profile, &(u, v)) in profiles.iter().zip(&pairs) {
             assert_eq!(profile, &engine.profile(u, v));
         }
@@ -301,8 +536,8 @@ mod tests {
         let pairs = all_ordered_pairs(5);
         let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let many = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
-        let a = single.install(|| engine.batch_similarities(&pairs));
-        let b = many.install(|| engine.batch_similarities(&pairs));
+        let a = single.install(|| engine.batch_similarities(&pairs).unwrap());
+        let b = many.install(|| engine.batch_similarities(&pairs).unwrap());
         assert_eq!(a, b, "pair-keyed RNG streams must make sharding invisible");
     }
 
@@ -327,7 +562,9 @@ mod tests {
         let g = fig1_graph();
         let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(100).with_seed(9));
         assert_eq!(engine.similarity(0, 1), engine.similarity(0, 1));
-        let batch = engine.batch_similarities(&[(0, 1), (2, 3), (0, 1)]);
+        let batch = engine
+            .batch_similarities(&[(0, 1), (2, 3), (0, 1)])
+            .unwrap();
         assert_eq!(batch[0], batch[2]);
     }
 
@@ -352,9 +589,11 @@ mod tests {
         let g = fig1_graph();
         let pairs = all_ordered_pairs(5);
         let a = QueryEngine::new(&g, SimRankConfig::default().with_samples(50).with_seed(1))
-            .batch_similarities(&pairs);
+            .batch_similarities(&pairs)
+            .unwrap();
         let b = QueryEngine::new(&g, SimRankConfig::default().with_samples(50).with_seed(2))
-            .batch_similarities(&pairs);
+            .batch_similarities(&pairs)
+            .unwrap();
         assert_ne!(a, b);
     }
 
@@ -363,7 +602,7 @@ mod tests {
         let g = fig1_graph();
         let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(400).with_seed(11));
         let pairs = vec![(0u32, 1u32), (1, 0), (2, 3), (0, 2), (4, 4), (3, 2)];
-        let top = engine.batch_top_k(&pairs, 2);
+        let top = engine.batch_top_k(&pairs, 2).unwrap();
         assert_eq!(top.len(), 2);
         assert!(top[0].score >= top[1].score);
         for scored in &top {
@@ -372,11 +611,31 @@ mod tests {
     }
 
     #[test]
+    fn top_k_zero_is_empty_and_large_k_is_clamped() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(50).with_seed(2));
+        let pairs = vec![(0u32, 1u32), (1, 0), (2, 3), (4, 4)];
+        // k == 0: empty, nothing evaluated.
+        assert!(engine.batch_top_k(&pairs, 0).unwrap().is_empty());
+        // k beyond the distinct non-self pairs {(0,1), (2,3)}: clamped.
+        let all = engine.batch_top_k(&pairs, 100).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].score >= all[1].score);
+        // Same two semantics for the vertex-ranking variant.
+        assert!(engine
+            .batch_top_k_similar_to(0, &[1, 2, 0], 0)
+            .unwrap()
+            .is_empty());
+        let ranked = engine.batch_top_k_similar_to(0, &[1, 2, 0, 1], 99).unwrap();
+        assert_eq!(ranked.len(), 2, "query vertex and duplicates skipped");
+    }
+
+    #[test]
     fn top_k_similar_to_excludes_query_and_sorts() {
         let g = fig1_graph();
         let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(400).with_seed(13));
         let candidates: Vec<VertexId> = vec![0, 1, 2, 3, 4, 4, 1];
-        let top = engine.batch_top_k_similar_to(1, &candidates, 3);
+        let top = engine.batch_top_k_similar_to(1, &candidates, 3).unwrap();
         assert_eq!(top.len(), 3);
         assert!(top.iter().all(|s| s.vertex != 1));
         for window in top.windows(2) {
@@ -393,6 +652,7 @@ mod tests {
         assert_eq!(via_inherent, via_trait);
         assert_eq!(engine.name(), "QueryEngine");
         assert_eq!(engine.num_vertices(), 5);
+        assert_eq!(engine.num_arcs(), 8);
         assert_eq!(engine.csr().num_arcs(), 8);
         assert_eq!(engine.config().num_samples, 100);
     }
@@ -401,9 +661,9 @@ mod tests {
     fn empty_batch_is_fine() {
         let g = fig1_graph();
         let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(10));
-        assert!(engine.batch_similarities(&[]).is_empty());
-        assert!(engine.batch_profile(&[]).is_empty());
-        assert!(engine.batch_top_k(&[], 5).is_empty());
+        assert!(engine.batch_similarities(&[]).unwrap().is_empty());
+        assert!(engine.batch_profile(&[]).unwrap().is_empty());
+        assert!(engine.batch_top_k(&[], 5).unwrap().is_empty());
     }
 
     #[test]
@@ -412,5 +672,135 @@ mod tests {
         let g = fig1_graph();
         let engine = QueryEngine::new(&g, SimRankConfig::default());
         let _ = engine.similarity(0, 99);
+    }
+
+    #[test]
+    fn out_of_range_batch_ids_are_typed_errors_not_panics() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(10));
+        let expected = QueryError::VertexOutOfRange {
+            vertex: 99,
+            num_vertices: 5,
+        };
+        assert_eq!(
+            engine.batch_similarities(&[(0, 1), (99, 2)]).unwrap_err(),
+            expected
+        );
+        assert_eq!(engine.batch_profile(&[(99, 0)]).unwrap_err(), expected);
+        assert_eq!(engine.batch_top_k(&[(0, 99)], 3).unwrap_err(), expected);
+        assert_eq!(
+            engine.batch_top_k_similar_to(99, &[0, 1], 2).unwrap_err(),
+            expected
+        );
+        assert_eq!(
+            engine.batch_top_k_similar_to(0, &[1, 99], 2).unwrap_err(),
+            expected
+        );
+        assert_eq!(engine.try_similarity(0, 99).unwrap_err(), expected);
+        assert!(engine.try_similarity(0, 1).is_ok());
+        let message = expected.to_string();
+        assert!(message.contains("99") && message.contains('5'), "{message}");
+    }
+
+    #[test]
+    fn apply_updates_changes_scores_and_matches_a_fresh_engine() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(400).with_seed(19);
+        let mut engine = QueryEngine::new(&g, config);
+        let pairs = all_ordered_pairs(5);
+        let before = engine.batch_similarities(&pairs).unwrap();
+
+        let updates = [
+            GraphUpdate::DeleteArc {
+                source: 1,
+                target: 2,
+            },
+            GraphUpdate::InsertArc {
+                source: 4,
+                target: 2,
+                probability: 0.9,
+            },
+            GraphUpdate::SetProbability {
+                source: 0,
+                target: 2,
+                probability: 0.05,
+            },
+        ];
+        let summary = engine.apply_updates(&updates).unwrap();
+        assert_eq!(summary.inserted, 1);
+        assert_eq!(summary.deleted, 1);
+        assert_eq!(summary.reweighted, 1);
+        assert_eq!(engine.num_arcs(), 8);
+        assert_eq!(engine.update_epoch(), 1);
+
+        let after = engine.batch_similarities(&pairs).unwrap();
+        assert_ne!(before, after, "updates must be visible to queries");
+
+        // The dynamic engine must be bit-identical to a fresh engine built
+        // on the mutated graph — with and without compaction.
+        let fresh = QueryEngine::new(&engine.snapshot(), config);
+        assert_eq!(after, fresh.batch_similarities(&pairs).unwrap());
+        engine.set_compaction_policy(CompactionPolicy::eager());
+        engine.apply_updates(&[]).unwrap();
+        assert_eq!(engine.graph().patched_vertices(), 0, "compacted");
+        assert_eq!(after, engine.batch_similarities(&pairs).unwrap());
+    }
+
+    #[test]
+    fn rejected_updates_leave_the_engine_untouched() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(100).with_seed(23);
+        let mut engine = QueryEngine::new(&g, config);
+        let pairs = all_ordered_pairs(5);
+        let before = engine.batch_similarities(&pairs).unwrap();
+        let err = engine
+            .apply_updates(&[
+                GraphUpdate::InsertArc {
+                    source: 4,
+                    target: 0,
+                    probability: 0.5,
+                },
+                GraphUpdate::DeleteArc {
+                    source: 0,
+                    target: 4,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::ArcNotFound {
+                source: 0,
+                target: 4
+            }
+        );
+        assert_eq!(engine.update_epoch(), 0);
+        assert_eq!(engine.batch_similarities(&pairs).unwrap(), before);
+    }
+
+    #[test]
+    fn certain_update_degenerates_to_the_exact_baseline() {
+        // Re-weight every arc to probability 1 via updates; the engine must
+        // then agree with the exact baseline on the *certain* graph.
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(4000).with_seed(29);
+        let mut engine = QueryEngine::new(&g, config);
+        let updates: Vec<GraphUpdate> = g
+            .arcs()
+            .map(|a| GraphUpdate::SetProbability {
+                source: a.source,
+                target: a.target,
+                probability: 1.0,
+            })
+            .collect();
+        engine.apply_updates(&updates).unwrap();
+        let baseline = BaselineEstimator::new(&g.certain(), config);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            let exact = baseline.try_similarity(u, v).unwrap();
+            let estimate = engine.similarity(u, v);
+            assert!(
+                (exact - estimate).abs() < 0.03,
+                "pair ({u},{v}): exact {exact}, engine {estimate}"
+            );
+        }
     }
 }

@@ -26,7 +26,10 @@
 //! For batched traffic, [`QueryEngine`] serves many pairs against one
 //! CSR-compiled graph with per-worker walk arenas and pair-keyed RNG
 //! streams, making batch output bit-identical to sequential queries at any
-//! thread count.
+//! thread count.  The engine's graph is *live*: [`QueryEngine::apply_updates`]
+//! applies [`ugraph::GraphUpdate`] batches through a [`ugraph::DeltaOverlay`]
+//! (threshold-compacted back into a fresh CSR), so a long-running service
+//! interleaves updates and queries without ever rebuilding the engine.
 //!
 //! # Walk direction
 //!
@@ -83,7 +86,7 @@ pub use bounds::{
 pub use config::{SimRankConfig, WalkDirection};
 pub use deterministic::{simrank_all_pairs, simrank_single_pair, DeterministicSimRank};
 pub use du_et_al::DuEtAlEstimator;
-pub use engine::QueryEngine;
+pub use engine::{QueryEngine, QueryError};
 pub use meeting::{combine_meeting_probabilities, MeetingProfile};
 pub use parallel::{
     par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs, par_top_k_similar_to,

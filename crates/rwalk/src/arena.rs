@@ -1,4 +1,5 @@
-//! Allocation-free walk sampling on [`CsrView`]s via a reusable
+//! Allocation-free walk sampling on [`GraphView`]s (the static
+//! [`ugraph::CsrView`] or the live [`ugraph::OverlayView`]) via a reusable
 //! [`WalkArena`].
 //!
 //! [`crate::sampler::WalkSampler`] is correct but allocation-heavy: every
@@ -32,7 +33,7 @@
 
 use crate::sampler::DeadEndPolicy;
 use rand::Rng;
-use ugraph::{CsrView, VertexId};
+use ugraph::{GraphView, VertexId};
 
 /// Tombstone marking a dead walk position (the walk terminated earlier).
 /// Real vertex ids are `< num_vertices`, far below `u32::MAX` in practice.
@@ -93,12 +94,33 @@ impl WalkArena {
         };
     }
 
+    /// Invalidates every memoized instantiation by bumping the walk epoch —
+    /// O(1) (amortised), no buffer is freed or reallocated.
+    ///
+    /// Within one walk the memo is already reset by the per-walk epoch bump,
+    /// so this exists for *graph* changes: a batch engine that mutates its
+    /// graph (e.g. `QueryEngine::apply_updates` applying a
+    /// [`ugraph::DeltaOverlay`] delta batch) calls this on every pooled
+    /// arena so that no instantiation recorded against the old adjacency can
+    /// ever be observed again, even by callers that keep an arena alive
+    /// across updates.
+    pub fn invalidate(&mut self) {
+        self.pool.clear();
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(next) => next,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
     /// Returns `(pool_start, len)` of the instantiated out-arcs of `v` for
     /// the current walk, instantiating them on first visit (one uniform draw
     /// per possible arc, in neighbor order — the `WalkSampler` draw order).
-    fn instantiate<R: Rng + ?Sized>(
+    fn instantiate<V: GraphView, R: Rng + ?Sized>(
         &mut self,
-        view: CsrView<'_>,
+        view: &V,
         v: VertexId,
         rng: &mut R,
     ) -> (u32, u32) {
@@ -120,23 +142,32 @@ impl WalkArena {
     }
 }
 
-/// A sampler of lazily-instantiated random walks over a [`CsrView`],
-/// writing positions into caller-provided buffers through a [`WalkArena`].
+/// A sampler of lazily-instantiated random walks over any [`GraphView`]
+/// (the static [`ugraph::CsrView`] or the live [`ugraph::OverlayView`] of a
+/// mutating [`ugraph::DeltaOverlay`]), writing positions into
+/// caller-provided buffers through a [`WalkArena`].
+///
+/// The sampler consumes the RNG purely through the slices the view returns
+/// (one uniform draw per possible arc of each first-visited vertex, then one
+/// `gen_range` over the survivors).  An overlay view returns the identical
+/// base slices for untouched vertices, so walks that only visit untouched
+/// vertices are bit-identical to walks over the plain CSR view — pinned by
+/// this module's tests.
 #[derive(Debug, Clone, Copy)]
-pub struct CsrSampler<'g> {
-    view: CsrView<'g>,
+pub struct CsrSampler<V> {
+    view: V,
     dead_end_policy: DeadEndPolicy,
 }
 
-impl<'g> CsrSampler<'g> {
+impl<V: GraphView + Copy> CsrSampler<V> {
     /// Creates a sampler over `view` with the default dead-end policy
     /// (terminate, matching the sub-stochastic exact transition rows).
-    pub fn new(view: CsrView<'g>) -> Self {
+    pub fn new(view: V) -> Self {
         Self::with_policy(view, DeadEndPolicy::default())
     }
 
     /// Creates a sampler with an explicit dead-end policy.
-    pub fn with_policy(view: CsrView<'g>, dead_end_policy: DeadEndPolicy) -> Self {
+    pub fn with_policy(view: V, dead_end_policy: DeadEndPolicy) -> Self {
         CsrSampler {
             view,
             dead_end_policy,
@@ -144,7 +175,7 @@ impl<'g> CsrSampler<'g> {
     }
 
     /// The view this sampler walks.
-    pub fn view(&self) -> CsrView<'g> {
+    pub fn view(&self) -> V {
         self.view
     }
 
@@ -183,7 +214,7 @@ impl<'g> CsrSampler<'g> {
                 debug_assert_eq!(positions.len(), step + 1 + (length - step));
                 break;
             }
-            let (pool_start, len) = arena.instantiate(self.view, current, rng);
+            let (pool_start, len) = arena.instantiate(&self.view, current, rng);
             current = if len == 0 {
                 match self.dead_end_policy {
                     DeadEndPolicy::Terminate => DEAD,
@@ -351,6 +382,126 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         sampler.sample_walk_into(&mut arena, 2, 0, &mut rng, &mut positions);
         assert_eq!(positions, vec![2]);
+    }
+
+    #[test]
+    fn empty_overlay_walks_are_bit_identical_to_csr_walks() {
+        // An overlay with no deltas serves the base slices themselves, so
+        // the sampler must consume the RNG identically — the equivalence the
+        // dynamic engine relies on.
+        use ugraph::DeltaOverlay;
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let overlay = DeltaOverlay::from_graph(&g);
+        let csr_sampler = CsrSampler::new(csr.forward());
+        let overlay_sampler = CsrSampler::new(overlay.forward());
+        let mut arena_a = WalkArena::new();
+        let mut arena_b = WalkArena::new();
+        let (mut pos_a, mut pos_b) = (Vec::new(), Vec::new());
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let mut rng_b = StdRng::seed_from_u64(33);
+        for start in [0u32, 1, 2, 3, 4] {
+            for _ in 0..40 {
+                csr_sampler.sample_walk_into(&mut arena_a, start, 6, &mut rng_a, &mut pos_a);
+                overlay_sampler.sample_walk_into(&mut arena_b, start, 6, &mut rng_b, &mut pos_b);
+                assert_eq!(pos_a, pos_b);
+            }
+        }
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn walks_over_untouched_vertices_ignore_overlay_churn() {
+        // Two disconnected 2-cycles; churn only touches the {2, 3} cycle.
+        // Walks starting in the untouched {0, 1} cycle must stay
+        // bit-identical to walks over the static graph, RNG state included —
+        // this is the "unchanged draw order on untouched vertices" pin.
+        use ugraph::{DeltaOverlay, GraphUpdate};
+        let g = UncertainGraphBuilder::new(4)
+            .arc(0, 1, 0.8)
+            .arc(1, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 2, 0.5)
+            .build()
+            .unwrap();
+        let csr = CsrGraph::from_uncertain(&g);
+        let mut overlay = DeltaOverlay::from_graph(&g);
+        overlay
+            .apply_all(&[
+                GraphUpdate::DeleteArc {
+                    source: 2,
+                    target: 3,
+                },
+                GraphUpdate::InsertArc {
+                    source: 2,
+                    target: 2,
+                    probability: 0.9,
+                },
+                GraphUpdate::SetProbability {
+                    source: 3,
+                    target: 2,
+                    probability: 0.1,
+                },
+            ])
+            .unwrap();
+        let static_sampler = CsrSampler::new(csr.forward());
+        let live_sampler = CsrSampler::new(overlay.forward());
+        let mut arena_a = WalkArena::new();
+        let mut arena_b = WalkArena::new();
+        let (mut pos_a, mut pos_b) = (Vec::new(), Vec::new());
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for start in [0u32, 1] {
+            for _ in 0..100 {
+                static_sampler.sample_walk_into(&mut arena_a, start, 8, &mut rng_a, &mut pos_a);
+                live_sampler.sample_walk_into(&mut arena_b, start, 8, &mut rng_b, &mut pos_b);
+                assert_eq!(pos_a, pos_b);
+            }
+        }
+        assert_eq!(rng_a, rng_b, "untouched walks must not perturb the RNG");
+        // Sanity: the churn is visible to walks that do start on a touched
+        // vertex (vertex 2 now has a self-loop instead of the arc to 3).
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            live_sampler.sample_walk_into(&mut arena_b, 2, 4, &mut rng, &mut pos_b);
+            assert!(
+                pos_b.iter().all(|&p| p == 2 || p == DEAD),
+                "walk escaped the rewired vertex: {pos_b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalidate_discards_memos_without_reallocating() {
+        let g = fig1_graph();
+        let csr = CsrGraph::from_uncertain(&g);
+        let sampler = CsrSampler::new(csr.forward());
+        let mut arena = WalkArena::with_capacity(5);
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            sampler.sample_walk_into(&mut arena, 0, 6, &mut rng, &mut positions);
+        }
+        let stamp_capacity = arena.stamp.capacity();
+        let epoch_before = arena.epoch;
+        arena.invalidate();
+        assert_eq!(arena.epoch, epoch_before + 1, "epoch bump, not a rebuild");
+        assert!(arena.pool.is_empty());
+        assert_eq!(arena.stamp.capacity(), stamp_capacity);
+        // Walks after invalidation are still valid walks.
+        for _ in 0..20 {
+            sampler.sample_walk_into(&mut arena, 0, 6, &mut rng, &mut positions);
+            for window in positions.windows(2) {
+                if window[0] != DEAD && window[1] != DEAD {
+                    assert!(g.has_arc(window[0], window[1]));
+                }
+            }
+        }
+        // Wrap-around invalidation resets the stamps instead.
+        arena.epoch = u32::MAX;
+        arena.invalidate();
+        assert_eq!(arena.epoch, 1);
+        assert!(arena.stamp.iter().all(|&s| s == 0));
     }
 
     #[test]

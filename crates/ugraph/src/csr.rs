@@ -31,6 +31,31 @@ use crate::graph::DiGraph;
 use crate::uncertain::UncertainGraph;
 use crate::{Probability, VertexId};
 
+/// Read-only, direction-fixed adjacency: the interface walk samplers need.
+///
+/// [`CsrView`] implements it for the static CSR arrays, and
+/// [`crate::OverlayView`] implements it for a CSR base patched by a
+/// [`crate::DeltaOverlay`] — so `rwalk::CsrSampler` walks a live, mutating
+/// graph through exactly the same sorted-slice reads it uses for a frozen
+/// one.  For any vertex whose adjacency the overlay has not touched, an
+/// implementation must return the *identical* base slices, which is what
+/// keeps the RNG draw order of walks over untouched vertices unchanged.
+pub trait GraphView {
+    /// Number of vertices `|V|`.
+    fn num_vertices(&self) -> usize;
+
+    /// Neighbors of `v` in this direction, sorted by vertex id.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// Probabilities of `v`'s arcs, aligned with [`GraphView::neighbors`].
+    fn probabilities(&self, v: VertexId) -> &[Probability];
+
+    /// Degree of `v` in this direction.
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
 /// One direction of a [`CsrGraph`]: flat offsets / targets / probabilities.
 #[derive(Debug, Clone, PartialEq)]
 struct CsrDirection {
@@ -122,6 +147,36 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a CSR graph directly from pre-merged flat arrays, one
+    /// `(offsets, targets, probs)` triple per direction.  Used by
+    /// [`crate::DeltaOverlay`] compaction, which already holds both
+    /// directions in merged, sorted form.
+    pub(crate) fn from_raw_directions(
+        num_vertices: usize,
+        forward: (Vec<usize>, Vec<VertexId>, Vec<Probability>),
+        reverse: (Vec<usize>, Vec<VertexId>, Vec<Probability>),
+    ) -> Self {
+        let build = |(offsets, targets, probs): (Vec<usize>, Vec<VertexId>, Vec<Probability>)| {
+            debug_assert_eq!(offsets.len(), num_vertices + 1);
+            debug_assert_eq!(offsets.first().copied(), Some(0));
+            debug_assert_eq!(offsets.last().copied(), Some(targets.len()));
+            debug_assert_eq!(targets.len(), probs.len());
+            CsrDirection {
+                offsets,
+                targets,
+                probs,
+            }
+        };
+        let forward = build(forward);
+        let reverse = build(reverse);
+        debug_assert_eq!(forward.targets.len(), reverse.targets.len());
+        CsrGraph {
+            num_vertices,
+            forward,
+            reverse,
+        }
+    }
+
     /// Number of vertices `|V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -184,9 +239,18 @@ impl<'a> CsrView<'a> {
 
     /// Index range of `v`'s arcs within [`Self::targets_flat`] /
     /// [`Self::probs_flat`].
+    ///
+    /// `v` must be a vertex of the graph; out-of-range ids panic on the
+    /// `offsets` index.  Fallible entry points (the batch `QueryEngine`
+    /// APIs, the CLI) validate ids *before* reaching this hot path.
     #[inline]
     pub fn arc_range(&self, v: VertexId) -> (usize, usize) {
         let v = v as usize;
+        debug_assert!(
+            v < self.num_vertices,
+            "vertex {v} out of range (graph has {} vertices)",
+            self.num_vertices
+        );
         (self.offsets[v], self.offsets[v + 1])
     }
 
@@ -256,6 +320,28 @@ impl<'a> CsrView<'a> {
     #[inline]
     pub fn offsets(&self) -> &'a [usize] {
         self.offsets
+    }
+}
+
+impl GraphView for CsrView<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrView::num_vertices(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrView::neighbors(self, v)
+    }
+
+    #[inline]
+    fn probabilities(&self, v: VertexId) -> &[Probability] {
+        CsrView::probabilities(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrView::degree(self, v)
     }
 }
 

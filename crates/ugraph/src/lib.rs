@@ -14,6 +14,10 @@
 //!   `offsets`/`targets`/`probs` arrays for both the forward adjacency and
 //!   its transpose) built once and shared by all samplers, so estimators no
 //!   longer materialise transposed graph copies per query.
+//! * [`DeltaOverlay`] — dynamic graphs: arc insertions, deletions and
+//!   probability updates recorded as sorted per-vertex patched rows over an
+//!   immutable CSR base, merged on read through [`OverlayView`] and
+//!   compacted back into a fresh [`CsrGraph`] under a [`CompactionPolicy`].
 //! * [`possible_world`] — the possible-world semantics: a possible world of an
 //!   uncertain graph `G` is a deterministic graph on the same vertex set whose
 //!   arc set is a subset of `E(G)`; its probability is the product in
@@ -55,15 +59,19 @@ pub mod csr;
 mod error;
 mod graph;
 pub mod io;
+pub mod overlay;
 pub mod possible_world;
 mod serde_impl;
 pub mod stats;
 mod uncertain;
 
 pub use builder::{DiGraphBuilder, DuplicatePolicy, UncertainGraphBuilder};
-pub use csr::{CsrGraph, CsrView};
+pub use csr::{CsrGraph, CsrView, GraphView};
 pub use error::GraphError;
 pub use graph::{ArcIter, DiGraph};
+pub use overlay::{
+    CompactionPolicy, DeltaOverlay, GraphUpdate, OverlayView, UpdateError, UpdateSummary,
+};
 pub use uncertain::{ProbArc, UncertainGraph};
 
 /// Identifier of a vertex.  Vertices of a graph with `n` vertices are the

@@ -62,8 +62,8 @@ pub use usim_er as entity_resolution;
 pub mod prelude {
     pub use crate::datasets::{CoauthorGenerator, ErGenerator, PpiGenerator, RmatGenerator};
     pub use crate::graph::{
-        CsrGraph, CsrView, DiGraph, DiGraphBuilder, GraphError, UncertainGraph,
-        UncertainGraphBuilder, VertexId,
+        CompactionPolicy, CsrGraph, CsrView, DeltaOverlay, DiGraph, DiGraphBuilder, GraphError,
+        GraphUpdate, GraphView, UncertainGraph, UncertainGraphBuilder, UpdateError, VertexId,
     };
     pub use crate::random_walk::{CsrSampler, WalkArena};
     pub use crate::simrank::{

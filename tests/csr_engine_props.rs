@@ -121,10 +121,10 @@ proptest! {
         let (graph, pairs) = input;
         let config = SimRankConfig::default().with_samples(40).with_seed(seed);
         let engine = QueryEngine::new(&graph, config);
-        let batch = engine.batch_similarities(&pairs);
+        let batch = engine.batch_similarities(&pairs).unwrap();
         let sequential: Vec<f64> = pairs.iter().map(|&(u, v)| engine.similarity(u, v)).collect();
         prop_assert_eq!(batch, sequential);
-        let profiles = engine.batch_profile(&pairs);
+        let profiles = engine.batch_profile(&pairs).unwrap();
         for (profile, &(u, v)) in profiles.iter().zip(&pairs) {
             prop_assert_eq!(profile, &engine.profile(u, v));
         }
@@ -146,8 +146,8 @@ proptest! {
         let engine = QueryEngine::new(&graph, config);
         let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let many = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
-        let a = single.install(|| engine.batch_similarities(&pairs));
-        let b = many.install(|| engine.batch_similarities(&pairs));
+        let a = single.install(|| engine.batch_similarities(&pairs).unwrap());
+        let b = many.install(|| engine.batch_similarities(&pairs).unwrap());
         prop_assert_eq!(a, b);
     }
 }
