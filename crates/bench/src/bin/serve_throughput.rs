@@ -1,0 +1,224 @@
+//! `serve_throughput` — the CI perf-tracking gate for the query server.
+//!
+//! Measures the wire tax: the same pair batch is answered once directly on
+//! a local [`QueryEngine`] and once through a full in-process
+//! [`usim_server::Server`] round trip (TCP + line-delimited JSON + the
+//! shared engine's read lock), with several client connections driving
+//! `batch` frames concurrently.  The run writes a
+//! `BENCH_serve_throughput.json` artifact and exits non-zero when the
+//! **serve ratio** — served throughput divided by same-run direct
+//! throughput — regresses more than 2x against the checked-in baseline.
+//!
+//! Like `bench_smoke` and `update_churn`, the gate compares a same-run
+//! ratio, not absolute times, so it is machine-speed independent: the
+//! ratio isolates protocol + transport + locking overhead from the cost of
+//! the walks themselves.
+//!
+//! The run also asserts the serving correctness contract: every score
+//! crossing the wire is bit-identical to the direct engine answer (floats
+//! are serialised in shortest round-trip form).
+//!
+//! Environment:
+//! * `USIM_BENCH_PAIRS`    — query pairs per client pass (default 192)
+//! * `USIM_BENCH_SAMPLES`  — walk samples per query (default 20)
+//! * `USIM_BENCH_CLIENTS`  — concurrent client connections (default 3)
+//! * `USIM_BENCH_PASSES`   — batch passes per client (default 4)
+//! * `USIM_BENCH_OUT`      — artifact path (default `BENCH_serve_throughput.json`)
+//! * `USIM_BENCH_BASELINE` — baseline path (default
+//!   `crates/bench/baselines/serve_throughput.json`)
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+use ugraph::VertexId;
+use usim_bench::random_pairs;
+use usim_core::{QueryEngine, SharedQueryEngine, SimRankConfig};
+use usim_datasets::RmatGenerator;
+use usim_server::{RequestHandler, Server, ServerOptions};
+
+/// The measurements the artifact records and the baseline pins.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ServeReport {
+    /// Query pairs per batch frame pass.
+    pairs: usize,
+    /// Walk samples per query.
+    samples: usize,
+    /// Server worker threads.
+    workers: usize,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Batch passes per client.
+    passes: usize,
+    /// Direct in-process batch throughput, pairs per second.
+    direct_pairs_per_sec: f64,
+    /// Throughput through the TCP + JSON server path, pairs per second.
+    served_pairs_per_sec: f64,
+    /// `served_pairs_per_sec / direct_pairs_per_sec` — the gated number.
+    serve_ratio: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a pairs batch as one `batch` request frame in wire labels
+/// (the R-MAT graph is compact, so labels == vertex ids).
+fn batch_frame(pairs: &[(VertexId, VertexId)]) -> String {
+    let mut frame = String::from(r#"{"type":"batch","pairs":["#);
+    for (i, (u, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            frame.push(',');
+        }
+        frame.push_str(&format!("[{u},{v}]"));
+    }
+    frame.push_str("]}");
+    frame
+}
+
+/// Extracts the `"scores":[…]` array of a batch response line.
+fn parse_scores(line: &str) -> Vec<f64> {
+    let start = line.find("\"scores\":[").expect("batch response") + "\"scores\":[".len();
+    let end = start + line[start..].find(']').expect("closing bracket");
+    line[start..end]
+        .split(',')
+        .map(|s| s.parse().expect("a JSON float"))
+        .collect()
+}
+
+fn main() {
+    let pairs_count = env_usize("USIM_BENCH_PAIRS", 192);
+    let samples = env_usize("USIM_BENCH_SAMPLES", 20);
+    let clients = env_usize("USIM_BENCH_CLIENTS", 3);
+    let passes = env_usize("USIM_BENCH_PASSES", 4);
+    let out_path = std::env::var("USIM_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_serve_throughput.json".to_string());
+    let baseline_path = std::env::var("USIM_BENCH_BASELINE").unwrap_or_else(|_| {
+        format!(
+            "{}/baselines/serve_throughput.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+
+    let graph = RmatGenerator::small(0xd13a).generate();
+    let pairs = random_pairs(&graph, pairs_count, 0x5eed);
+    let config = SimRankConfig::default().with_samples(samples).with_seed(42);
+    let workers = rayon::current_num_threads().max(2);
+
+    // Direct throughput: the same batch on a local engine (warm arenas).
+    let direct = QueryEngine::new(&graph, config);
+    let warm = direct.batch_similarities(&pairs).expect("ids in range");
+    std::hint::black_box(warm.len());
+    let start = Instant::now();
+    let mut direct_scores = Vec::new();
+    for _ in 0..passes {
+        direct_scores = direct.batch_similarities(&pairs).expect("ids in range");
+    }
+    let direct_secs = start.elapsed().as_secs_f64();
+    let direct_pairs_per_sec = (passes * pairs.len()) as f64 / direct_secs;
+
+    // Served throughput: the identical batch through the full TCP + JSON
+    // path, `clients` concurrent connections each driving `passes` frames.
+    let handler = RequestHandler::new(
+        SharedQueryEngine::new(&graph, config),
+        (0..graph.num_vertices() as u64).collect(),
+        usize::MAX >> 1,
+    );
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        handler,
+        ServerOptions {
+            workers,
+            queue_depth: clients.max(1),
+            max_connections: None,
+        },
+    )
+    .expect("bind loopback")
+    .spawn();
+    let frame = batch_frame(&pairs);
+
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let frame = frame.clone();
+        let addr = handle.addr();
+        let expected = direct_scores.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            for _ in 0..passes {
+                writeln!(conn, "{frame}").expect("write frame");
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read response");
+                // Correctness contract: the wire is bit-exact.
+                assert_eq!(
+                    parse_scores(&line),
+                    expected,
+                    "served scores diverged from the direct engine"
+                );
+            }
+        }));
+    }
+    for join in joins {
+        join.join().expect("client thread");
+    }
+    let served_secs = start.elapsed().as_secs_f64();
+    let served_pairs = clients * passes * pairs.len();
+    let served_pairs_per_sec = served_pairs as f64 / served_secs;
+    let stats = handle.shutdown().expect("clean shutdown");
+    assert_eq!(stats.errors, 0, "no error frames in a clean run");
+    println!(
+        "serve_throughput: served == direct engine (bit-identical scores, \
+         {} frames over {} connections)",
+        stats.frames, stats.connections
+    );
+
+    let report = ServeReport {
+        pairs: pairs.len(),
+        samples,
+        workers,
+        clients,
+        passes,
+        direct_pairs_per_sec,
+        served_pairs_per_sec,
+        serve_ratio: served_pairs_per_sec / direct_pairs_per_sec,
+    };
+    let json = serde_json::to_string(&report).expect("report serialises");
+    std::fs::write(&out_path, &json).expect("artifact is writable");
+    println!("serve_throughput: {json}");
+    println!("serve_throughput: artifact written to {out_path}");
+
+    // Gate against the checked-in baseline.
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "serve_throughput: WARNING: no baseline at {baseline_path} ({e}); gate skipped"
+            );
+            return;
+        }
+    };
+    let baseline: ServeReport =
+        serde_json::from_str(&baseline_text).expect("baseline parses as ServeReport");
+    let floor = baseline.serve_ratio / 2.0;
+    println!(
+        "serve_throughput: serve ratio {:.3} (baseline {:.3} -> floor {:.3}), \
+         direct {:.0} pairs/sec, served {:.0} pairs/sec",
+        report.serve_ratio,
+        baseline.serve_ratio,
+        floor,
+        report.direct_pairs_per_sec,
+        report.served_pairs_per_sec
+    );
+    if report.serve_ratio < floor {
+        eprintln!(
+            "serve_throughput: FAIL: served throughput regressed more than 2x \
+             versus the direct engine (ratio {:.3} < floor {:.3})",
+            report.serve_ratio, floor
+        );
+        std::process::exit(1);
+    }
+    println!("serve_throughput: OK");
+}

@@ -10,6 +10,7 @@ pub mod er;
 pub mod generate;
 pub mod matrices;
 pub mod pairs;
+pub mod serve;
 pub mod simrank;
 pub mod stats;
 pub mod topk;

@@ -1,0 +1,192 @@
+//! `usim serve` — a long-lived query server over one graph.
+//!
+//! ```text
+//! usim serve GRAPH [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
+//!            [--max-batch 65536] [--max-connections 0] [--port-file PATH]
+//!            [--format text|binary] [SimRank options]
+//! ```
+//!
+//! The graph is loaded and compiled into the CSR engine **once**; clients
+//! then speak the line-delimited JSON protocol of [`usim_server`] (one
+//! request per line — `similarity`, `profile`, `top_k`, `batch`, `update`,
+//! `stats` — one response per line; full reference in `docs/PROTOCOL.md`).
+//! Vertices are addressed by the graph file's original labels, exactly like
+//! every other subcommand, and answers are bit-identical to the equivalent
+//! batch-engine CLI invocations (`usim simrank --batch`, `usim topk
+//! --engine batch`) on the same graph and seed, at any worker count.
+//!
+//! `--addr 127.0.0.1:0` binds a free port; `--port-file PATH` writes the
+//! actual bound address (one `host:port` line) after binding, which is how
+//! scripts and tests rendezvous without racing on a fixed port.
+//! `--max-connections N` stops after serving N connections (`0`, the
+//! default, serves forever) — the scripted-shutdown hook used by the
+//! serve-smoke CI job.
+//!
+//! Because serving blocks, the startup banner is printed (and flushed)
+//! directly to stdout when the listener is ready, not returned like other
+//! commands' output; the returned string is the final serving summary.
+
+use crate::args::{ArgSpec, Arguments};
+use crate::estimators::{config_from_args, CONFIG_OPTIONS};
+use crate::graphio::load_graph;
+use crate::CliError;
+use std::io::Write;
+use usim_core::SharedQueryEngine;
+use usim_server::{RequestHandler, Server, ServerOptions, DEFAULT_MAX_BATCH};
+
+const BASE_OPTIONS: &[&str] = &[
+    "addr",
+    "workers",
+    "queue",
+    "max-batch",
+    "max-connections",
+    "port-file",
+    "format",
+];
+
+fn spec() -> ArgSpec<'static> {
+    static ALL: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    let options = ALL.get_or_init(|| {
+        let mut all = BASE_OPTIONS.to_vec();
+        all.extend_from_slice(CONFIG_OPTIONS);
+        all
+    });
+    ArgSpec {
+        options,
+        switches: &[],
+    }
+}
+
+/// Runs the command.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Arguments::parse(tokens, &spec())?;
+    let path = args.require_positional(0, "the graph file")?;
+    let config = config_from_args(&args)?;
+    let addr: String = args.option("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let workers: usize = args.parse_option("workers", 4usize)?;
+    let queue_depth: usize = args.parse_option("queue", 64usize)?;
+    let max_batch: usize = args.parse_option("max-batch", DEFAULT_MAX_BATCH)?;
+    let max_connections: usize = args.parse_option("max-connections", 0usize)?;
+    if workers == 0 {
+        return Err(CliError::new("--workers must be at least 1"));
+    }
+    if max_batch == 0 {
+        return Err(CliError::new("--max-batch must be at least 1"));
+    }
+
+    let loaded = load_graph(path, args.option("format"))?;
+    let engine = SharedQueryEngine::new(&loaded.graph, config);
+    let handler = RequestHandler::new(engine, loaded.labels, max_batch);
+    let options = ServerOptions {
+        workers,
+        queue_depth,
+        max_connections: (max_connections > 0).then_some(max_connections),
+    };
+    let server = Server::bind(&addr, handler, options)
+        .map_err(|e| CliError::new(format!("cannot bind {addr}: {e}")))?;
+    let bound = server.local_addr();
+
+    if let Some(port_file) = args.option("port-file") {
+        std::fs::write(port_file, format!("{bound}\n"))
+            .map_err(|e| CliError::new(format!("cannot write port file {port_file}: {e}")))?;
+    }
+    println!(
+        "serving {path} on {bound}: {} vertices, {} arcs \
+         (workers = {workers}, queue = {queue_depth}, max batch = {max_batch}, \
+         N = {}, n = {}, seed = {})",
+        loaded.graph.num_vertices(),
+        loaded.graph.num_arcs(),
+        config.num_samples,
+        config.horizon,
+        config.seed,
+    );
+    let _ = std::io::stdout().flush();
+
+    let stats = server
+        .run()
+        .map_err(|e| CliError::new(format!("server error: {e}")))?;
+    Ok(format!(
+        "served {} connections, {} frames ({} errors)\n",
+        stats.connections, stats.frames, stats.errors
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "usim_cli_serve_{}_{}_{:?}",
+            name,
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn tokens(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_bad_options_before_binding() {
+        let graph_path = temp("g.tsv");
+        std::fs::write(&graph_path, "0 1 0.5\n").unwrap();
+        let g = graph_path.to_str().unwrap();
+        assert!(run(&tokens(&[])).is_err());
+        let err = run(&tokens(&[g, "--workers", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--workers"), "{err}");
+        let err = run(&tokens(&[g, "--max-batch", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--max-batch"), "{err}");
+        let err = run(&tokens(&[g, "--addr", "999.999.999.999:1"])).unwrap_err();
+        assert!(err.to_string().contains("cannot bind"), "{err}");
+        std::fs::remove_file(&graph_path).unwrap();
+    }
+
+    #[test]
+    fn serves_until_the_connection_budget_is_spent() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let graph_path = temp("budget.tsv");
+        std::fs::write(&graph_path, "0 2 0.8\n1 2 0.9\n2 0 0.7\n").unwrap();
+        let port_file = temp("budget.port");
+        let port_file_str = port_file.to_str().unwrap().to_string();
+        let graph_str = graph_path.to_str().unwrap().to_string();
+        let runner = std::thread::spawn(move || {
+            run(&tokens(&[
+                &graph_str,
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+                "--workers",
+                "2",
+                "--max-connections",
+                "1",
+                "--samples",
+                "50",
+            ]))
+        });
+        // Rendezvous through the port file.
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.trim().contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        writeln!(conn, r#"{{"type":"stats"}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"vertices\":3"), "{line}");
+        drop((conn, reader));
+
+        let summary = runner.join().unwrap().unwrap();
+        assert!(summary.contains("served 1 connections"), "{summary}");
+        std::fs::remove_file(&graph_path).unwrap();
+        std::fs::remove_file(&port_file).unwrap();
+    }
+}

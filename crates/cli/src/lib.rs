@@ -13,6 +13,7 @@
 //! usim topk-pairs GRAPH --k 10                 most similar vertex pairs
 //! usim matrices  GRAPH --steps 3               k-step transition probability matrices
 //! usim update    GRAPH --updates F --out OUT   apply arc updates to a graph
+//! usim serve     GRAPH --addr HOST:PORT        serve queries/updates over TCP (JSON lines)
 //! usim convert   IN OUT                        convert between text and binary formats
 //! usim er        --records 300                 entity-resolution case study
 //! ```
@@ -89,6 +90,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "topk-pairs" => commands::pairs::run(rest),
         "matrices" => commands::matrices::run(rest),
         "update" => commands::update::run(rest),
+        "serve" => commands::serve::run(rest),
         "convert" => commands::convert::run(rest),
         "er" => commands::er::run(rest),
         other => Err(CliError::new(format!(
@@ -114,6 +116,12 @@ pub fn usage() -> String {
         "    topk-pairs   The k most similar vertex pairs of a graph\n",
         "    matrices     k-step transition probability matrices W(1)..W(K)\n",
         "    update       Apply an arc-update file to a graph and write the result\n",
+        "                 (`+ u v p` insert, `- u v` delete, `= u v p` set probability;\n",
+        "                 a line holding only `---` separates update rounds, each round\n",
+        "                 applied as one atomic batch)\n",
+        "    serve        Serve queries and live updates over TCP: line-delimited JSON\n",
+        "                 frames (similarity/profile/top_k/batch/update/stats), answers\n",
+        "                 bit-identical to the batch-engine commands; see docs/PROTOCOL.md\n",
         "    convert      Convert a graph between the text and binary formats\n",
         "    er           Entity-resolution case study on a synthetic record graph\n",
         "    help         Show this message\n",
@@ -139,10 +147,19 @@ pub fn usage() -> String {
         "    --threads N        batch worker threads; 0 (the default) means \"use the\n",
         "                       rayon default pool\" instead of a pinned pool\n",
         "    --updates FILE     arc updates: `+ u v p` insert, `- u v` delete,\n",
-        "                       `= u v p` set probability, `---` separates rounds.\n",
+        "                       `= u v p` set probability; a `---` line separates\n",
+        "                       rounds, each applied as one atomic batch.\n",
         "                       With `simrank --batch` the pair batch is re-answered\n",
         "                       after every round (churn mode); `update` applies the\n",
         "                       rounds and writes the mutated graph via --out\n",
+        "\n",
+        "SERVER OPTIONS (serve):\n",
+        "    --addr HOST:PORT   listen address (port 0 picks a free port) [127.0.0.1:7878]\n",
+        "    --workers N        serving threads                            [default 4]\n",
+        "    --queue N          bounded connection-queue depth             [default 64]\n",
+        "    --max-batch N      per-request pairs/candidates/updates cap   [default 65536]\n",
+        "    --max-connections N  stop after N connections; 0 = run forever [default 0]\n",
+        "    --port-file PATH   write the bound address to PATH after binding\n",
         "\n",
         "Run `usim <COMMAND> --help` semantics are not supported; see README.md for\n",
         "per-command examples.\n",

@@ -406,6 +406,18 @@ impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
     }
 }
 
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value()
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         (**self).serialize(serializer)
@@ -479,6 +491,19 @@ mod tests {
             pair
         );
         assert_eq!(to_value(&Option::<u32>::None).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn value_round_trips_as_identity() {
+        // `Value` itself is (de)serialisable — the wire layers (serde_json)
+        // use this to parse a frame into the generic tree before inspecting
+        // its fields.
+        let tree = Value::Map(vec![
+            ("type".into(), Value::Str("similarity".into())),
+            ("pairs".into(), Value::Seq(vec![Value::Uint(1)])),
+        ]);
+        assert_eq!(from_value::<Value>(tree.clone()).unwrap(), tree);
+        assert_eq!(to_value(&tree).unwrap(), tree);
     }
 
     #[test]

@@ -261,6 +261,40 @@ impl QueryEngine {
     /// Determinism: after any sequence of updates the engine's scores are
     /// bit-identical to those of a fresh engine built on the mutated graph
     /// with the same config.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ugraph::{GraphUpdate, UncertainGraphBuilder, UpdateError};
+    /// use usim_core::{QueryEngine, SimRankConfig};
+    ///
+    /// let g = UncertainGraphBuilder::new(3)
+    ///     .arc(2, 0, 0.9)
+    ///     .arc(2, 1, 0.8)
+    ///     .build()
+    ///     .unwrap();
+    /// let mut engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(100));
+    /// let summary = engine
+    ///     .apply_updates(&[
+    ///         GraphUpdate::InsertArc { source: 0, target: 1, probability: 0.5 },
+    ///         GraphUpdate::SetProbability { source: 2, target: 0, probability: 0.4 },
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!((summary.inserted, summary.reweighted), (1, 1));
+    /// assert_eq!(engine.update_epoch(), 1);
+    ///
+    /// // Batches are atomic: one bad update rejects the whole batch and
+    /// // leaves the engine untouched.
+    /// let err = engine
+    ///     .apply_updates(&[
+    ///         GraphUpdate::DeleteArc { source: 0, target: 1 },
+    ///         GraphUpdate::DeleteArc { source: 1, target: 0 }, // no such arc
+    ///     ])
+    ///     .unwrap_err();
+    /// assert_eq!(err, UpdateError::ArcNotFound { source: 1, target: 0 });
+    /// assert_eq!(engine.update_epoch(), 1);
+    /// assert_eq!(engine.num_arcs(), 3);
+    /// ```
     pub fn apply_updates(&mut self, updates: &[GraphUpdate]) -> Result<UpdateSummary, UpdateError> {
         let summary = self.graph.apply_all(updates)?;
         self.epoch += 1;
@@ -308,6 +342,26 @@ impl QueryEngine {
     ///
     /// Panics when `u` or `v` is out of range; use [`QueryEngine::try_profile`]
     /// for unvalidated input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ugraph::UncertainGraphBuilder;
+    /// use usim_core::{QueryEngine, SimRankConfig};
+    ///
+    /// let g = UncertainGraphBuilder::new(3)
+    ///     .arc(2, 0, 0.9)
+    ///     .arc(2, 1, 0.8)
+    ///     .build()
+    ///     .unwrap();
+    /// let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(500));
+    /// let profile = engine.profile(0, 1);
+    /// // One meeting probability per step 0..=n, combined under Eq. 12.
+    /// assert_eq!(profile.meeting.len(), engine.config().horizon + 1);
+    /// assert_eq!(profile.score(), engine.similarity(0, 1));
+    /// // Streams are pair-keyed: repeating the call replays the estimate.
+    /// assert_eq!(profile, engine.profile(0, 1));
+    /// ```
     pub fn profile(&self, u: VertexId, v: VertexId) -> MeetingProfile {
         let mut scratch = self.scratch.checkout();
         self.profile_with(scratch.get_mut(), u, v)
@@ -391,6 +445,30 @@ impl QueryEngine {
     /// to sequential [`QueryEngine::similarity`] calls at any thread count;
     /// out-of-range ids are rejected up front like
     /// [`QueryEngine::batch_profile`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ugraph::UncertainGraphBuilder;
+    /// use usim_core::{QueryEngine, QueryError, SimRankConfig};
+    ///
+    /// let g = UncertainGraphBuilder::new(3)
+    ///     .arc(2, 0, 0.9)
+    ///     .arc(2, 1, 0.8)
+    ///     .build()
+    ///     .unwrap();
+    /// let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(200));
+    /// let scores = engine.batch_similarities(&[(0, 1), (1, 2)]).unwrap();
+    /// // Sharding is invisible: the batch equals the sequential loop.
+    /// assert_eq!(scores[0], engine.similarity(0, 1));
+    /// assert_eq!(scores[1], engine.similarity(1, 2));
+    ///
+    /// // Ids are validated up front — a typed error, not a panic.
+    /// assert_eq!(
+    ///     engine.batch_similarities(&[(0, 9)]).unwrap_err(),
+    ///     QueryError::VertexOutOfRange { vertex: 9, num_vertices: 3 }
+    /// );
+    /// ```
     pub fn batch_similarities(
         &self,
         pairs: &[(VertexId, VertexId)],
@@ -413,6 +491,28 @@ impl QueryEngine {
     /// `k` semantics are explicit: `k == 0` returns an empty vector without
     /// evaluating anything, and `k` larger than the number of distinct
     /// non-self pairs returns all of them, sorted.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ugraph::UncertainGraphBuilder;
+    /// use usim_core::{QueryEngine, SimRankConfig};
+    ///
+    /// let g = UncertainGraphBuilder::new(4)
+    ///     .arc(2, 0, 0.9)
+    ///     .arc(2, 1, 0.8)
+    ///     .arc(3, 2, 0.7)
+    ///     .build()
+    ///     .unwrap();
+    /// let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(300));
+    /// // Self-pairs are skipped, (u, v) and (v, u) are the same candidate.
+    /// let top = engine
+    ///     .batch_top_k(&[(0, 1), (1, 0), (2, 3), (3, 3)], 10)
+    ///     .unwrap();
+    /// assert_eq!(top.len(), 2);
+    /// assert!(top[0].score >= top[1].score);
+    /// assert!(engine.batch_top_k(&[(0, 1)], 0).unwrap().is_empty());
+    /// ```
     pub fn batch_top_k(
         &self,
         pairs: &[(VertexId, VertexId)],

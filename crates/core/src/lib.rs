@@ -74,6 +74,7 @@ pub mod engine;
 pub mod meeting;
 pub mod parallel;
 pub mod sampling;
+pub mod shared;
 pub mod single_source;
 pub mod speedup;
 pub mod top_k;
@@ -92,6 +93,7 @@ pub use parallel::{
     par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs, par_top_k_similar_to,
 };
 pub use sampling::SamplingEstimator;
+pub use shared::SharedQueryEngine;
 pub use single_source::{SingleSourceEstimator, SingleSourceResult, SourceMode};
 pub use speedup::SpeedupEstimator;
 pub use top_k::{top_k_pairs, top_k_similar_to, ScoredPair, ScoredVertex};

@@ -1,0 +1,363 @@
+//! A thread-safe handle over [`QueryEngine`] for long-lived services.
+//!
+//! [`QueryEngine`] itself is already `Send + Sync` for *queries* (every
+//! batch entry point takes `&self` and shards across rayon workers), but
+//! [`QueryEngine::apply_updates`] takes `&mut self`: the overlay patches
+//! rows and the pooled arenas are invalidated, so updates must exclude
+//! concurrent readers.  [`SharedQueryEngine`] packages that discipline as a
+//! reader/writer lock so N serving threads can share one engine:
+//!
+//! * queries take the read lock — any number run concurrently, each drawing
+//!   worker scratch from the engine's own pool;
+//! * [`SharedQueryEngine::apply_updates`] takes the write lock — the update
+//!   batch is applied atomically while no query is in flight, the update
+//!   epoch is bumped, and every pooled arena is invalidated before readers
+//!   resume.
+//!
+//! The epoch is how clients detect staleness: [`SharedQueryEngine::with_read`]
+//! evaluates a closure under one read-lock acquisition, so a caller can
+//! capture `(update_epoch, answer)` as one consistent pair — the epoch
+//! recorded is exactly the epoch the answer was computed under.  The
+//! `usim_server` wire protocol stamps every response this way.
+//!
+//! Determinism is unchanged: answers are bit-identical to calling the same
+//! entry points on an exclusive [`QueryEngine`], at any reader count.
+
+use crate::config::SimRankConfig;
+use crate::engine::{QueryEngine, QueryError};
+use crate::meeting::MeetingProfile;
+use crate::top_k::{ScoredPair, ScoredVertex};
+use parking_lot::RwLock;
+use ugraph::{GraphUpdate, UncertainGraph, UpdateError, UpdateSummary, VertexId};
+
+// The audit [`SharedQueryEngine`] relies on, checked at compile time: the
+// engine (CSR base + delta overlay + the Mutex-protected scratch pool) must
+// be shareable across serving threads.  If a future field introduces
+// thread-unsafe interior mutability (`Cell`, `Rc`, raw pointers), this
+// fails to compile instead of corrupting a live server.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<SharedQueryEngine>();
+    assert_send_sync::<SimRankConfig>();
+    assert_send_sync::<QueryError>();
+};
+
+/// A reader/writer-locked [`QueryEngine`] shared by many serving threads.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ugraph::{GraphUpdate, UncertainGraphBuilder};
+/// use usim_core::{SharedQueryEngine, SimRankConfig};
+///
+/// let g = UncertainGraphBuilder::new(3)
+///     .arc(2, 0, 0.9)
+///     .arc(2, 1, 0.8)
+///     .build()
+///     .unwrap();
+/// let shared = Arc::new(SharedQueryEngine::new(
+///     &g,
+///     SimRankConfig::default().with_samples(100),
+/// ));
+///
+/// // Readers run concurrently; each response pairs the answer with the
+/// // epoch it was computed under.
+/// let worker = {
+///     let shared = Arc::clone(&shared);
+///     std::thread::spawn(move || shared.with_read(|e| (e.update_epoch(), e.similarity(0, 1))))
+/// };
+/// let (epoch, score) = worker.join().unwrap();
+/// assert_eq!(epoch, 0);
+/// assert_eq!(score, shared.with_read(|e| e.similarity(0, 1)));
+///
+/// // A writer excludes readers for the duration of one atomic batch.
+/// shared
+///     .apply_updates(&[GraphUpdate::SetProbability { source: 2, target: 0, probability: 0.1 }])
+///     .unwrap();
+/// assert_eq!(shared.update_epoch(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedQueryEngine {
+    inner: RwLock<QueryEngine>,
+}
+
+impl SharedQueryEngine {
+    /// Builds a shared engine for `graph` under `config` (see
+    /// [`QueryEngine::new`]).
+    pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
+        SharedQueryEngine::from_engine(QueryEngine::new(graph, config))
+    }
+
+    /// Wraps an already-built engine.
+    pub fn from_engine(engine: QueryEngine) -> Self {
+        SharedQueryEngine {
+            inner: RwLock::new(engine),
+        }
+    }
+
+    /// Unwraps the handle back into the exclusive engine.
+    pub fn into_engine(self) -> QueryEngine {
+        self.inner.into_inner()
+    }
+
+    /// Runs `f` under a single read-lock acquisition.
+    ///
+    /// Use this when a response must couple an answer with the epoch it was
+    /// computed under: two separate calls could interleave with a writer,
+    /// pairing a new epoch with an old answer (or vice versa).
+    pub fn with_read<R>(&self, f: impl FnOnce(&QueryEngine) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` under a single write-lock acquisition.
+    ///
+    /// Use this when a writer must couple its effect with the state it
+    /// produced: e.g. [`QueryEngine::apply_updates`] followed by
+    /// [`QueryEngine::update_epoch`] as two separate calls could interleave
+    /// with another writer, pairing this update's summary with a later
+    /// update's epoch.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut QueryEngine) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Applies a batch of graph updates atomically while no query is in
+    /// flight (see [`QueryEngine::apply_updates`]); a rejected batch leaves
+    /// the engine untouched.
+    pub fn apply_updates(&self, updates: &[GraphUpdate]) -> Result<UpdateSummary, UpdateError> {
+        self.with_write(|e| e.apply_updates(updates))
+    }
+
+    /// Fallible single-pair SimRank (see [`QueryEngine::try_similarity`]).
+    pub fn try_similarity(&self, u: VertexId, v: VertexId) -> Result<f64, QueryError> {
+        self.with_read(|e| e.try_similarity(u, v))
+    }
+
+    /// Fallible meeting profile (see [`QueryEngine::try_profile`]).
+    pub fn try_profile(&self, u: VertexId, v: VertexId) -> Result<MeetingProfile, QueryError> {
+        self.with_read(|e| e.try_profile(u, v))
+    }
+
+    /// Batch SimRank scores (see [`QueryEngine::batch_similarities`]).
+    pub fn batch_similarities(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<f64>, QueryError> {
+        self.with_read(|e| e.batch_similarities(pairs))
+    }
+
+    /// Batch meeting profiles (see [`QueryEngine::batch_profile`]).
+    pub fn batch_profile(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<MeetingProfile>, QueryError> {
+        self.with_read(|e| e.batch_profile(pairs))
+    }
+
+    /// The `k` highest-scoring pairs (see [`QueryEngine::batch_top_k`]).
+    pub fn batch_top_k(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        k: usize,
+    ) -> Result<Vec<ScoredPair>, QueryError> {
+        self.with_read(|e| e.batch_top_k(pairs, k))
+    }
+
+    /// The `k` candidates most similar to `query` (see
+    /// [`QueryEngine::batch_top_k_similar_to`]).
+    pub fn batch_top_k_similar_to(
+        &self,
+        query: VertexId,
+        candidates: &[VertexId],
+        k: usize,
+    ) -> Result<Vec<ScoredVertex>, QueryError> {
+        self.with_read(|e| e.batch_top_k_similar_to(query, candidates, k))
+    }
+
+    /// How many update batches the engine has applied.
+    pub fn update_epoch(&self) -> u64 {
+        self.with_read(QueryEngine::update_epoch)
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.with_read(QueryEngine::num_vertices)
+    }
+
+    /// Number of live arcs (base arcs plus inserts minus deletes).
+    pub fn num_arcs(&self) -> usize {
+        self.with_read(QueryEngine::num_arcs)
+    }
+
+    /// The configuration in use (copied out; the config never changes after
+    /// construction).
+    pub fn config(&self) -> SimRankConfig {
+        self.with_read(|e| *e.config())
+    }
+
+    /// Materialises the live graph as an [`UncertainGraph`] snapshot.
+    pub fn snapshot(&self) -> UncertainGraph {
+        self.with_read(QueryEngine::snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::UncertainGraphBuilder;
+
+    fn fig1_graph() -> UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shared_answers_match_the_exclusive_engine() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(200).with_seed(7);
+        let shared = SharedQueryEngine::new(&g, config);
+        let exclusive = QueryEngine::new(&g, config);
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..5).flat_map(|u| (0..5).map(move |v| (u, v))).collect();
+        assert_eq!(
+            shared.batch_similarities(&pairs).unwrap(),
+            exclusive.batch_similarities(&pairs).unwrap()
+        );
+        assert_eq!(
+            shared.try_similarity(0, 1).unwrap(),
+            exclusive.similarity(0, 1)
+        );
+        assert_eq!(shared.try_profile(2, 3).unwrap(), exclusive.profile(2, 3));
+        assert_eq!(
+            shared.batch_top_k(&pairs, 3).unwrap(),
+            exclusive.batch_top_k(&pairs, 3).unwrap()
+        );
+        assert_eq!(
+            shared.batch_top_k_similar_to(0, &[1, 2, 3, 4], 2).unwrap(),
+            exclusive
+                .batch_top_k_similar_to(0, &[1, 2, 3, 4], 2)
+                .unwrap()
+        );
+        assert_eq!(shared.num_vertices(), 5);
+        assert_eq!(shared.num_arcs(), 8);
+        assert_eq!(shared.config(), config);
+    }
+
+    #[test]
+    fn concurrent_readers_and_a_writer_stay_deterministic() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(100).with_seed(3);
+        let shared = std::sync::Arc::new(SharedQueryEngine::new(&g, config));
+        let pairs: Vec<(VertexId, VertexId)> = vec![(0, 1), (1, 2), (2, 3), (3, 4)];
+
+        // Hammer the engine from several reader threads while one writer
+        // applies update batches; every response must pair a consistent
+        // (epoch, scores) couple.
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let shared = std::sync::Arc::clone(&shared);
+            let pairs = pairs.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut observed = Vec::new();
+                for _ in 0..20 {
+                    let (epoch, scores) = shared
+                        .with_read(|e| (e.update_epoch(), e.batch_similarities(&pairs).unwrap()));
+                    observed.push((epoch, scores));
+                }
+                observed
+            }));
+        }
+        let writer = {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for round in 0..5u64 {
+                    let p = 0.1 + 0.15 * round as f64;
+                    shared
+                        .apply_updates(&[GraphUpdate::SetProbability {
+                            source: 0,
+                            target: 2,
+                            probability: p,
+                        }])
+                        .unwrap();
+                }
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(shared.update_epoch(), 5);
+
+        // Rebuild reference engines for every epoch's graph state and check
+        // each observation against the matching reference.
+        let g0 = fig1_graph();
+        let mut reference = Vec::new();
+        let mut probe = QueryEngine::new(&g0, config);
+        reference.push(probe.batch_similarities(&pairs).unwrap());
+        for round in 0..5u64 {
+            let p = 0.1 + 0.15 * round as f64;
+            probe
+                .apply_updates(&[GraphUpdate::SetProbability {
+                    source: 0,
+                    target: 2,
+                    probability: p,
+                }])
+                .unwrap();
+            reference.push(probe.batch_similarities(&pairs).unwrap());
+        }
+        for reader in readers {
+            for (epoch, scores) in reader.join().unwrap() {
+                assert_eq!(
+                    scores, reference[epoch as usize],
+                    "epoch {epoch} answer diverged from the reference engine"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_updates_and_bad_queries_stay_typed() {
+        let g = fig1_graph();
+        let shared = SharedQueryEngine::new(&g, SimRankConfig::default().with_samples(10));
+        assert_eq!(
+            shared
+                .apply_updates(&[GraphUpdate::DeleteArc {
+                    source: 0,
+                    target: 4
+                }])
+                .unwrap_err(),
+            UpdateError::ArcNotFound {
+                source: 0,
+                target: 4
+            }
+        );
+        assert_eq!(shared.update_epoch(), 0);
+        assert_eq!(
+            shared.try_similarity(0, 99).unwrap_err(),
+            QueryError::VertexOutOfRange {
+                vertex: 99,
+                num_vertices: 5
+            }
+        );
+        assert!(shared.batch_profile(&[(99, 0)]).is_err());
+    }
+
+    #[test]
+    fn into_engine_round_trips() {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(50).with_seed(11);
+        let shared = SharedQueryEngine::new(&g, config);
+        let before = shared.try_similarity(1, 2).unwrap();
+        let engine = shared.into_engine();
+        assert_eq!(engine.similarity(1, 2), before);
+        let snapshot = SharedQueryEngine::from_engine(engine).snapshot();
+        assert_eq!(snapshot.num_arcs(), g.num_arcs());
+    }
+}

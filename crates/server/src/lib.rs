@@ -1,0 +1,34 @@
+//! `usim_server` — a threaded query server over the dynamic SimRank engine.
+//!
+//! This crate turns the batch engine ([`usim_core::QueryEngine`] behind the
+//! reader/writer [`usim_core::SharedQueryEngine`] handle) into a long-lived
+//! network service: the graph is loaded and compiled to CSR **once**, then
+//! any number of clients issue queries and live graph updates over plain
+//! TCP, speaking a line-delimited JSON protocol (one request per line, one
+//! response per line).
+//!
+//! Two layers, separately testable:
+//!
+//! * [`protocol`] — the wire format and the transport-free
+//!   [`RequestHandler`] (`&str` line in → JSON [`Frame`] out).  Request
+//!   types mirror the engine API (`similarity`, `profile`, `top_k`,
+//!   `batch`, `update`, `stats`); every response carries the update epoch
+//!   it was computed under, and every failure is a typed error frame —
+//!   malformed input never panics or drops a connection.
+//! * [`server`] — `std::net` + `std::thread` transport: one accept loop
+//!   feeding N workers through a bounded job queue.
+//!
+//! The frame-by-frame protocol reference lives in `docs/PROTOCOL.md`; the
+//! CLI front-end is `usim serve` (crate `usim_cli`).  Answers are
+//! bit-identical to the same entry points called on a local engine with the
+//! same config and seed — the wire serialises floats in shortest
+//! round-trip form, so nothing is lost in transit.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{ErrorCode, Frame, RequestHandler, DEFAULT_MAX_BATCH};
+pub use server::{Server, ServerHandle, ServerOptions, ServerStats};

@@ -1,0 +1,1096 @@
+//! The line-delimited JSON wire protocol and its request handler.
+//!
+//! One request per line, one response per line, both JSON objects.  The
+//! request's `type` field selects the operation and mirrors the engine API:
+//!
+//! | `type`       | engine entry point                                      |
+//! |--------------|---------------------------------------------------------|
+//! | `similarity` | [`usim_core::QueryEngine::similarity`]                  |
+//! | `profile`    | [`usim_core::QueryEngine::profile`]                     |
+//! | `top_k`      | [`usim_core::QueryEngine::batch_top_k_similar_to`]      |
+//! | `batch`      | [`usim_core::QueryEngine::batch_similarities`]          |
+//! | `update`     | [`usim_core::QueryEngine::apply_updates`]               |
+//! | `stats`      | engine metadata (vertices, arcs, epoch, configuration)  |
+//!
+//! Vertices are addressed by the graph file's *original labels* (the same
+//! labels the `usim` CLI speaks), resolved here against the label table.
+//! Every successful response carries `"ok": true` and the update `"epoch"`
+//! the answer was computed under — captured under one engine read lock, so
+//! clients can detect staleness across interleaved `update` frames.  Every
+//! failure is a typed `"ok": false` frame with a stable `code` and a
+//! field-precise `message`; malformed input never panics the server or
+//! drops the connection.  The full frame-by-frame reference with
+//! copy-pasteable examples lives in `docs/PROTOCOL.md`.
+//!
+//! [`RequestHandler`] is transport-free (a `&str` line in, a JSON line
+//! out), so the whole protocol is unit-testable without sockets; the TCP
+//! layer in [`crate::server`] only adds framing and threads.
+
+use serde::Value;
+use std::collections::HashMap;
+use ugraph::{GraphUpdate, UpdateError, VertexId};
+use usim_core::{QueryError, SharedQueryEngine};
+
+/// Default cap on `batch` pairs, `top_k` candidates and `update` batches —
+/// a bound on per-request memory and lock-hold time, not a protocol limit.
+pub const DEFAULT_MAX_BATCH: usize = 65_536;
+
+/// Stable machine-readable error codes carried by `"ok": false` frames.
+///
+/// The set is part of the wire contract (documented in `docs/PROTOCOL.md`);
+/// messages are for humans and may change, codes may not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not a JSON object, or its `type` field is missing or not
+    /// a string.
+    MalformedFrame,
+    /// The `type` field names no known request type.
+    UnknownRequestType,
+    /// A field is missing, has the wrong JSON type, or is not accepted by
+    /// this request type.
+    BadField,
+    /// A vertex label does not appear in the graph.
+    UnknownVertex,
+    /// A `batch`, `top_k` or `update` request exceeded the server's
+    /// configured maximum batch size.
+    OversizedBatch,
+    /// The engine rejected an update batch ([`ugraph::UpdateError`]); the
+    /// graph is unchanged.
+    UpdateRejected,
+    /// The engine rejected a query ([`usim_core::QueryError`]).
+    QueryRejected,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedFrame => "malformed_frame",
+            ErrorCode::UnknownRequestType => "unknown_request_type",
+            ErrorCode::BadField => "bad_field",
+            ErrorCode::UnknownVertex => "unknown_vertex",
+            ErrorCode::OversizedBatch => "oversized_batch",
+            ErrorCode::UpdateRejected => "update_rejected",
+            ErrorCode::QueryRejected => "query_rejected",
+        }
+    }
+}
+
+/// A response line ready to write back, tagged with whether it reports an
+/// error (for server statistics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The serialised JSON object, without the trailing newline.
+    pub json: String,
+    /// Whether this is an `"ok": false` frame.
+    pub is_error: bool,
+}
+
+/// A request rejection: a stable code plus a human-readable, field-precise
+/// message.  Internal to handling; it leaves the handler as an error
+/// [`Frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Reject {
+    code: ErrorCode,
+    message: String,
+}
+
+impl Reject {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Reject {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+type Entries = [(String, Value)];
+
+/// The transport-free request handler: owns the shared engine, the label
+/// table, and the batch-size limit.
+///
+/// # Example
+///
+/// ```
+/// use ugraph::UncertainGraphBuilder;
+/// use usim_core::{SharedQueryEngine, SimRankConfig};
+/// use usim_server::RequestHandler;
+///
+/// let g = UncertainGraphBuilder::new(3)
+///     .arc(2, 0, 0.9)
+///     .arc(2, 1, 0.8)
+///     .build()
+///     .unwrap();
+/// let engine = SharedQueryEngine::new(&g, SimRankConfig::default().with_samples(100));
+/// let handler = RequestHandler::new(engine, (0..3).collect(), 1024);
+///
+/// let frame = handler
+///     .handle_line(r#"{"type":"similarity","source":0,"target":1}"#)
+///     .unwrap();
+/// assert!(!frame.is_error);
+/// assert!(frame.json.contains("\"ok\":true"));
+/// assert!(frame.json.contains("\"epoch\":0"));
+///
+/// // Malformed frames come back typed, never as a panic.
+/// let frame = handler.handle_line("{oops").unwrap();
+/// assert!(frame.is_error);
+/// assert!(frame.json.contains("malformed_frame"));
+/// ```
+#[derive(Debug)]
+pub struct RequestHandler {
+    engine: SharedQueryEngine,
+    labels: Vec<u64>,
+    index: HashMap<u64, VertexId>,
+    max_batch: usize,
+}
+
+impl RequestHandler {
+    /// Builds a handler serving `engine`, speaking the given label table
+    /// (`labels[v]` is the wire label of engine vertex `v`, exactly like
+    /// the CLI's loaded-graph table).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label table length does not match the engine's
+    /// vertex count, or when `max_batch` is zero.
+    pub fn new(engine: SharedQueryEngine, labels: Vec<u64>, max_batch: usize) -> Self {
+        assert_eq!(
+            labels.len(),
+            engine.num_vertices(),
+            "label table must cover every vertex"
+        );
+        assert!(max_batch > 0, "max_batch must be positive");
+        let index = labels
+            .iter()
+            .enumerate()
+            .map(|(v, &label)| (label, v as VertexId))
+            .collect();
+        RequestHandler {
+            engine,
+            labels,
+            index,
+            max_batch,
+        }
+    }
+
+    /// The shared engine behind the handler.
+    pub fn engine(&self) -> &SharedQueryEngine {
+        &self.engine
+    }
+
+    /// The configured batch-size cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Handles one wire line.  Returns `None` for blank lines (keep-alives
+    /// are free); otherwise always returns exactly one response frame.
+    pub fn handle_line(&self, line: &str) -> Option<Frame> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        Some(match self.handle(line) {
+            Ok(frame) => frame,
+            Err(reject) => error_frame(&reject),
+        })
+    }
+
+    fn handle(&self, line: &str) -> Result<Frame, Reject> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| Reject::new(ErrorCode::MalformedFrame, format!("invalid JSON: {e}")))?;
+        let entries = value.as_map().ok_or_else(|| {
+            Reject::new(
+                ErrorCode::MalformedFrame,
+                format!("expected a JSON object, found {}", value.kind()),
+            )
+        })?;
+        let rtype = match field(entries, "type") {
+            Some(Value::Str(s)) => s.as_str(),
+            Some(other) => {
+                return Err(Reject::new(
+                    ErrorCode::MalformedFrame,
+                    format!("field `type`: expected a string, found {}", other.kind()),
+                ))
+            }
+            None => {
+                return Err(Reject::new(
+                    ErrorCode::MalformedFrame,
+                    "missing field `type`",
+                ))
+            }
+        };
+        match rtype {
+            "similarity" => self.similarity(entries),
+            "profile" => self.profile(entries),
+            "top_k" => self.top_k(entries),
+            "batch" => self.batch(entries),
+            "update" => self.update(entries),
+            "stats" => self.stats(entries),
+            other => Err(Reject::new(
+                ErrorCode::UnknownRequestType,
+                format!(
+                    "unknown request type {other:?}; expected one of \
+                     \"similarity\", \"profile\", \"top_k\", \"batch\", \"update\", \"stats\""
+                ),
+            )),
+        }
+    }
+
+    // -- request type handlers ---------------------------------------------
+
+    fn similarity(&self, entries: &Entries) -> Result<Frame, Reject> {
+        reject_unknown_fields(entries, "similarity", &["source", "target"])?;
+        let u = self.resolve(require_label(entries, "source")?)?;
+        let v = self.resolve(require_label(entries, "target")?)?;
+        let (epoch, score) = self
+            .engine
+            .with_read(|e| (e.update_epoch(), e.try_similarity(u, v)));
+        let score = score.map_err(query_rejected)?;
+        Ok(ok_frame(
+            "similarity",
+            epoch,
+            vec![("score".into(), Value::Float(score))],
+        ))
+    }
+
+    fn profile(&self, entries: &Entries) -> Result<Frame, Reject> {
+        reject_unknown_fields(entries, "profile", &["source", "target"])?;
+        let u = self.resolve(require_label(entries, "source")?)?;
+        let v = self.resolve(require_label(entries, "target")?)?;
+        let (epoch, profile) = self
+            .engine
+            .with_read(|e| (e.update_epoch(), e.try_profile(u, v)));
+        let profile = profile.map_err(query_rejected)?;
+        Ok(ok_frame(
+            "profile",
+            epoch,
+            vec![
+                (
+                    "meeting".into(),
+                    Value::Seq(profile.meeting.iter().map(|&m| Value::Float(m)).collect()),
+                ),
+                ("decay".into(), Value::Float(profile.decay)),
+                ("score".into(), Value::Float(profile.score())),
+            ],
+        ))
+    }
+
+    fn top_k(&self, entries: &Entries) -> Result<Frame, Reject> {
+        reject_unknown_fields(entries, "top_k", &["source", "k", "candidates"])?;
+        let source = self.resolve(require_label(entries, "source")?)?;
+        let k = require_usize(entries, "k")?;
+        let candidates: Vec<VertexId> = match field(entries, "candidates") {
+            // Default: rank every vertex, exactly like `usim topk` — but
+            // still under the batch cap, which exists to bound per-request
+            // work and read-lock hold time.
+            None => {
+                self.check_batch_len(self.labels.len(), "the implicit all-vertices candidate set")?;
+                (0..self.labels.len() as VertexId).collect()
+            }
+            Some(value) => {
+                let items = expect_seq(value, "candidates")?;
+                self.check_batch_len(items.len(), "candidates")?;
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| self.resolve(expect_label(item, &format!("candidates[{i}]"))?))
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        let (epoch, ranked) = self.engine.with_read(|e| {
+            (
+                e.update_epoch(),
+                e.batch_top_k_similar_to(source, &candidates, k),
+            )
+        });
+        let ranked = ranked.map_err(query_rejected)?;
+        let results = ranked
+            .into_iter()
+            .map(|scored| {
+                Value::Map(vec![
+                    (
+                        "vertex".into(),
+                        Value::Uint(self.labels[scored.vertex as usize]),
+                    ),
+                    ("score".into(), Value::Float(scored.score)),
+                ])
+            })
+            .collect();
+        Ok(ok_frame(
+            "top_k",
+            epoch,
+            vec![("results".into(), Value::Seq(results))],
+        ))
+    }
+
+    fn batch(&self, entries: &Entries) -> Result<Frame, Reject> {
+        reject_unknown_fields(entries, "batch", &["pairs"])?;
+        let items = expect_seq(require_field(entries, "pairs")?, "pairs")?;
+        self.check_batch_len(items.len(), "pairs")?;
+        let mut pairs = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let pair = expect_seq(item, &format!("pairs[{i}]"))?;
+            let [a, b] = pair else {
+                return Err(Reject::new(
+                    ErrorCode::BadField,
+                    format!(
+                        "field `pairs[{i}]`: expected a [source, target] pair, \
+                         got {} elements",
+                        pair.len()
+                    ),
+                ));
+            };
+            pairs.push((
+                self.resolve(expect_label(a, &format!("pairs[{i}][0]"))?)?,
+                self.resolve(expect_label(b, &format!("pairs[{i}][1]"))?)?,
+            ));
+        }
+        let (epoch, scores) = self
+            .engine
+            .with_read(|e| (e.update_epoch(), e.batch_similarities(&pairs)));
+        let scores = scores.map_err(query_rejected)?;
+        Ok(ok_frame(
+            "batch",
+            epoch,
+            vec![(
+                "scores".into(),
+                Value::Seq(scores.into_iter().map(Value::Float).collect()),
+            )],
+        ))
+    }
+
+    fn update(&self, entries: &Entries) -> Result<Frame, Reject> {
+        reject_unknown_fields(entries, "update", &["updates"])?;
+        let items = expect_seq(require_field(entries, "updates")?, "updates")?;
+        self.check_batch_len(items.len(), "updates")?;
+        let mut updates = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            updates.push(self.parse_update(item, i)?);
+        }
+        // Summary and post-update epoch are captured under one write-lock
+        // acquisition: a concurrent update committing in between could
+        // otherwise stamp this summary with a later update's epoch.
+        let (summary, epoch) = self
+            .engine
+            .with_write(|e| {
+                let summary = e.apply_updates(&updates)?;
+                Ok((summary, e.update_epoch()))
+            })
+            .map_err(|e: UpdateError| {
+                Reject::new(ErrorCode::UpdateRejected, self.describe_update_error(&e))
+            })?;
+        Ok(ok_frame(
+            "update",
+            epoch,
+            vec![
+                ("inserted".into(), Value::Uint(summary.inserted as u64)),
+                ("deleted".into(), Value::Uint(summary.deleted as u64)),
+                ("reweighted".into(), Value::Uint(summary.reweighted as u64)),
+                ("arcs".into(), Value::Uint(summary.num_arcs as u64)),
+                ("compacted".into(), Value::Bool(summary.compacted)),
+            ],
+        ))
+    }
+
+    fn stats(&self, entries: &Entries) -> Result<Frame, Reject> {
+        reject_unknown_fields(entries, "stats", &[])?;
+        let (epoch, vertices, arcs, config) = self.engine.with_read(|e| {
+            (
+                e.update_epoch(),
+                e.num_vertices(),
+                e.num_arcs(),
+                *e.config(),
+            )
+        });
+        let config = serde::to_value(&config).map_err(|e| {
+            Reject::new(
+                ErrorCode::QueryRejected,
+                format!("cannot serialise the engine configuration: {e}"),
+            )
+        })?;
+        Ok(ok_frame(
+            "stats",
+            epoch,
+            vec![
+                ("vertices".into(), Value::Uint(vertices as u64)),
+                ("arcs".into(), Value::Uint(arcs as u64)),
+                ("max_batch".into(), Value::Uint(self.max_batch as u64)),
+                ("config".into(), config),
+            ],
+        ))
+    }
+
+    // -- helpers -----------------------------------------------------------
+
+    fn resolve(&self, label: u64) -> Result<VertexId, Reject> {
+        self.index.get(&label).copied().ok_or_else(|| {
+            Reject::new(
+                ErrorCode::UnknownVertex,
+                format!("vertex {label} does not appear in the graph"),
+            )
+        })
+    }
+
+    fn check_batch_len(&self, len: usize, what: &str) -> Result<(), Reject> {
+        if len > self.max_batch {
+            return Err(Reject::new(
+                ErrorCode::OversizedBatch,
+                format!(
+                    "{what} carries {len} entries, above this server's \
+                     maximum of {} (split the request)",
+                    self.max_batch
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Parses one element of an `update` request's `updates` array:
+    /// `{"op": "insert"|"delete"|"set", "source": U, "target": V
+    /// [, "probability": P]}`, labels as everywhere else.
+    fn parse_update(&self, item: &Value, i: usize) -> Result<GraphUpdate, Reject> {
+        let entries = item.as_map().ok_or_else(|| {
+            Reject::new(
+                ErrorCode::BadField,
+                format!(
+                    "field `updates[{i}]`: expected an update object, found {}",
+                    item.kind()
+                ),
+            )
+        })?;
+        let at = |name: &str| format!("updates[{i}].{name}");
+        let op = match field(entries, "op") {
+            Some(Value::Str(s)) => s.as_str(),
+            Some(other) => {
+                return Err(Reject::new(
+                    ErrorCode::BadField,
+                    format!(
+                        "field `{}`: expected a string, found {}",
+                        at("op"),
+                        other.kind()
+                    ),
+                ))
+            }
+            None => {
+                return Err(Reject::new(
+                    ErrorCode::BadField,
+                    format!("missing field `{}`", at("op")),
+                ))
+            }
+        };
+        let label = |name: &str| -> Result<VertexId, Reject> {
+            let value = field(entries, name).ok_or_else(|| {
+                Reject::new(ErrorCode::BadField, format!("missing field `{}`", at(name)))
+            })?;
+            self.resolve(expect_label(value, &at(name))?)
+        };
+        let probability = |fields: &'static [&'static str]| -> Result<f64, Reject> {
+            reject_unknown_fields_at(entries, &format!("updates[{i}]"), fields)?;
+            match field(entries, "probability") {
+                Some(Value::Float(p)) => Ok(*p),
+                Some(Value::Uint(n)) => Ok(*n as f64),
+                // Negative integers are numbers too; let them reach the
+                // engine's invalid-probability rejection like -0.5 does.
+                Some(Value::Int(n)) => Ok(*n as f64),
+                Some(other) => Err(Reject::new(
+                    ErrorCode::BadField,
+                    format!(
+                        "field `{}`: expected a number, found {}",
+                        at("probability"),
+                        other.kind()
+                    ),
+                )),
+                None => Err(Reject::new(
+                    ErrorCode::BadField,
+                    format!("missing field `{}`", at("probability")),
+                )),
+            }
+        };
+        match op {
+            "insert" => Ok(GraphUpdate::InsertArc {
+                source: label("source")?,
+                target: label("target")?,
+                probability: probability(&["op", "source", "target", "probability"])?,
+            }),
+            "delete" => {
+                reject_unknown_fields_at(
+                    entries,
+                    &format!("updates[{i}]"),
+                    &["op", "source", "target"],
+                )?;
+                Ok(GraphUpdate::DeleteArc {
+                    source: label("source")?,
+                    target: label("target")?,
+                })
+            }
+            "set" => Ok(GraphUpdate::SetProbability {
+                source: label("source")?,
+                target: label("target")?,
+                probability: probability(&["op", "source", "target", "probability"])?,
+            }),
+            other => Err(Reject::new(
+                ErrorCode::BadField,
+                format!(
+                    "field `{}`: unknown op {other:?}; expected one of \
+                     \"insert\", \"delete\", \"set\"",
+                    at("op")
+                ),
+            )),
+        }
+    }
+
+    /// Renders a rejected update in wire labels — the overlay speaks
+    /// compact ids, clients speak labels (mirrors the CLI's rendering).
+    fn describe_update_error(&self, error: &UpdateError) -> String {
+        let label = |v: VertexId| self.labels[v as usize];
+        match *error {
+            UpdateError::InvalidProbability {
+                source,
+                target,
+                probability,
+            } => format!(
+                "update of arc ({}, {}) carries invalid probability {probability}; \
+                 probabilities must lie in (0, 1]",
+                label(source),
+                label(target)
+            ),
+            UpdateError::ArcAlreadyExists { source, target } => format!(
+                "cannot insert arc ({}, {}): it already exists \
+                 (use op \"set\" to re-weight it)",
+                label(source),
+                label(target)
+            ),
+            UpdateError::ArcNotFound { source, target } => {
+                format!("arc ({}, {}) does not exist", label(source), label(target))
+            }
+            // Ids arrive through label resolution, so this cannot name a
+            // label; fall back to the overlay's own message.
+            UpdateError::VertexOutOfRange { .. } => error.to_string(),
+        }
+    }
+}
+
+// -- frame construction ----------------------------------------------------
+
+fn ok_frame(rtype: &str, epoch: u64, payload: Vec<(String, Value)>) -> Frame {
+    let mut entries = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("type".to_string(), Value::Str(rtype.to_string())),
+        ("epoch".to_string(), Value::Uint(epoch)),
+    ];
+    entries.extend(payload);
+    Frame {
+        json: serde_json::to_string(&Value::Map(entries)).expect("response values are finite"),
+        is_error: false,
+    }
+}
+
+fn error_frame(reject: &Reject) -> Frame {
+    let entries = vec![
+        ("ok".to_string(), Value::Bool(false)),
+        (
+            "code".to_string(),
+            Value::Str(reject.code.as_str().to_string()),
+        ),
+        ("message".to_string(), Value::Str(reject.message.clone())),
+    ];
+    Frame {
+        json: serde_json::to_string(&Value::Map(entries)).expect("error frames are finite"),
+        is_error: true,
+    }
+}
+
+fn query_rejected(error: QueryError) -> Reject {
+    Reject::new(ErrorCode::QueryRejected, error.to_string())
+}
+
+// -- field extraction ------------------------------------------------------
+
+fn field<'a>(entries: &'a Entries, name: &str) -> Option<&'a Value> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+}
+
+fn require_field<'a>(entries: &'a Entries, name: &str) -> Result<&'a Value, Reject> {
+    field(entries, name)
+        .ok_or_else(|| Reject::new(ErrorCode::BadField, format!("missing field `{name}`")))
+}
+
+/// A vertex label: any non-negative JSON integer.
+fn expect_label(value: &Value, what: &str) -> Result<u64, Reject> {
+    match value {
+        Value::Uint(n) => Ok(*n),
+        other => Err(Reject::new(
+            ErrorCode::BadField,
+            format!(
+                "field `{what}`: expected a non-negative integer vertex label, found {}",
+                other.kind()
+            ),
+        )),
+    }
+}
+
+fn require_label(entries: &Entries, name: &str) -> Result<u64, Reject> {
+    expect_label(require_field(entries, name)?, name)
+}
+
+fn require_usize(entries: &Entries, name: &str) -> Result<usize, Reject> {
+    match require_field(entries, name)? {
+        Value::Uint(n) => usize::try_from(*n).map_err(|_| {
+            Reject::new(
+                ErrorCode::BadField,
+                format!("field `{name}`: {n} does not fit in usize"),
+            )
+        }),
+        other => Err(Reject::new(
+            ErrorCode::BadField,
+            format!(
+                "field `{name}`: expected a non-negative integer, found {}",
+                other.kind()
+            ),
+        )),
+    }
+}
+
+fn expect_seq<'a>(value: &'a Value, what: &str) -> Result<&'a [Value], Reject> {
+    value.as_seq().ok_or_else(|| {
+        Reject::new(
+            ErrorCode::BadField,
+            format!("field `{what}`: expected an array, found {}", value.kind()),
+        )
+    })
+}
+
+/// Rejects repeated keys: `field()` is first-occurrence-wins, so accepting
+/// duplicates would silently ignore the later value — a confident wrong
+/// answer instead of an error.
+fn reject_duplicate_fields(
+    entries: &Entries,
+    describe: impl Fn(&str) -> String,
+) -> Result<(), Reject> {
+    for (i, (key, _)) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|(earlier, _)| earlier == key) {
+            return Err(Reject::new(ErrorCode::BadField, describe(key)));
+        }
+    }
+    Ok(())
+}
+
+fn reject_unknown_fields(entries: &Entries, rtype: &str, allowed: &[&str]) -> Result<(), Reject> {
+    for (key, _) in entries {
+        if key != "type" && !allowed.contains(&key.as_str()) {
+            return Err(Reject::new(
+                ErrorCode::BadField,
+                format!("unknown field `{key}` for request type \"{rtype}\""),
+            ));
+        }
+    }
+    reject_duplicate_fields(entries, |key| {
+        format!("duplicate field `{key}` for request type \"{rtype}\"")
+    })
+}
+
+fn reject_unknown_fields_at(entries: &Entries, at: &str, allowed: &[&str]) -> Result<(), Reject> {
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(Reject::new(
+                ErrorCode::BadField,
+                format!("unknown field `{at}.{key}`"),
+            ));
+        }
+    }
+    reject_duplicate_fields(entries, |key| format!("duplicate field `{at}.{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::UncertainGraphBuilder;
+    use usim_core::{QueryEngine, SimRankConfig};
+
+    fn fig1_handler(max_batch: usize) -> (RequestHandler, QueryEngine) {
+        // Fig. 1 graph under non-compact wire labels 10..=14: label
+        // 10 + v maps to engine vertex v.
+        let g = UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap();
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let handler = RequestHandler::new(
+            SharedQueryEngine::new(&g, config),
+            (10..15).collect(),
+            max_batch,
+        );
+        (handler, QueryEngine::new(&g, config))
+    }
+
+    fn parse(frame: &Frame) -> Vec<(String, Value)> {
+        let value: Value = serde_json::from_str(&frame.json).unwrap();
+        value.as_map().unwrap().to_vec()
+    }
+
+    fn get<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+        field(entries, name).unwrap_or_else(|| panic!("missing {name} in {entries:?}"))
+    }
+
+    fn float(entries: &[(String, Value)], name: &str) -> f64 {
+        match get(entries, name) {
+            Value::Float(x) => *x,
+            other => panic!("{name}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn similarity_round_trips_bit_identically() {
+        let (handler, engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        assert!(!frame.is_error);
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "ok"), &Value::Bool(true));
+        assert_eq!(get(&entries, "epoch"), &Value::Uint(0));
+        // The float survives the wire exactly: shortest-round-trip printing
+        // parses back to the identical f64.
+        assert_eq!(float(&entries, "score"), engine.similarity(0, 1));
+    }
+
+    #[test]
+    fn profile_carries_meeting_vector_and_score() {
+        let (handler, engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler
+            .handle_line(r#"{"type":"profile","source":12,"target":13}"#)
+            .unwrap();
+        let entries = parse(&frame);
+        let expected = engine.profile(2, 3);
+        let meeting: Vec<f64> = get(&entries, "meeting")
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|v| match v {
+                Value::Float(x) => *x,
+                Value::Uint(n) => *n as f64,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(meeting, expected.meeting);
+        assert_eq!(float(&entries, "decay"), expected.decay);
+        assert_eq!(float(&entries, "score"), expected.score());
+    }
+
+    #[test]
+    fn top_k_defaults_to_all_vertices_and_speaks_labels() {
+        let (handler, engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler
+            .handle_line(r#"{"type":"top_k","source":11,"k":3}"#)
+            .unwrap();
+        let entries = parse(&frame);
+        let expected = engine
+            .batch_top_k_similar_to(1, &[0, 1, 2, 3, 4], 3)
+            .unwrap();
+        let results = get(&entries, "results").as_seq().unwrap().to_vec();
+        assert_eq!(results.len(), expected.len());
+        for (value, scored) in results.iter().zip(&expected) {
+            let result = value.as_map().unwrap();
+            assert_eq!(
+                get(result, "vertex"),
+                &Value::Uint(10 + scored.vertex as u64)
+            );
+            assert_eq!(float(result, "score"), scored.score);
+        }
+        // Explicit candidate list, still in labels.
+        let frame = handler
+            .handle_line(r#"{"type":"top_k","source":11,"k":2,"candidates":[10,12,14]}"#)
+            .unwrap();
+        let entries = parse(&frame);
+        let expected = engine.batch_top_k_similar_to(1, &[0, 2, 4], 2).unwrap();
+        let results = get(&entries, "results").as_seq().unwrap();
+        assert_eq!(results.len(), expected.len());
+    }
+
+    #[test]
+    fn batch_matches_the_engine_in_input_order() {
+        let (handler, engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler
+            .handle_line(r#"{"type":"batch","pairs":[[10,11],[11,12],[12,13]]}"#)
+            .unwrap();
+        let entries = parse(&frame);
+        let scores: Vec<f64> = get(&entries, "scores")
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|v| match v {
+                Value::Float(x) => *x,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            scores,
+            engine
+                .batch_similarities(&[(0, 1), (1, 2), (2, 3)])
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn update_applies_atomically_and_bumps_the_epoch() {
+        let (handler, mut engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler
+            .handle_line(
+                r#"{"type":"update","updates":[
+                    {"op":"delete","source":11,"target":12},
+                    {"op":"insert","source":14,"target":12,"probability":0.9},
+                    {"op":"set","source":10,"target":12,"probability":0.05}]}"#,
+            )
+            .unwrap();
+        assert!(!frame.is_error, "{}", frame.json);
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "epoch"), &Value::Uint(1));
+        assert_eq!(get(&entries, "inserted"), &Value::Uint(1));
+        assert_eq!(get(&entries, "deleted"), &Value::Uint(1));
+        assert_eq!(get(&entries, "reweighted"), &Value::Uint(1));
+        assert_eq!(get(&entries, "compacted"), &Value::Bool(false));
+
+        // Post-update answers equal an engine that applied the same batch.
+        engine
+            .apply_updates(&[
+                GraphUpdate::DeleteArc {
+                    source: 1,
+                    target: 2,
+                },
+                GraphUpdate::InsertArc {
+                    source: 4,
+                    target: 2,
+                    probability: 0.9,
+                },
+                GraphUpdate::SetProbability {
+                    source: 0,
+                    target: 2,
+                    probability: 0.05,
+                },
+            ])
+            .unwrap();
+        let frame = handler
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "epoch"), &Value::Uint(1));
+        assert_eq!(float(&entries, "score"), engine.similarity(0, 1));
+    }
+
+    #[test]
+    fn rejected_updates_leave_the_graph_untouched() {
+        let (handler, engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let before = {
+            let frame = handler
+                .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+                .unwrap();
+            float(&parse(&frame), "score")
+        };
+        // Second update of the batch names a missing arc -> whole batch out.
+        let frame = handler
+            .handle_line(
+                r#"{"type":"update","updates":[
+                    {"op":"set","source":10,"target":12,"probability":0.5},
+                    {"op":"delete","source":10,"target":14}]}"#,
+            )
+            .unwrap();
+        assert!(frame.is_error);
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "code"), &Value::Str("update_rejected".into()));
+        assert!(
+            get(&entries, "message")
+                .as_str()
+                .unwrap()
+                .contains("arc (10, 14) does not exist"),
+            "{}",
+            frame.json
+        );
+        let frame = handler
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "epoch"), &Value::Uint(0));
+        assert_eq!(float(&entries, "score"), before);
+        assert_eq!(engine.similarity(0, 1), before);
+    }
+
+    #[test]
+    fn stats_reports_graph_and_config() {
+        let (handler, engine) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler.handle_line(r#"{"type":"stats"}"#).unwrap();
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "vertices"), &Value::Uint(5));
+        assert_eq!(get(&entries, "arcs"), &Value::Uint(8));
+        let config = get(&entries, "config").as_map().unwrap();
+        assert_eq!(
+            get(config, "num_samples"),
+            &Value::Uint(engine.config().num_samples as u64)
+        );
+        assert_eq!(get(config, "seed"), &Value::Uint(7));
+    }
+
+    #[test]
+    fn blank_lines_are_free_keepalives() {
+        let (handler, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        assert_eq!(handler.handle_line(""), None);
+        assert_eq!(handler.handle_line("   \t "), None);
+    }
+
+    #[test]
+    fn error_taxonomy_is_typed_and_field_precise() {
+        let (handler, _) = fig1_handler(4);
+        let code_of = |line: &str, needle: &str| -> String {
+            let frame = handler.handle_line(line).unwrap();
+            assert!(frame.is_error, "{line} should be rejected: {}", frame.json);
+            let entries = parse(&frame);
+            let message = get(&entries, "message").as_str().unwrap().to_string();
+            assert!(
+                message.contains(needle),
+                "{line}: message {message:?} misses {needle:?}"
+            );
+            get(&entries, "code").as_str().unwrap().to_string()
+        };
+        // Malformed JSON, non-object frames, missing / mistyped type.
+        assert_eq!(code_of("{oops", "invalid JSON"), "malformed_frame");
+        assert_eq!(
+            code_of("[1,2]", "expected a JSON object"),
+            "malformed_frame"
+        );
+        assert_eq!(
+            code_of(r#"{"source":10}"#, "missing field `type`"),
+            "malformed_frame"
+        );
+        assert_eq!(
+            code_of(r#"{"type":7}"#, "expected a string"),
+            "malformed_frame"
+        );
+        // Unknown request type.
+        assert_eq!(
+            code_of(r#"{"type":"similarities"}"#, "\"similarities\""),
+            "unknown_request_type"
+        );
+        // Field-level problems name the field.
+        assert_eq!(
+            code_of(
+                r#"{"type":"similarity","source":10}"#,
+                "missing field `target`"
+            ),
+            "bad_field"
+        );
+        assert_eq!(
+            code_of(
+                r#"{"type":"similarity","source":"x","target":11}"#,
+                "field `source`"
+            ),
+            "bad_field"
+        );
+        assert_eq!(
+            code_of(
+                r#"{"type":"similarity","source":10,"target":11,"bogus":1}"#,
+                "unknown field `bogus`"
+            ),
+            "bad_field"
+        );
+        assert_eq!(
+            code_of(
+                r#"{"type":"batch","pairs":[[10,11],[10]]}"#,
+                "field `pairs[1]`"
+            ),
+            "bad_field"
+        );
+        assert_eq!(
+            code_of(
+                r#"{"type":"update","updates":[{"op":"warp","source":10,"target":11}]}"#,
+                "unknown op \"warp\""
+            ),
+            "bad_field"
+        );
+        assert_eq!(
+            code_of(
+                r#"{"type":"update","updates":[{"op":"insert","source":10,"target":11}]}"#,
+                "missing field `updates[0].probability`"
+            ),
+            "bad_field"
+        );
+        // Unknown labels.
+        assert_eq!(
+            code_of(
+                r#"{"type":"similarity","source":10,"target":99}"#,
+                "vertex 99 does not appear"
+            ),
+            "unknown_vertex"
+        );
+        // Oversized batch (handler built with max_batch = 4).
+        assert_eq!(
+            code_of(
+                r#"{"type":"batch","pairs":[[10,11],[10,12],[10,13],[10,14],[11,12]]}"#,
+                "maximum of 4"
+            ),
+            "oversized_batch"
+        );
+        // Duplicate keys would be silently first-wins (a confident wrong
+        // answer for the client that meant the second value); reject them.
+        assert_eq!(
+            code_of(
+                r#"{"type":"similarity","source":10,"source":12,"target":11}"#,
+                "duplicate field `source`"
+            ),
+            "bad_field"
+        );
+        assert_eq!(
+            code_of(
+                r#"{"type":"update","updates":[{"op":"set","source":10,"target":12,"probability":0.5,"probability":0.9}]}"#,
+                "duplicate field `updates[0].probability`"
+            ),
+            "bad_field"
+        );
+        // The implicit all-vertices top_k candidate set (5 vertices) is
+        // subject to the same cap as an explicit list.
+        assert_eq!(
+            code_of(
+                r#"{"type":"top_k","source":10,"k":1}"#,
+                "implicit all-vertices candidate set"
+            ),
+            "oversized_batch"
+        );
+        // A negative integer probability is a number: it reaches the
+        // engine's typed invalid-probability rejection, like -0.5 does.
+        assert_eq!(
+            code_of(
+                r#"{"type":"update","updates":[{"op":"set","source":10,"target":12,"probability":-1}]}"#,
+                "probabilities must lie in (0, 1]"
+            ),
+            "update_rejected"
+        );
+    }
+
+    #[test]
+    fn implicit_top_k_candidates_fit_under_a_large_enough_cap() {
+        // max_batch = 5 == num_vertices: the implicit set is exactly at the
+        // cap and must be accepted.
+        let (handler, engine) = fig1_handler(5);
+        let frame = handler
+            .handle_line(r#"{"type":"top_k","source":11,"k":2}"#)
+            .unwrap();
+        assert!(!frame.is_error, "{}", frame.json);
+        let entries = parse(&frame);
+        let expected = engine
+            .batch_top_k_similar_to(1, &[0, 1, 2, 3, 4], 2)
+            .unwrap();
+        assert_eq!(
+            get(&entries, "results").as_seq().unwrap().len(),
+            expected.len()
+        );
+    }
+}

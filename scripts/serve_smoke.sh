@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# serve-smoke: start a real `usim serve` process, drive one of each request
+# type through a scripted client (bash /dev/tcp — no extra tooling), and
+# assert the responses match the CLI answers for the same graph and seed.
+#
+# The rigorous bit-identity contract is pinned by the Rust test suites
+# (crates/cli/tests/serve_equivalence.rs, crates/server/tests/); this script
+# proves the *shipped binary* end to end: process startup, port-file
+# rendezvous, the TCP loop, and graceful --max-connections shutdown.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES=200
+SEED=7
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+cargo build --release -p usim_cli
+USIM=target/release/usim
+
+# A small fixed graph with non-compact labels, like real edge lists.
+cat > "$TMP/graph.tsv" <<'EOF'
+10 30 0.8
+10 40 0.5
+20 10 0.8
+20 30 0.9
+30 10 0.7
+30 40 0.6
+40 50 0.6
+40 20 0.8
+EOF
+printf '10 20\n20 30\n30 40\n' > "$TMP/pairs.txt"
+
+# CLI ground truth: batch scores before and after one update round.
+printf -- '= 10 30 0.1\n- 40 50\n' > "$TMP/updates.txt"
+CLI_BATCH=$("$USIM" simrank "$TMP/graph.tsv" --batch "$TMP/pairs.txt" \
+    --samples "$SAMPLES" --seed "$SEED")
+CLI_CHURN=$("$USIM" simrank "$TMP/graph.tsv" --batch "$TMP/pairs.txt" \
+    --updates "$TMP/updates.txt" --samples "$SAMPLES" --seed "$SEED")
+echo "--- CLI ground truth ---"
+echo "$CLI_BATCH"
+echo "$CLI_CHURN"
+
+# Start the server on a free port; rendezvous through the port file.
+"$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
+    --workers 2 --max-connections 1 --samples "$SAMPLES" --seed "$SEED" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    [ -s "$TMP/port" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/port" ] || { echo "FAIL: server never wrote the port file"; exit 1; }
+ADDR=$(cat "$TMP/port")
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+echo "--- server up on $ADDR ---"
+
+# One connection, one frame of every request type, responses in order.
+exec 3<>"/dev/tcp/$HOST/$PORT"
+ask() {
+    printf '%s\n' "$1" >&3
+    local response
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+}
+
+R_STATS=$(ask '{"type":"stats"}')
+R_SIM=$(ask '{"type":"similarity","source":10,"target":20}')
+R_PROFILE=$(ask '{"type":"profile","source":10,"target":20}')
+R_TOPK=$(ask '{"type":"top_k","source":20,"k":3}')
+R_BATCH=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+R_BAD=$(ask '{oops')
+R_UPDATE=$(ask '{"type":"update","updates":[{"op":"set","source":10,"target":30,"probability":0.1},{"op":"delete","source":40,"target":50}]}')
+R_BATCH2=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "--- server exited cleanly after its connection budget ---"
+
+for response in "$R_STATS" "$R_SIM" "$R_PROFILE" "$R_TOPK" "$R_BATCH" "$R_UPDATE" "$R_BATCH2"; do
+    echo "$response"
+    case "$response" in
+        '{"ok":true,'*) ;;
+        *) echo "FAIL: expected an ok frame, got: $response"; exit 1 ;;
+    esac
+done
+case "$R_BAD" in
+    *'"code":"malformed_frame"'*) echo "$R_BAD" ;;
+    *) echo "FAIL: malformed frame not rejected as typed error: $R_BAD"; exit 1 ;;
+esac
+case "$R_STATS" in
+    *'"vertices":5'*'"arcs":8'*) ;;
+    *) echo "FAIL: bad stats frame: $R_STATS"; exit 1 ;;
+esac
+case "$R_UPDATE" in
+    *'"epoch":1'*'"deleted":1'*'"reweighted":1'*) ;;
+    *) echo "FAIL: bad update summary: $R_UPDATE"; exit 1 ;;
+esac
+
+# The served scores, rounded like the CLI tables, must match the CLI cell
+# for cell: wire batch == `simrank --batch` (s@r0 / s(u, v) column) and the
+# post-update batch == the churn table's s@r1 column.
+extract_scores() { # json-line -> one 6-decimal score per line
+    printf '%s\n' "$1" | awk '{
+        start = index($0, "\"scores\":[") + 10
+        rest = substr($0, start)
+        split(substr(rest, 1, index(rest, "]") - 1), scores, ",")
+        for (i = 1; i in scores; i++) printf "%.6f\n", scores[i]
+    }'
+}
+table_column() { # table text, 1-based score column among trailing fields
+    printf '%s\n' "$2" | awk -v col="$1" \
+        'NF >= 3 && $1 ~ /^[0-9]+$/ && $2 ~ /^[0-9]+$/ { print $(2 + col) }'
+}
+SERVED_BEFORE=$(extract_scores "$R_BATCH")
+SERVED_AFTER=$(extract_scores "$R_BATCH2")
+CLI_BEFORE=$(table_column 1 "$CLI_BATCH")
+CLI_BEFORE_CHURN=$(table_column 1 "$CLI_CHURN")
+CLI_AFTER=$(table_column 2 "$CLI_CHURN")
+
+[ "$SERVED_BEFORE" = "$CLI_BEFORE" ] || {
+    echo "FAIL: served batch != CLI batch"; echo "served: $SERVED_BEFORE"; echo "cli: $CLI_BEFORE"; exit 1; }
+[ "$SERVED_BEFORE" = "$CLI_BEFORE_CHURN" ] || {
+    echo "FAIL: served batch != CLI churn round 0"; exit 1; }
+[ "$SERVED_AFTER" = "$CLI_AFTER" ] || {
+    echo "FAIL: served post-update batch != CLI churn round 1"; echo "served: $SERVED_AFTER"; echo "cli: $CLI_AFTER"; exit 1; }
+[ "$SERVED_BEFORE" != "$SERVED_AFTER" ] || {
+    echo "FAIL: update had no effect on served scores"; exit 1; }
+
+echo "serve-smoke: OK (server answers match the CLI bit for bit at 6 decimals)"

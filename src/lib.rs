@@ -58,6 +58,10 @@ pub use usim_datasets as datasets;
 /// Graph-based entity resolution (re-export of [`usim_er`]).
 pub use usim_er as entity_resolution;
 
+/// The line-delimited JSON query server over the dynamic engine (re-export
+/// of [`usim_server`]; the CLI front-end is `usim serve`).
+pub use usim_server as server;
+
 /// The types most applications need, importable in one line.
 pub mod prelude {
     pub use crate::datasets::{CoauthorGenerator, ErGenerator, PpiGenerator, RmatGenerator};
@@ -66,9 +70,11 @@ pub mod prelude {
         GraphUpdate, GraphView, UncertainGraph, UncertainGraphBuilder, UpdateError, VertexId,
     };
     pub use crate::random_walk::{CsrSampler, WalkArena};
+    pub use crate::server::{RequestHandler, Server, ServerOptions};
     pub use crate::simrank::{
-        BaselineEstimator, QueryEngine, SamplingEstimator, SimRankConfig, SimRankEstimator,
-        SingleSourceEstimator, SourceMode, SpeedupEstimator, TwoPhaseEstimator, WalkDirection,
+        BaselineEstimator, QueryEngine, SamplingEstimator, SharedQueryEngine, SimRankConfig,
+        SimRankEstimator, SingleSourceEstimator, SourceMode, SpeedupEstimator, TwoPhaseEstimator,
+        WalkDirection,
     };
 }
 
