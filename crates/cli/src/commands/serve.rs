@@ -3,7 +3,7 @@
 //! ```text
 //! usim serve GRAPH [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
 //!            [--max-batch 65536] [--max-connections 0] [--port-file PATH]
-//!            [--format text|binary] [SimRank options]
+//!            [--cache-capacity 0] [--format text|binary] [SimRank options]
 //! ```
 //!
 //! The graph is loaded and compiled into the CSR engine **once**; clients
@@ -17,10 +17,18 @@
 //!
 //! `--addr 127.0.0.1:0` binds a free port; `--port-file PATH` writes the
 //! actual bound address (one `host:port` line) after binding, which is how
-//! scripts and tests rendezvous without racing on a fixed port.
+//! scripts and tests rendezvous without racing on a fixed port — the file
+//! is removed again on clean shutdown, so a lingering port file always
+//! points at a live (or crashed) server, never a finished one.
 //! `--max-connections N` stops after serving N connections (`0`, the
 //! default, serves forever) — the scripted-shutdown hook used by the
 //! serve-smoke CI job.
+//!
+//! `--cache-capacity N` puts an epoch-validated result cache (bounded to N
+//! entries, see `usim_cache`) in front of the engine: hot pairs are served
+//! without re-sampling, answers stay bit-identical, and the `stats` frame
+//! reports hit/miss/stale/eviction counters.  `0` (the default) disables
+//! caching.
 //!
 //! Because serving blocks, the startup banner is printed (and flushed)
 //! directly to stdout when the listener is ready, not returned like other
@@ -41,6 +49,7 @@ const BASE_OPTIONS: &[&str] = &[
     "max-batch",
     "max-connections",
     "port-file",
+    "cache-capacity",
     "format",
 ];
 
@@ -67,6 +76,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let queue_depth: usize = args.parse_option("queue", 64usize)?;
     let max_batch: usize = args.parse_option("max-batch", DEFAULT_MAX_BATCH)?;
     let max_connections: usize = args.parse_option("max-connections", 0usize)?;
+    let cache_capacity: usize = args.parse_option("cache-capacity", 0usize)?;
     if workers == 0 {
         return Err(CliError::new("--workers must be at least 1"));
     }
@@ -76,7 +86,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
 
     let loaded = load_graph(path, args.option("format"))?;
     let engine = SharedQueryEngine::new(&loaded.graph, config);
-    let handler = RequestHandler::new(engine, loaded.labels, max_batch);
+    let handler = RequestHandler::with_cache(engine, loaded.labels, max_batch, cache_capacity);
     let options = ServerOptions {
         workers,
         queue_depth,
@@ -93,9 +103,14 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     println!(
         "serving {path} on {bound}: {} vertices, {} arcs \
          (workers = {workers}, queue = {queue_depth}, max batch = {max_batch}, \
-         N = {}, n = {}, seed = {})",
+         cache = {}, N = {}, n = {}, seed = {})",
         loaded.graph.num_vertices(),
         loaded.graph.num_arcs(),
+        if cache_capacity > 0 {
+            format!("{cache_capacity} entries")
+        } else {
+            "off".to_string()
+        },
         config.num_samples,
         config.horizon,
         config.seed,
@@ -105,6 +120,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let stats = server
         .run()
         .map_err(|e| CliError::new(format!("server error: {e}")))?;
+    // Clean shutdown: the rendezvous file must not outlive the server it
+    // points at (a stale file would send the next script to a dead — or
+    // worse, someone else's — port).
+    if let Some(port_file) = args.option("port-file") {
+        let _ = std::fs::remove_file(port_file);
+    }
     Ok(format!(
         "served {} connections, {} frames ({} errors)\n",
         stats.connections, stats.frames, stats.errors
@@ -186,7 +207,63 @@ mod tests {
 
         let summary = runner.join().unwrap().unwrap();
         assert!(summary.contains("served 1 connections"), "{summary}");
+        assert!(
+            !port_file.exists(),
+            "clean shutdown must remove the port file"
+        );
         std::fs::remove_file(&graph_path).unwrap();
-        std::fs::remove_file(&port_file).unwrap();
+    }
+
+    #[test]
+    fn cached_serve_round_trips_hot_pairs() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let graph_path = temp("cached.tsv");
+        std::fs::write(&graph_path, "0 2 0.8\n1 2 0.9\n2 0 0.7\n").unwrap();
+        let port_file = temp("cached.port");
+        let port_file_str = port_file.to_str().unwrap().to_string();
+        let graph_str = graph_path.to_str().unwrap().to_string();
+        let runner = std::thread::spawn(move || {
+            run(&tokens(&[
+                &graph_str,
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+                "--max-connections",
+                "1",
+                "--cache-capacity",
+                "128",
+                "--samples",
+                "50",
+            ]))
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.trim().contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut ask = |frame: &str| {
+            writeln!(conn, "{frame}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        // Same batch twice: the repeat is served from the cache and must be
+        // byte-identical on the wire.
+        let first = ask(r#"{"type":"batch","pairs":[[0,1],[1,2]]}"#);
+        let second = ask(r#"{"type":"batch","pairs":[[0,1],[1,2]]}"#);
+        assert_eq!(first, second);
+        let stats = ask(r#"{"type":"stats"}"#);
+        assert!(stats.contains("\"enabled\":true"), "{stats}");
+        assert!(stats.contains("\"hits\":2"), "{stats}");
+        drop((conn, reader));
+        runner.join().unwrap().unwrap();
+        std::fs::remove_file(&graph_path).unwrap();
     }
 }

@@ -1,0 +1,464 @@
+//! The caching layer over [`SharedQueryEngine`]: epoch-validated,
+//! bit-identical result reuse for serving workloads.
+//!
+//! [`CachedQueryEngine`] pairs a shared engine with an optional
+//! [`usim_cache::ResultCache`] keyed on `(query kind, ordered vertex pair,
+//! config fingerprint)` and tagged with the update epoch each answer was
+//! computed under.  The contract is the project's signature invariant,
+//! extended to the cache:
+//!
+//! > **Cached answers are bit-identical to uncached ones**, at any worker
+//! > count, before and after arbitrary update rounds.
+//!
+//! Three properties make that easy to guarantee:
+//!
+//! * every pair's answer is a pure function of `(graph state, config)` —
+//!   the engine's RNG streams are keyed on `(seed, u, v)`, never on call
+//!   order — so replaying a stored answer *is* recomputing it;
+//! * every lookup and every fill happen under **one read-lock
+//!   acquisition**, so the epoch used to validate entries is exactly the
+//!   epoch of the graph the misses are computed on — a concurrent
+//!   [`CachedQueryEngine::apply_updates`] (write lock) can never interleave
+//!   half-way through a batch;
+//! * an update bumps the engine epoch, which logically invalidates every
+//!   cache entry in O(1): entries from older epochs never hit (counted as
+//!   `stale`), so no scan or flush runs inside the write lock.
+//!
+//! With the cache disabled (capacity 0) the wrapper is a zero-cost
+//! pass-through to the engine's own entry points — which already
+//! deduplicate repeated pairs within one batch.
+
+use crate::config::{SimRankConfig, WalkDirection};
+use crate::engine::{QueryEngine, QueryError};
+use crate::meeting::MeetingProfile;
+use crate::shared::SharedQueryEngine;
+use crate::top_k::{ScoredPair, ScoredVertex};
+use std::sync::Arc;
+use ugraph::{GraphUpdate, UpdateError, UpdateSummary, VertexId};
+use usim_cache::{CacheStats, ConfigFingerprint, PairKey, ResultCache};
+
+/// The concrete cache type the engine integration uses: pair keys to
+/// cached answers.
+pub type QueryCache = ResultCache<PairKey, CachedAnswer>;
+
+/// A memoised answer: the score of a pair or its full meeting profile
+/// (distinguished by the key's [`usim_cache::QueryKind`], mirrored here so
+/// a corrupted pairing degrades to a recompute, never a wrong answer).
+#[derive(Debug, Clone)]
+pub enum CachedAnswer {
+    /// A single SimRank score.
+    Score(f64),
+    /// A per-step meeting-probability profile.
+    Profile(MeetingProfile),
+}
+
+/// Fingerprints a [`SimRankConfig`] for cache keys: every field that can
+/// change an answer (decay, horizon, samples, phase switch, seed,
+/// direction) contributes its bit pattern.
+pub fn config_fingerprint(config: &SimRankConfig) -> ConfigFingerprint {
+    ConfigFingerprint::from_words(&[
+        config.decay.to_bits(),
+        config.horizon as u64,
+        config.num_samples as u64,
+        config.phase_switch as u64,
+        config.seed,
+        match config.direction {
+            WalkDirection::InNeighbors => 0,
+            WalkDirection::OutNeighbors => 1,
+        },
+    ])
+}
+
+/// A [`SharedQueryEngine`] with an optional epoch-validated result cache in
+/// front of it.  Every query method returns `(epoch, answer)` captured
+/// under one read-lock acquisition, which is what the wire protocol stamps
+/// on responses.
+///
+/// # Example
+///
+/// ```
+/// use ugraph::{GraphUpdate, UncertainGraphBuilder};
+/// use usim_core::{CachedQueryEngine, SharedQueryEngine, SimRankConfig};
+///
+/// let g = UncertainGraphBuilder::new(3)
+///     .arc(2, 0, 0.9)
+///     .arc(2, 1, 0.8)
+///     .build()
+///     .unwrap();
+/// let config = SimRankConfig::default().with_samples(100);
+/// let cached = CachedQueryEngine::new(SharedQueryEngine::new(&g, config), 1024);
+/// let uncached = CachedQueryEngine::new(SharedQueryEngine::new(&g, config), 0);
+///
+/// // First ask fills the cache, second is served from it — bit-identical
+/// // to the cache-free engine either way.
+/// let (_, a) = cached.similarity(0, 1).unwrap();
+/// let (_, b) = cached.similarity(0, 1).unwrap();
+/// let (_, c) = uncached.similarity(0, 1).unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(a, c);
+/// assert_eq!(cached.cache_stats().unwrap().hits, 1);
+///
+/// // Updates bump the epoch: every cached entry is logically gone.
+/// cached
+///     .apply_updates(&[GraphUpdate::SetProbability { source: 2, target: 0, probability: 0.1 }])
+///     .unwrap();
+/// let (epoch, after) = cached.similarity(0, 1).unwrap();
+/// assert_eq!(epoch, 1);
+/// assert_ne!(a, after);
+/// ```
+#[derive(Debug)]
+pub struct CachedQueryEngine {
+    engine: SharedQueryEngine,
+    cache: Option<Arc<QueryCache>>,
+    fingerprint: ConfigFingerprint,
+}
+
+impl CachedQueryEngine {
+    /// Wraps `engine` with a result cache bounded to `capacity` entries;
+    /// `capacity == 0` disables caching entirely (the wrapper becomes a
+    /// pass-through, no map is allocated).
+    pub fn new(engine: SharedQueryEngine, capacity: usize) -> Self {
+        let fingerprint = config_fingerprint(&engine.config());
+        CachedQueryEngine {
+            engine,
+            cache: (capacity > 0).then(|| Arc::new(QueryCache::new(capacity))),
+            fingerprint,
+        }
+    }
+
+    /// The shared engine behind the cache.
+    pub fn shared(&self) -> &SharedQueryEngine {
+        &self.engine
+    }
+
+    /// Whether a cache is attached.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The configured cache capacity (0 when disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.capacity())
+    }
+
+    /// Snapshot of the cache counters, or `None` when caching is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// `(epoch, score)` of one pair (see [`QueryEngine::try_similarity`]).
+    pub fn similarity(&self, u: VertexId, v: VertexId) -> Result<(u64, f64), QueryError> {
+        self.engine.with_read(|e| {
+            e.validate_vertices([u, v])?;
+            let epoch = e.update_epoch();
+            let scores = self.scores_for(e, epoch, &[(u, v)])?;
+            Ok((epoch, scores[0]))
+        })
+    }
+
+    /// `(epoch, profile)` of one pair (see [`QueryEngine::try_profile`]).
+    pub fn profile(&self, u: VertexId, v: VertexId) -> Result<(u64, MeetingProfile), QueryError> {
+        self.engine.with_read(|e| {
+            e.validate_vertices([u, v])?;
+            let epoch = e.update_epoch();
+            let Some(cache) = &self.cache else {
+                return Ok((epoch, e.profile(u, v)));
+            };
+            let key = PairKey::profile(u, v, self.fingerprint);
+            if let Some(CachedAnswer::Profile(profile)) = cache.get(&key, epoch) {
+                return Ok((epoch, profile));
+            }
+            let profile = e.profile(u, v);
+            cache.insert(key, CachedAnswer::Profile(profile.clone()), epoch);
+            Ok((epoch, profile))
+        })
+    }
+
+    /// `(epoch, scores)` of a batch in input order (see
+    /// [`QueryEngine::batch_similarities`]).  Cached pairs are served from
+    /// the cache, the misses are computed as one engine batch (each
+    /// distinct pair sampled once) and inserted for the next ask.
+    pub fn batch_similarities(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<(u64, Vec<f64>), QueryError> {
+        self.engine.with_read(|e| {
+            e.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+            let epoch = e.update_epoch();
+            Ok((epoch, self.scores_for(e, epoch, pairs)?))
+        })
+    }
+
+    /// `(epoch, ranked pairs)` (see [`QueryEngine::batch_top_k`]); the
+    /// per-pair scores behind the ranking go through the cache.
+    pub fn batch_top_k(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        k: usize,
+    ) -> Result<(u64, Vec<ScoredPair>), QueryError> {
+        self.engine.with_read(|e| {
+            e.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+            let epoch = e.update_epoch();
+            let ranked =
+                crate::engine::rank_pairs(pairs, k, |unique| self.scores_for(e, epoch, unique))?;
+            Ok((epoch, ranked))
+        })
+    }
+
+    /// `(epoch, ranked candidates)` (see
+    /// [`QueryEngine::batch_top_k_similar_to`]); the per-pair scores behind
+    /// the ranking go through the cache.
+    pub fn batch_top_k_similar_to(
+        &self,
+        query: VertexId,
+        candidates: &[VertexId],
+        k: usize,
+    ) -> Result<(u64, Vec<ScoredVertex>), QueryError> {
+        self.engine.with_read(|e| {
+            e.validate_vertices(std::iter::once(query).chain(candidates.iter().copied()))?;
+            let epoch = e.update_epoch();
+            let ranked = crate::engine::rank_candidates(query, candidates, k, |pairs| {
+                self.scores_for(e, epoch, pairs)
+            })?;
+            Ok((epoch, ranked))
+        })
+    }
+
+    /// Applies an update batch and returns `(summary, new epoch)` captured
+    /// under one write-lock acquisition.  The epoch bump is the whole
+    /// invalidation: entries stored under older epochs can never hit again.
+    pub fn apply_updates(
+        &self,
+        updates: &[GraphUpdate],
+    ) -> Result<(UpdateSummary, u64), UpdateError> {
+        self.engine.with_write(|e| {
+            let summary = e.apply_updates(updates)?;
+            Ok((summary, e.update_epoch()))
+        })
+    }
+
+    /// How many update batches the engine has applied.
+    pub fn update_epoch(&self) -> u64 {
+        self.engine.update_epoch()
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.engine.num_vertices()
+    }
+
+    /// Number of live arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.engine.num_arcs()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> SimRankConfig {
+        self.engine.config()
+    }
+
+    /// Scores for `pairs` in input order at `epoch`, serving hits from the
+    /// cache and computing the misses as one engine batch under the read
+    /// lock already held by the caller (so `epoch` cannot move while the
+    /// misses are computed or inserted).  Ids must already be validated:
+    /// cached entries were validated when first computed, and vertex count
+    /// never changes, so partial cache service cannot mask a bad id.
+    fn scores_for(
+        &self,
+        e: &QueryEngine,
+        epoch: u64,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Vec<f64>, QueryError> {
+        let Some(cache) = &self.cache else {
+            return e.batch_similarities(pairs);
+        };
+        let mut scores = vec![0.0f64; pairs.len()];
+        let mut miss_slots: Vec<usize> = Vec::new();
+        let mut misses: Vec<(VertexId, VertexId)> = Vec::new();
+        for (slot, &(u, v)) in pairs.iter().enumerate() {
+            match cache.get(&PairKey::score(u, v, self.fingerprint), epoch) {
+                Some(CachedAnswer::Score(score)) => scores[slot] = score,
+                // A profile under a score key cannot happen (the kind is in
+                // the key); recompute rather than trust a corrupt pairing.
+                Some(CachedAnswer::Profile(_)) | None => {
+                    miss_slots.push(slot);
+                    misses.push((u, v));
+                }
+            }
+        }
+        if !misses.is_empty() {
+            // Deduplicate the misses so each distinct pair is computed and
+            // inserted once; one engine batch covers them all, sharded
+            // across workers.
+            let (distinct, distinct_of) = crate::engine::dedup_pairs(&misses);
+            let computed = e.batch_similarities(&distinct)?;
+            for (&slot, &index) in miss_slots.iter().zip(distinct_of.iter()) {
+                scores[slot] = computed[index];
+            }
+            for (&(u, v), &score) in distinct.iter().zip(computed.iter()) {
+                cache.insert(
+                    PairKey::score(u, v, self.fingerprint),
+                    CachedAnswer::Score(score),
+                    epoch,
+                );
+            }
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::UncertainGraphBuilder;
+
+    fn fig1_graph() -> ugraph::UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    fn engines(capacity: usize) -> (CachedQueryEngine, QueryEngine) {
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        (
+            CachedQueryEngine::new(SharedQueryEngine::new(&g, config), capacity),
+            QueryEngine::new(&g, config),
+        )
+    }
+
+    fn all_pairs() -> Vec<(VertexId, VertexId)> {
+        (0..5).flat_map(|u| (0..5).map(move |v| (u, v))).collect()
+    }
+
+    #[test]
+    fn cached_answers_are_bit_identical_to_the_engine() {
+        let (cached, reference) = engines(256);
+        let pairs = all_pairs();
+        // Twice: the second run is served from the cache.
+        for _ in 0..2 {
+            let (epoch, scores) = cached.batch_similarities(&pairs).unwrap();
+            assert_eq!(epoch, 0);
+            assert_eq!(scores, reference.batch_similarities(&pairs).unwrap());
+            let (_, score) = cached.similarity(1, 2).unwrap();
+            assert_eq!(score, reference.similarity(1, 2));
+            let (_, profile) = cached.profile(2, 3).unwrap();
+            assert_eq!(profile, reference.profile(2, 3));
+            let (_, top) = cached.batch_top_k(&pairs, 3).unwrap();
+            assert_eq!(top, reference.batch_top_k(&pairs, 3).unwrap());
+            let (_, ranked) = cached.batch_top_k_similar_to(0, &[1, 2, 3, 4], 2).unwrap();
+            assert_eq!(
+                ranked,
+                reference
+                    .batch_top_k_similar_to(0, &[1, 2, 3, 4], 2)
+                    .unwrap()
+            );
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert!(stats.hits > 0, "second pass must hit: {stats:?}");
+    }
+
+    #[test]
+    fn disabled_cache_is_a_pass_through() {
+        let (cached, reference) = engines(0);
+        assert!(!cached.cache_enabled());
+        assert_eq!(cached.cache_capacity(), 0);
+        assert!(cached.cache_stats().is_none());
+        let (epoch, scores) = cached.batch_similarities(&all_pairs()).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(scores, reference.batch_similarities(&all_pairs()).unwrap());
+    }
+
+    #[test]
+    fn updates_invalidate_by_epoch_and_answers_track_the_live_graph() {
+        let (cached, mut reference) = engines(256);
+        let pairs = all_pairs();
+        let (_, before) = cached.batch_similarities(&pairs).unwrap();
+        let updates = [GraphUpdate::SetProbability {
+            source: 0,
+            target: 2,
+            probability: 0.05,
+        }];
+        let (summary, epoch) = cached.apply_updates(&updates).unwrap();
+        assert_eq!((summary.reweighted, epoch), (1, 1));
+        reference.apply_updates(&updates).unwrap();
+        let (epoch, after) = cached.batch_similarities(&pairs).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(after, reference.batch_similarities(&pairs).unwrap());
+        assert_ne!(before, after);
+        let stats = cached.cache_stats().unwrap();
+        assert!(
+            stats.stale > 0,
+            "old-epoch entries must read as stale: {stats:?}"
+        );
+        // Asking again at the new epoch hits.
+        let hits_before = cached.cache_stats().unwrap().hits;
+        cached.batch_similarities(&pairs).unwrap();
+        assert!(cached.cache_stats().unwrap().hits > hits_before);
+    }
+
+    #[test]
+    fn intra_batch_duplicates_hit_within_one_request() {
+        let (cached, reference) = engines(64);
+        let batch = [(0, 1), (2, 3), (0, 1), (0, 1), (2, 3)];
+        let (_, scores) = cached.batch_similarities(&batch).unwrap();
+        assert_eq!(scores, reference.batch_similarities(&batch).unwrap());
+        assert_eq!(scores[0], scores[2]);
+        // Only the two distinct pairs were ever inserted.
+        assert_eq!(cached.cache_stats().unwrap().insertions, 2);
+    }
+
+    #[test]
+    fn error_semantics_match_the_engine_even_on_cached_pairs() {
+        let (cached, _) = engines(64);
+        cached.similarity(0, 1).unwrap(); // (0, 1) is now cached
+        let expected = QueryError::VertexOutOfRange {
+            vertex: 99,
+            num_vertices: 5,
+        };
+        // A batch containing a cached pair and a bad id still rejects the
+        // whole batch up front, like the raw engine.
+        assert_eq!(
+            cached.batch_similarities(&[(0, 1), (99, 0)]).unwrap_err(),
+            expected
+        );
+        assert_eq!(cached.similarity(0, 99).unwrap_err(), expected);
+        assert_eq!(cached.profile(99, 0).unwrap_err(), expected);
+        // Self-pair ids are validated before dedup drops them (k > 0 and
+        // k == 0 alike), exactly like the engine.
+        assert_eq!(cached.batch_top_k(&[(99, 99)], 5).unwrap_err(), expected);
+        assert_eq!(cached.batch_top_k(&[(99, 99)], 0).unwrap_err(), expected);
+        assert_eq!(
+            cached.batch_top_k_similar_to(99, &[0], 2).unwrap_err(),
+            expected
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let base = SimRankConfig::default();
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base));
+        for other in [
+            base.with_decay(0.7),
+            base.with_horizon(6),
+            base.with_samples(999),
+            base.with_phase_switch(2),
+            base.with_seed(123),
+            base.with_direction(WalkDirection::OutNeighbors),
+        ] {
+            assert_ne!(
+                config_fingerprint(&base),
+                config_fingerprint(&other),
+                "{other:?} must fingerprint differently"
+            );
+        }
+    }
+}

@@ -316,8 +316,13 @@ impl QueryEngine {
     }
 
     /// Validates every id of a batch against the graph, so the hot path can
-    /// index the CSR arrays unchecked.
-    fn validate_vertices(&self, ids: impl IntoIterator<Item = VertexId>) -> Result<(), QueryError> {
+    /// index the CSR arrays unchecked.  Public so wrappers that answer part
+    /// of a batch from elsewhere (the caching layer) can keep the engine's
+    /// reject-the-whole-batch-up-front semantics without computing anything.
+    pub fn validate_vertices(
+        &self,
+        ids: impl IntoIterator<Item = VertexId>,
+    ) -> Result<(), QueryError> {
         let num_vertices = self.num_vertices();
         for vertex in ids {
             if (vertex as usize) >= num_vertices {
@@ -420,8 +425,49 @@ impl QueryEngine {
         MeetingProfile::new(meeting, self.config.decay)
     }
 
+    /// Shards `pairs` across rayon workers (one pooled scratch per worker
+    /// chunk) and maps `f` over them, in input order.
+    fn par_map_pairs<R: Send>(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        f: impl Fn(&mut Scratch, VertexId, VertexId) -> R + Sync,
+    ) -> Vec<R> {
+        pairs
+            .par_iter()
+            .map_init(
+                || self.scratch.checkout(),
+                |scratch, &(u, v)| f(scratch.get_mut(), u, v),
+            )
+            .collect()
+    }
+
+    /// Computes `f` once per *distinct* pair and scatters the results back
+    /// to input order.  A batch with repeated pairs (hot pairs in serving
+    /// traffic, symmetric pair files) samples each distinct pair's walks
+    /// once instead of once per occurrence; because every pair draws from
+    /// its own `(seed, u, v)`-keyed RNG stream, duplicates were bit-equal
+    /// anyway, so the output is unchanged — only cheaper.
+    fn par_map_distinct<R: Clone + Send>(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        f: impl Fn(&mut Scratch, VertexId, VertexId) -> R + Sync,
+    ) -> Vec<R> {
+        let (distinct, slots) = dedup_pairs(pairs);
+        if distinct.len() == pairs.len() {
+            // No duplicates: skip the scatter pass entirely.
+            return self.par_map_pairs(pairs, f);
+        }
+        let results = self.par_map_pairs(&distinct, f);
+        slots
+            .into_iter()
+            .map(|slot| results[slot].clone())
+            .collect()
+    }
+
     /// Meeting profiles for a batch of pairs, sharded across rayon workers
-    /// (one pooled [`WalkArena`] per worker), in input order.
+    /// (one pooled [`WalkArena`] per worker), in input order.  Repeated
+    /// pairs are sampled once and their profile is replicated (pair-keyed
+    /// RNG streams make the copies bit-equal to recomputation).
     ///
     /// Bit-identical to `pairs.iter().map(|&(u, v)| self.profile(u, v))` at
     /// any thread count.  Every id is validated up front: an out-of-range id
@@ -432,19 +478,15 @@ impl QueryEngine {
         pairs: &[(VertexId, VertexId)],
     ) -> Result<Vec<MeetingProfile>, QueryError> {
         self.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
-        Ok(pairs
-            .par_iter()
-            .map_init(
-                || self.scratch.checkout(),
-                |scratch, &(u, v)| self.profile_with(scratch.get_mut(), u, v),
-            )
-            .collect())
+        Ok(self.par_map_distinct(pairs, |scratch, u, v| self.profile_with(scratch, u, v)))
     }
 
     /// SimRank scores for a batch of pairs, in input order.  Bit-identical
     /// to sequential [`QueryEngine::similarity`] calls at any thread count;
     /// out-of-range ids are rejected up front like
-    /// [`QueryEngine::batch_profile`].
+    /// [`QueryEngine::batch_profile`], and repeated pairs are sampled once
+    /// (their scores were bit-equal anyway — see
+    /// [`QueryEngine::batch_profile`]).
     ///
     /// # Example
     ///
@@ -474,13 +516,9 @@ impl QueryEngine {
         pairs: &[(VertexId, VertexId)],
     ) -> Result<Vec<f64>, QueryError> {
         self.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
-        Ok(pairs
-            .par_iter()
-            .map_init(
-                || self.scratch.checkout(),
-                |scratch, &(u, v)| self.profile_with(scratch.get_mut(), u, v).score(),
-            )
-            .collect())
+        Ok(self.par_map_distinct(pairs, |scratch, u, v| {
+            self.profile_with(scratch, u, v).score()
+        }))
     }
 
     /// The `k` highest-scoring pairs among `pairs`: self-pairs are skipped,
@@ -519,29 +557,7 @@ impl QueryEngine {
         k: usize,
     ) -> Result<Vec<ScoredPair>, QueryError> {
         self.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
-        if k == 0 {
-            return Ok(Vec::new());
-        }
-        let mut unique: Vec<(VertexId, VertexId)> = pairs
-            .iter()
-            .filter(|(a, b)| a != b)
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
-        unique.sort_unstable();
-        unique.dedup();
-        let scores = self.batch_similarities(&unique)?;
-        let mut scored: Vec<ScoredPair> = unique
-            .into_iter()
-            .zip(scores)
-            .map(|(pair, score)| ScoredPair { pair, score })
-            .collect();
-        crate::top_k::sort_descending_by_score(
-            &mut scored,
-            |s| s.score,
-            |s| (s.pair.0 as u64) << 32 | s.pair.1 as u64,
-        );
-        scored.truncate(k);
-        Ok(scored)
+        rank_pairs(pairs, k, |unique| self.batch_similarities(unique))
     }
 
     /// The `k` candidates most similar to `query` (the query vertex itself
@@ -557,24 +573,87 @@ impl QueryEngine {
         k: usize,
     ) -> Result<Vec<ScoredVertex>, QueryError> {
         self.validate_vertices(std::iter::once(query).chain(candidates.iter().copied()))?;
-        if k == 0 {
-            return Ok(Vec::new());
-        }
-        let mut unique: Vec<VertexId> =
-            candidates.iter().copied().filter(|&v| v != query).collect();
-        unique.sort_unstable();
-        unique.dedup();
-        let pairs: Vec<(VertexId, VertexId)> = unique.iter().map(|&v| (query, v)).collect();
-        let scores = self.batch_similarities(&pairs)?;
-        let mut scored: Vec<ScoredVertex> = unique
-            .into_iter()
-            .zip(scores)
-            .map(|(vertex, score)| ScoredVertex { vertex, score })
-            .collect();
-        crate::top_k::sort_descending_by_score(&mut scored, |s| s.score, |s| s.vertex as u64);
-        scored.truncate(k);
-        Ok(scored)
+        rank_candidates(query, candidates, k, |pairs| self.batch_similarities(pairs))
     }
+}
+
+/// Splits `pairs` into the distinct pairs (first-occurrence order) and a
+/// per-input slot map into that distinct list, so callers compute each
+/// distinct pair once and scatter the results back to input order.
+pub(crate) fn dedup_pairs(
+    pairs: &[(VertexId, VertexId)],
+) -> (Vec<(VertexId, VertexId)>, Vec<usize>) {
+    let mut first_index = std::collections::HashMap::with_capacity(pairs.len());
+    let mut distinct: Vec<(VertexId, VertexId)> = Vec::with_capacity(pairs.len());
+    let slots: Vec<usize> = pairs
+        .iter()
+        .map(|&pair| {
+            *first_index.entry(pair).or_insert_with(|| {
+                distinct.push(pair);
+                distinct.len() - 1
+            })
+        })
+        .collect();
+    (distinct, slots)
+}
+
+/// The ranking half of [`QueryEngine::batch_top_k`], parameterised over the
+/// score provider so the caching layer ranks through the exact same
+/// dedup / tie-break / truncation logic (callers validate ids first).
+pub(crate) fn rank_pairs(
+    pairs: &[(VertexId, VertexId)],
+    k: usize,
+    score_of: impl FnOnce(&[(VertexId, VertexId)]) -> Result<Vec<f64>, QueryError>,
+) -> Result<Vec<ScoredPair>, QueryError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut unique: Vec<(VertexId, VertexId)> = pairs
+        .iter()
+        .filter(|(a, b)| a != b)
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    unique.sort_unstable();
+    unique.dedup();
+    let scores = score_of(&unique)?;
+    let mut scored: Vec<ScoredPair> = unique
+        .into_iter()
+        .zip(scores)
+        .map(|(pair, score)| ScoredPair { pair, score })
+        .collect();
+    crate::top_k::sort_descending_by_score(
+        &mut scored,
+        |s| s.score,
+        |s| (s.pair.0 as u64) << 32 | s.pair.1 as u64,
+    );
+    scored.truncate(k);
+    Ok(scored)
+}
+
+/// The ranking half of [`QueryEngine::batch_top_k_similar_to`] (see
+/// [`rank_pairs`]).
+pub(crate) fn rank_candidates(
+    query: VertexId,
+    candidates: &[VertexId],
+    k: usize,
+    score_of: impl FnOnce(&[(VertexId, VertexId)]) -> Result<Vec<f64>, QueryError>,
+) -> Result<Vec<ScoredVertex>, QueryError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut unique: Vec<VertexId> = candidates.iter().copied().filter(|&v| v != query).collect();
+    unique.sort_unstable();
+    unique.dedup();
+    let pairs: Vec<(VertexId, VertexId)> = unique.iter().map(|&v| (query, v)).collect();
+    let scores = score_of(&pairs)?;
+    let mut scored: Vec<ScoredVertex> = unique
+        .into_iter()
+        .zip(scores)
+        .map(|(vertex, score)| ScoredVertex { vertex, score })
+        .collect();
+    crate::top_k::sort_descending_by_score(&mut scored, |s| s.score, |s| s.vertex as u64);
+    scored.truncate(k);
+    Ok(scored)
 }
 
 impl SimRankEstimator for QueryEngine {
@@ -666,6 +745,35 @@ mod tests {
             .batch_similarities(&[(0, 1), (2, 3), (0, 1)])
             .unwrap();
         assert_eq!(batch[0], batch[2]);
+    }
+
+    #[test]
+    fn duplicate_heavy_batches_dedupe_without_changing_output() {
+        // Each distinct pair is sampled once and its result replicated; the
+        // output must stay bit-identical to the sequential per-pair loop, in
+        // input order, for scores and profiles alike.
+        let g = fig1_graph();
+        let engine = QueryEngine::new(&g, SimRankConfig::default().with_samples(120).with_seed(31));
+        let batch: Vec<(VertexId, VertexId)> = vec![
+            (0, 1),
+            (1, 0),
+            (0, 1),
+            (2, 3),
+            (0, 1),
+            (2, 3),
+            (3, 4),
+            (0, 1),
+        ];
+        let scores = engine.batch_similarities(&batch).unwrap();
+        let sequential: Vec<f64> = batch
+            .iter()
+            .map(|&(u, v)| engine.similarity(u, v))
+            .collect();
+        assert_eq!(scores, sequential);
+        let profiles = engine.batch_profile(&batch).unwrap();
+        for (profile, &(u, v)) in profiles.iter().zip(&batch) {
+            assert_eq!(profile, &engine.profile(u, v));
+        }
     }
 
     #[test]

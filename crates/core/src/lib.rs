@@ -67,6 +67,7 @@
 
 pub mod baseline;
 pub mod bounds;
+pub mod cached;
 pub mod config;
 pub mod deterministic;
 pub mod du_et_al;
@@ -84,6 +85,7 @@ pub use baseline::{BaselineEstimator, ExternalBaseline};
 pub use bounds::{
     corollary1_error_bound, required_samples, theorem2_error_bound, theorem4_error_bound,
 };
+pub use cached::{config_fingerprint, CachedAnswer, CachedQueryEngine, QueryCache};
 pub use config::{SimRankConfig, WalkDirection};
 pub use deterministic::{simrank_all_pairs, simrank_single_pair, DeterministicSimRank};
 pub use du_et_al::DuEtAlEstimator;
@@ -98,6 +100,7 @@ pub use single_source::{SingleSourceEstimator, SingleSourceResult, SourceMode};
 pub use speedup::SpeedupEstimator;
 pub use top_k::{top_k_pairs, top_k_similar_to, ScoredPair, ScoredVertex};
 pub use two_phase::TwoPhaseEstimator;
+pub use usim_cache::CacheStats;
 
 use ugraph::VertexId;
 

@@ -10,7 +10,7 @@
 //! | `top_k`      | [`usim_core::QueryEngine::batch_top_k_similar_to`]      |
 //! | `batch`      | [`usim_core::QueryEngine::batch_similarities`]          |
 //! | `update`     | [`usim_core::QueryEngine::apply_updates`]               |
-//! | `stats`      | engine metadata (vertices, arcs, epoch, configuration)  |
+//! | `stats`      | engine metadata (vertices, arcs, epoch, configuration, result-cache counters) |
 //!
 //! Vertices are addressed by the graph file's *original labels* (the same
 //! labels the `usim` CLI speaks), resolved here against the label table.
@@ -25,11 +25,18 @@
 //! [`RequestHandler`] is transport-free (a `&str` line in, a JSON line
 //! out), so the whole protocol is unit-testable without sockets; the TCP
 //! layer in [`crate::server`] only adds framing and threads.
+//!
+//! All query traffic flows through a [`usim_core::CachedQueryEngine`]: with
+//! [`RequestHandler::with_cache`] the server reuses epoch-validated answers
+//! for hot pairs (bit-identical to recomputation — the cache can change
+//! latency, never a score), and the `stats` frame reports the cache's
+//! hit/miss/stale/eviction counters.  [`RequestHandler::new`] leaves the
+//! cache off.
 
 use serde::Value;
 use std::collections::HashMap;
 use ugraph::{GraphUpdate, UpdateError, VertexId};
-use usim_core::{QueryError, SharedQueryEngine};
+use usim_core::{CachedQueryEngine, QueryError, SharedQueryEngine};
 
 /// Default cap on `batch` pairs, `top_k` candidates and `update` batches —
 /// a bound on per-request memory and lock-hold time, not a protocol limit.
@@ -138,7 +145,7 @@ type Entries = [(String, Value)];
 /// ```
 #[derive(Debug)]
 pub struct RequestHandler {
-    engine: SharedQueryEngine,
+    engine: CachedQueryEngine,
     labels: Vec<u64>,
     index: HashMap<u64, VertexId>,
     max_batch: usize,
@@ -147,13 +154,29 @@ pub struct RequestHandler {
 impl RequestHandler {
     /// Builds a handler serving `engine`, speaking the given label table
     /// (`labels[v]` is the wire label of engine vertex `v`, exactly like
-    /// the CLI's loaded-graph table).
+    /// the CLI's loaded-graph table).  The result cache is off; use
+    /// [`RequestHandler::with_cache`] to enable it.
     ///
     /// # Panics
     ///
     /// Panics when the label table length does not match the engine's
     /// vertex count, or when `max_batch` is zero.
     pub fn new(engine: SharedQueryEngine, labels: Vec<u64>, max_batch: usize) -> Self {
+        RequestHandler::with_cache(engine, labels, max_batch, 0)
+    }
+
+    /// Like [`RequestHandler::new`] with an epoch-validated result cache
+    /// bounded to `cache_capacity` entries in front of the engine
+    /// (`0` disables caching).  Cached answers are bit-identical to
+    /// uncached ones — see [`usim_core::CachedQueryEngine`] — and the
+    /// cache's hit/miss/stale/eviction counters are surfaced by the
+    /// `stats` frame.
+    pub fn with_cache(
+        engine: SharedQueryEngine,
+        labels: Vec<u64>,
+        max_batch: usize,
+        cache_capacity: usize,
+    ) -> Self {
         assert_eq!(
             labels.len(),
             engine.num_vertices(),
@@ -166,7 +189,7 @@ impl RequestHandler {
             .map(|(v, &label)| (label, v as VertexId))
             .collect();
         RequestHandler {
-            engine,
+            engine: CachedQueryEngine::new(engine, cache_capacity),
             labels,
             index,
             max_batch,
@@ -175,6 +198,11 @@ impl RequestHandler {
 
     /// The shared engine behind the handler.
     pub fn engine(&self) -> &SharedQueryEngine {
+        self.engine.shared()
+    }
+
+    /// The caching wrapper the handler answers through.
+    pub fn cached_engine(&self) -> &CachedQueryEngine {
         &self.engine
     }
 
@@ -243,10 +271,7 @@ impl RequestHandler {
         reject_unknown_fields(entries, "similarity", &["source", "target"])?;
         let u = self.resolve(require_label(entries, "source")?)?;
         let v = self.resolve(require_label(entries, "target")?)?;
-        let (epoch, score) = self
-            .engine
-            .with_read(|e| (e.update_epoch(), e.try_similarity(u, v)));
-        let score = score.map_err(query_rejected)?;
+        let (epoch, score) = self.engine.similarity(u, v).map_err(query_rejected)?;
         Ok(ok_frame(
             "similarity",
             epoch,
@@ -258,10 +283,7 @@ impl RequestHandler {
         reject_unknown_fields(entries, "profile", &["source", "target"])?;
         let u = self.resolve(require_label(entries, "source")?)?;
         let v = self.resolve(require_label(entries, "target")?)?;
-        let (epoch, profile) = self
-            .engine
-            .with_read(|e| (e.update_epoch(), e.try_profile(u, v)));
-        let profile = profile.map_err(query_rejected)?;
+        let (epoch, profile) = self.engine.profile(u, v).map_err(query_rejected)?;
         Ok(ok_frame(
             "profile",
             epoch,
@@ -298,13 +320,10 @@ impl RequestHandler {
                     .collect::<Result<_, _>>()?
             }
         };
-        let (epoch, ranked) = self.engine.with_read(|e| {
-            (
-                e.update_epoch(),
-                e.batch_top_k_similar_to(source, &candidates, k),
-            )
-        });
-        let ranked = ranked.map_err(query_rejected)?;
+        let (epoch, ranked) = self
+            .engine
+            .batch_top_k_similar_to(source, &candidates, k)
+            .map_err(query_rejected)?;
         let results = ranked
             .into_iter()
             .map(|scored| {
@@ -348,8 +367,8 @@ impl RequestHandler {
         }
         let (epoch, scores) = self
             .engine
-            .with_read(|e| (e.update_epoch(), e.batch_similarities(&pairs)));
-        let scores = scores.map_err(query_rejected)?;
+            .batch_similarities(&pairs)
+            .map_err(query_rejected)?;
         Ok(ok_frame(
             "batch",
             epoch,
@@ -373,13 +392,8 @@ impl RequestHandler {
         // otherwise stamp this summary with a later update's epoch.
         let (summary, epoch) = self
             .engine
-            .with_write(|e| {
-                let summary = e.apply_updates(&updates)?;
-                Ok((summary, e.update_epoch()))
-            })
-            .map_err(|e: UpdateError| {
-                Reject::new(ErrorCode::UpdateRejected, self.describe_update_error(&e))
-            })?;
+            .apply_updates(&updates)
+            .map_err(|e| Reject::new(ErrorCode::UpdateRejected, self.describe_update_error(&e)))?;
         Ok(ok_frame(
             "update",
             epoch,
@@ -395,7 +409,7 @@ impl RequestHandler {
 
     fn stats(&self, entries: &Entries) -> Result<Frame, Reject> {
         reject_unknown_fields(entries, "stats", &[])?;
-        let (epoch, vertices, arcs, config) = self.engine.with_read(|e| {
+        let (epoch, vertices, arcs, config) = self.engine.shared().with_read(|e| {
             (
                 e.update_epoch(),
                 e.num_vertices(),
@@ -409,6 +423,29 @@ impl RequestHandler {
                 format!("cannot serialise the engine configuration: {e}"),
             )
         })?;
+        // Cache counters are lock-free atomics; the snapshot is taken
+        // outside the engine lock (an observability frame, not a
+        // linearisable read).
+        let mut cache = vec![
+            (
+                "enabled".to_string(),
+                Value::Bool(self.engine.cache_enabled()),
+            ),
+            (
+                "capacity".to_string(),
+                Value::Uint(self.engine.cache_capacity() as u64),
+            ),
+        ];
+        if let Some(stats) = self.engine.cache_stats() {
+            cache.extend([
+                ("entries".to_string(), Value::Uint(stats.entries as u64)),
+                ("hits".to_string(), Value::Uint(stats.hits)),
+                ("misses".to_string(), Value::Uint(stats.misses)),
+                ("stale".to_string(), Value::Uint(stats.stale)),
+                ("evictions".to_string(), Value::Uint(stats.evictions)),
+                ("insertions".to_string(), Value::Uint(stats.insertions)),
+            ]);
+        }
         Ok(ok_frame(
             "stats",
             epoch,
@@ -416,6 +453,7 @@ impl RequestHandler {
                 ("vertices".into(), Value::Uint(vertices as u64)),
                 ("arcs".into(), Value::Uint(arcs as u64)),
                 ("max_batch".into(), Value::Uint(self.max_batch as u64)),
+                ("cache".into(), Value::Map(cache)),
                 ("config".into(), config),
             ],
         ))
@@ -938,6 +976,74 @@ mod tests {
             &Value::Uint(engine.config().num_samples as u64)
         );
         assert_eq!(get(config, "seed"), &Value::Uint(7));
+        // Cache off by default: the stats frame says so and carries no
+        // counters.
+        let cache = get(&entries, "cache").as_map().unwrap();
+        assert_eq!(get(cache, "enabled"), &Value::Bool(false));
+        assert_eq!(get(cache, "capacity"), &Value::Uint(0));
+        assert!(field(cache, "hits").is_none());
+    }
+
+    #[test]
+    fn cached_handler_serves_bit_identical_answers_and_reports_counters() {
+        // Two handlers over the same graph/config: one cached, one not.
+        // Every frame must be byte-identical between them, repeat-asks
+        // must hit, and an update must invalidate by epoch.
+        let (plain, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let g = UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap();
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let cached = RequestHandler::with_cache(
+            SharedQueryEngine::new(&g, config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+            512,
+        );
+        let frames = [
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"profile","source":12,"target":13}"#,
+            r#"{"type":"batch","pairs":[[10,11],[11,12],[10,11]]}"#,
+            r#"{"type":"top_k","source":11,"k":3}"#,
+            r#"{"type":"update","updates":[{"op":"set","source":10,"target":12,"probability":0.05}]}"#,
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"batch","pairs":[[10,11],[11,12],[10,11]]}"#,
+        ];
+        for frame in frames {
+            // Ask the cached handler twice (fill, then hit); both answers
+            // and the uncached answer must be byte-identical.  (Update
+            // frames are only sent once — they mutate.)
+            let expected = plain.handle_line(frame).unwrap();
+            let first = cached.handle_line(frame).unwrap();
+            assert_eq!(first, expected, "{frame}");
+            if !frame.contains("update") {
+                assert_eq!(cached.handle_line(frame).unwrap(), expected, "{frame}");
+            }
+        }
+        let stats = cached.cached_engine().cache_stats().unwrap();
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(
+            stats.stale > 0,
+            "post-update re-asks find stale entries: {stats:?}"
+        );
+        // The wire stats frame carries the same counters.
+        let frame = cached.handle_line(r#"{"type":"stats"}"#).unwrap();
+        let entries = parse(&frame);
+        let cache = get(&entries, "cache").as_map().unwrap();
+        assert_eq!(get(cache, "enabled"), &Value::Bool(true));
+        assert_eq!(get(cache, "capacity"), &Value::Uint(512));
+        assert_eq!(get(cache, "hits"), &Value::Uint(stats.hits));
+        assert_eq!(get(cache, "stale"), &Value::Uint(stats.stale));
+        assert!(matches!(get(cache, "misses"), Value::Uint(_)));
+        assert!(matches!(get(cache, "evictions"), Value::Uint(_)));
     }
 
     #[test]

@@ -81,6 +81,8 @@ exec 3<&- 3>&-
 wait "$SERVER_PID"
 SERVER_PID=""
 echo "--- server exited cleanly after its connection budget ---"
+[ ! -f "$TMP/port" ] || {
+    echo "FAIL: clean shutdown left the port file behind"; exit 1; }
 
 for response in "$R_STATS" "$R_SIM" "$R_PROFILE" "$R_TOPK" "$R_BATCH" "$R_UPDATE" "$R_BATCH2"; do
     echo "$response"
@@ -131,5 +133,46 @@ CLI_AFTER=$(table_column 2 "$CLI_CHURN")
     echo "FAIL: served post-update batch != CLI churn round 1"; echo "served: $SERVED_AFTER"; echo "cli: $CLI_AFTER"; exit 1; }
 [ "$SERVED_BEFORE" != "$SERVED_AFTER" ] || {
     echo "FAIL: update had no effect on served scores"; exit 1; }
+
+# --- cached-server round -----------------------------------------------
+# Same graph and seed, --cache-capacity on: the same batch asked twice must
+# come back byte-identical (the repeat is served from the cache), match the
+# CLI scores, and the stats frame must report the hits.
+"$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
+    --workers 2 --max-connections 1 --cache-capacity 1024 \
+    --samples "$SAMPLES" --seed "$SEED" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    [ -s "$TMP/port" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/port" ] || { echo "FAIL: cached server never wrote the port file"; exit 1; }
+ADDR=$(cat "$TMP/port")
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+echo "--- cached server up on $ADDR ---"
+
+exec 3<>"/dev/tcp/$HOST/$PORT"
+C_BATCH1=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+C_BATCH2=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+C_STATS=$(ask '{"type":"stats"}')
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+SERVER_PID=""
+[ ! -f "$TMP/port" ] || {
+    echo "FAIL: cached server's clean shutdown left the port file behind"; exit 1; }
+
+[ "$C_BATCH1" = "$C_BATCH2" ] || {
+    echo "FAIL: cached repeat batch differs from the fill batch"
+    echo "first:  $C_BATCH1"; echo "second: $C_BATCH2"; exit 1; }
+C_SERVED=$(extract_scores "$C_BATCH1")
+[ "$C_SERVED" = "$CLI_BEFORE" ] || {
+    echo "FAIL: cached batch != CLI batch"
+    echo "served: $C_SERVED"; echo "cli: $CLI_BEFORE"; exit 1; }
+case "$C_STATS" in
+    *'"cache":{"enabled":true,"capacity":1024'*'"hits":3'*) echo "$C_STATS" ;;
+    *) echo "FAIL: cached stats frame misses the cache counters: $C_STATS"; exit 1 ;;
+esac
+echo "--- cached server: repeat batch served bit-identically, 3 hits ---"
 
 echo "serve-smoke: OK (server answers match the CLI bit for bit at 6 decimals)"

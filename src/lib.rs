@@ -58,12 +58,18 @@ pub use usim_datasets as datasets;
 /// Graph-based entity resolution (re-export of [`usim_er`]).
 pub use usim_er as entity_resolution;
 
+/// The epoch-aware sharded result cache fronting the query engine
+/// (re-export of [`usim_cache`]; the engine integration is
+/// [`usim_core::CachedQueryEngine`]).
+pub use usim_cache as cache;
+
 /// The line-delimited JSON query server over the dynamic engine (re-export
 /// of [`usim_server`]; the CLI front-end is `usim serve`).
 pub use usim_server as server;
 
 /// The types most applications need, importable in one line.
 pub mod prelude {
+    pub use crate::cache::ResultCache;
     pub use crate::datasets::{CoauthorGenerator, ErGenerator, PpiGenerator, RmatGenerator};
     pub use crate::graph::{
         CompactionPolicy, CsrGraph, CsrView, DeltaOverlay, DiGraph, DiGraphBuilder, GraphError,
@@ -72,9 +78,9 @@ pub mod prelude {
     pub use crate::random_walk::{CsrSampler, WalkArena};
     pub use crate::server::{RequestHandler, Server, ServerOptions};
     pub use crate::simrank::{
-        BaselineEstimator, QueryEngine, SamplingEstimator, SharedQueryEngine, SimRankConfig,
-        SimRankEstimator, SingleSourceEstimator, SourceMode, SpeedupEstimator, TwoPhaseEstimator,
-        WalkDirection,
+        BaselineEstimator, CachedQueryEngine, QueryEngine, SamplingEstimator, SharedQueryEngine,
+        SimRankConfig, SimRankEstimator, SingleSourceEstimator, SourceMode, SpeedupEstimator,
+        TwoPhaseEstimator, WalkDirection,
     };
 }
 
