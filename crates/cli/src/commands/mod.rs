@@ -12,6 +12,7 @@ pub mod matrices;
 pub mod pairs;
 pub mod serve;
 pub mod simrank;
+pub mod snapshot;
 pub mod stats;
 pub mod topk;
 pub mod update;

@@ -3,7 +3,10 @@
 //! ```text
 //! usim serve GRAPH [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
 //!            [--max-batch 65536] [--max-connections 0] [--port-file PATH]
-//!            [--cache-capacity 0] [--format text|binary] [SimRank options]
+//!            [--cache-capacity 0] [--format text|binary]
+//!            [--shards 1] [--shard-threads 0] [--update-log PATH]
+//!            [SimRank options]
+//! usim serve --snapshot PATH [same options]
 //! ```
 //!
 //! The graph is loaded and compiled into the CSR engine **once**; clients
@@ -14,6 +17,26 @@
 //! every other subcommand, and answers are bit-identical to the equivalent
 //! batch-engine CLI invocations (`usim simrank --batch`, `usim topk
 //! --engine batch`) on the same graph and seed, at any worker count.
+//!
+//! `--snapshot PATH` boots from a compiled CSR snapshot (`usim snapshot
+//! write`) instead of a graph file: the checksummed arrays are loaded
+//! as-is — no parsing, sorting or per-edge validation — so restart latency
+//! is O(bytes read), not O(edges processed).  The snapshot carries the
+//! label table, so clients keep speaking the original file's labels.
+//!
+//! `--update-log PATH` makes `update` frames durable: every accepted batch
+//! is appended (and synced) to the log before its response goes out, and at
+//! boot any rounds already in the log are replayed in order — a restarted
+//! server resumes at the exact epoch it died at, serving byte-identical
+//! answers.  Pair it with `--snapshot` for the full
+//! snapshot + replay boot path.
+//!
+//! `--shards K` partitions the vertex space across K independent engine
+//! replicas (each with its own worker pool, delta overlay and result
+//! cache — `--cache-capacity` is per shard) behind a scatter-gather
+//! router; `--shard-threads N` pins N rayon workers per shard.  Answers
+//! are bit-identical at any K (see `usim_core::ShardedQueryEngine`), and
+//! the `stats` frame reports per-shard vertex ranges and cache counters.
 //!
 //! `--addr 127.0.0.1:0` binds a free port; `--port-file PATH` writes the
 //! actual bound address (one `host:port` line) after binding, which is how
@@ -39,7 +62,9 @@ use crate::estimators::{config_from_args, CONFIG_OPTIONS};
 use crate::graphio::load_graph;
 use crate::CliError;
 use std::io::Write;
-use usim_core::SharedQueryEngine;
+use ugraph::snapshot::read_snapshot_file;
+use ugraph::{CsrGraph, UpdateLog};
+use usim_core::{ShardSpec, ShardedQueryEngine};
 use usim_server::{RequestHandler, Server, ServerOptions, DEFAULT_MAX_BATCH};
 
 const BASE_OPTIONS: &[&str] = &[
@@ -51,6 +76,10 @@ const BASE_OPTIONS: &[&str] = &[
     "port-file",
     "cache-capacity",
     "format",
+    "snapshot",
+    "update-log",
+    "shards",
+    "shard-threads",
 ];
 
 fn spec() -> ArgSpec<'static> {
@@ -69,7 +98,6 @@ fn spec() -> ArgSpec<'static> {
 /// Runs the command.
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let args = Arguments::parse(tokens, &spec())?;
-    let path = args.require_positional(0, "the graph file")?;
     let config = config_from_args(&args)?;
     let addr: String = args.option("addr").unwrap_or("127.0.0.1:7878").to_string();
     let workers: usize = args.parse_option("workers", 4usize)?;
@@ -77,16 +105,69 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let max_batch: usize = args.parse_option("max-batch", DEFAULT_MAX_BATCH)?;
     let max_connections: usize = args.parse_option("max-connections", 0usize)?;
     let cache_capacity: usize = args.parse_option("cache-capacity", 0usize)?;
+    let shards: usize = args.parse_option("shards", 1usize)?;
+    let shard_threads: usize = args.parse_option("shard-threads", 0usize)?;
     if workers == 0 {
         return Err(CliError::new("--workers must be at least 1"));
     }
     if max_batch == 0 {
         return Err(CliError::new("--max-batch must be at least 1"));
     }
+    if shards == 0 {
+        return Err(CliError::new("--shards must be at least 1"));
+    }
 
-    let loaded = load_graph(path, args.option("format"))?;
-    let engine = SharedQueryEngine::new(&loaded.graph, config);
-    let handler = RequestHandler::with_cache(engine, loaded.labels, max_batch, cache_capacity);
+    // Graph source: a compiled snapshot (O(bytes) boot, labels included) or
+    // a graph file parsed and CSR-compiled here (O(edges) boot).
+    let spec = ShardSpec {
+        shards,
+        threads_per_shard: shard_threads,
+        cache_capacity,
+    };
+    let (source, path, engine, labels) = match args.option("snapshot") {
+        Some(snapshot_path) => {
+            if args.positional(0).is_some() {
+                return Err(CliError::new(
+                    "give either a graph file or --snapshot, not both",
+                ));
+            }
+            let snapshot = read_snapshot_file(snapshot_path)
+                .map_err(|e| CliError::new(format!("{snapshot_path}: {e}")))?;
+            let labels = snapshot.labels_or_identity();
+            let engine = ShardedQueryEngine::from_csr(snapshot.graph, config, spec);
+            ("snapshot", snapshot_path.to_string(), engine, labels)
+        }
+        None => {
+            let path = args.require_positional(0, "the graph file (or --snapshot)")?;
+            let loaded = load_graph(path, args.option("format"))?;
+            let csr = CsrGraph::from_uncertain(&loaded.graph);
+            let engine = ShardedQueryEngine::from_csr(csr, config, spec);
+            ("text", path.to_string(), engine, loaded.labels)
+        }
+    };
+
+    // Durable update log: replay whatever is already there (epoch catch-up
+    // after a crash or restart), then append every new accepted batch.
+    let mut handler = RequestHandler::sharded(engine, labels, max_batch);
+    let mut replayed = 0u64;
+    if let Some(log_path) = args.option("update-log") {
+        let (log, rounds) =
+            UpdateLog::open(log_path).map_err(|e| CliError::new(format!("{log_path}: {e}")))?;
+        for (index, round) in rounds.iter().enumerate() {
+            handler.sharded_engine().apply_updates(round).map_err(|e| {
+                CliError::new(format!(
+                    "{log_path}: round {index} does not apply to this graph \
+                     (wrong graph for this log?): {e}"
+                ))
+            })?;
+        }
+        replayed = rounds.len() as u64;
+        handler = handler.with_update_log(log);
+    }
+    let (num_vertices, num_arcs) = {
+        let engine = handler.sharded_engine();
+        (engine.num_vertices(), engine.num_arcs())
+    };
     let options = ServerOptions {
         workers,
         queue_depth,
@@ -101,13 +182,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::new(format!("cannot write port file {port_file}: {e}")))?;
     }
     println!(
-        "serving {path} on {bound}: {} vertices, {} arcs \
-         (workers = {workers}, queue = {queue_depth}, max batch = {max_batch}, \
+        "serving {path} on {bound}: {num_vertices} vertices, {num_arcs} arcs \
+         (source = {source}, epoch = {replayed}, shards = {shards}, \
+         workers = {workers}, queue = {queue_depth}, max batch = {max_batch}, \
          cache = {}, N = {}, n = {}, seed = {})",
-        loaded.graph.num_vertices(),
-        loaded.graph.num_arcs(),
         if cache_capacity > 0 {
-            format!("{cache_capacity} entries")
+            format!("{cache_capacity} entries/shard")
         } else {
             "off".to_string()
         },
@@ -212,6 +292,103 @@ mod tests {
             "clean shutdown must remove the port file"
         );
         std::fs::remove_file(&graph_path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_boot_with_replay_serves_identical_answers_sharded() {
+        use std::io::{BufRead, BufReader, Write};
+
+        // Text graph -> snapshot; serve the snapshot with an update log and
+        // 3 shards, apply an update, "crash", restart, and check the
+        // restarted server replays to the same epoch and serves the same
+        // bytes as the first life did after its update.
+        let graph_path = temp("snap.tsv");
+        std::fs::write(
+            &graph_path,
+            "10 20 0.8\n10 30 0.5\n20 10 0.8\n20 30 0.9\n30 10 0.7\n30 40 0.6\n40 20 0.8\n",
+        )
+        .unwrap();
+        let snap_path = temp("snap.csr");
+        let log_path = temp("snap.ulog");
+        let _ = std::fs::remove_file(&log_path);
+        crate::run(&tokens(&[
+            "snapshot",
+            "write",
+            graph_path.to_str().unwrap(),
+            snap_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let serve_once = |tag: &str| -> (String, Vec<String>) {
+            let port_file = temp(&format!("snap.{tag}.port"));
+            let snap = snap_path.to_str().unwrap().to_string();
+            let log = log_path.to_str().unwrap().to_string();
+            let pf = port_file.to_str().unwrap().to_string();
+            let runner = std::thread::spawn(move || {
+                run(&tokens(&[
+                    "--snapshot",
+                    &snap,
+                    "--update-log",
+                    &log,
+                    "--shards",
+                    "3",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--port-file",
+                    &pf,
+                    "--max-connections",
+                    "1",
+                    "--samples",
+                    "60",
+                ]))
+            });
+            let addr = loop {
+                if let Ok(text) = std::fs::read_to_string(&port_file) {
+                    if text.trim().contains(':') {
+                        break text.trim().to_string();
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            };
+            let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut ask = |frame: &str| {
+                writeln!(conn, "{frame}").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                line
+            };
+            let mut answers = Vec::new();
+            if tag == "first" {
+                // Round 1: one accepted update batch, logged durably.
+                let update = ask(
+                    r#"{"type":"update","updates":[{"op":"set","source":10,"target":20,"probability":0.05}]}"#,
+                );
+                assert!(update.contains("\"epoch\":1"), "{update}");
+            }
+            answers.push(ask(r#"{"type":"similarity","source":10,"target":20}"#));
+            answers.push(ask(r#"{"type":"batch","pairs":[[10,40],[20,30],[30,10]]}"#));
+            answers.push(ask(r#"{"type":"top_k","source":20,"k":3}"#));
+            let stats = ask(r#"{"type":"stats"}"#);
+            drop((conn, reader));
+            runner.join().unwrap().unwrap();
+            (stats, answers)
+        };
+
+        let (stats_first, answers_first) = serve_once("first");
+        assert!(stats_first.contains("\"epoch\":1"), "{stats_first}");
+        assert!(stats_first.contains("\"shard_count\":3"), "{stats_first}");
+        // Second life: same snapshot, log now holds round 1 -> replayed.
+        let (stats_second, answers_second) = serve_once("second");
+        assert!(stats_second.contains("\"epoch\":1"), "{stats_second}");
+        assert_eq!(
+            answers_first, answers_second,
+            "a replayed restart must serve byte-identical answers"
+        );
+
+        std::fs::remove_file(&graph_path).unwrap();
+        std::fs::remove_file(&snap_path).unwrap();
+        std::fs::remove_file(&log_path).unwrap();
     }
 
     #[test]

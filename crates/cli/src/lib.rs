@@ -14,6 +14,7 @@
 //! usim matrices  GRAPH --steps 3               k-step transition probability matrices
 //! usim update    GRAPH --updates F --out OUT   apply arc updates to a graph
 //! usim serve     GRAPH --addr HOST:PORT        serve queries/updates over TCP (JSON lines)
+//! usim snapshot  write GRAPH OUT               compile a graph into a CSR snapshot
 //! usim convert   IN OUT                        convert between text and binary formats
 //! usim er        --records 300                 entity-resolution case study
 //! ```
@@ -91,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "matrices" => commands::matrices::run(rest),
         "update" => commands::update::run(rest),
         "serve" => commands::serve::run(rest),
+        "snapshot" => commands::snapshot::run(rest),
         "convert" => commands::convert::run(rest),
         "er" => commands::er::run(rest),
         other => Err(CliError::new(format!(
@@ -122,6 +124,9 @@ pub fn usage() -> String {
         "    serve        Serve queries and live updates over TCP: line-delimited JSON\n",
         "                 frames (similarity/profile/top_k/batch/update/stats), answers\n",
         "                 bit-identical to the batch-engine commands; see docs/PROTOCOL.md\n",
+        "    snapshot     `snapshot write GRAPH OUT` compiles a graph into a checksummed\n",
+        "                 CSR snapshot (loadable with `serve --snapshot` without re-parsing\n",
+        "                 or re-validating edges); `snapshot verify PATH` checks one\n",
         "    convert      Convert a graph between the text and binary formats\n",
         "    er           Entity-resolution case study on a synthetic record graph\n",
         "    help         Show this message\n",
@@ -165,7 +170,15 @@ pub fn usage() -> String {
         "    --max-connections N  stop after N connections; 0 = run forever [default 0]\n",
         "    --port-file PATH   write the bound address to PATH after binding\n",
         "                       (removed again on clean shutdown)\n",
-        "    --cache-capacity N result-cache entries; 0 = off (see above)  [default 0]\n",
+        "    --cache-capacity N result-cache entries per shard; 0 = off    [default 0]\n",
+        "    --snapshot PATH    boot from a compiled CSR snapshot (`usim snapshot write`)\n",
+        "                       instead of a graph file: no parsing, no per-edge work\n",
+        "    --update-log PATH  durable update log: replay logged rounds at boot, then\n",
+        "                       append (and sync) every accepted update batch\n",
+        "    --shards K         partition the vertex space across K engine replicas\n",
+        "                       behind a scatter-gather router; answers stay\n",
+        "                       bit-identical at any K                      [default 1]\n",
+        "    --shard-threads N  pinned rayon workers per shard; 0 = ambient [default 0]\n",
         "\n",
         "Run `usim <COMMAND> --help` semantics are not supported; see README.md for\n",
         "per-command examples.\n",

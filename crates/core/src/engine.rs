@@ -202,6 +202,25 @@ impl QueryEngine {
         }
     }
 
+    /// Builds the engine directly on an already-compiled [`CsrGraph`] — the
+    /// snapshot boot path: no per-edge validation, sorting or CSR rebuild
+    /// happens here, so booting from a [`ugraph::snapshot`] is O(read) while
+    /// [`QueryEngine::new`] is O(parse + compile).
+    ///
+    /// Answers are bit-identical to an engine built with
+    /// [`QueryEngine::new`] on the graph the CSR was compiled from: walks
+    /// only ever see the CSR arrays, and the RNG streams are keyed on
+    /// `(seed, u, v)`, not on how the arrays came to be in memory.
+    pub fn from_csr(csr: CsrGraph, config: SimRankConfig) -> Self {
+        config.validate();
+        QueryEngine {
+            graph: DeltaOverlay::new(csr),
+            config,
+            epoch: 0,
+            scratch: ScratchPool::default(),
+        }
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &SimRankConfig {
         &self.config

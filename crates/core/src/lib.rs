@@ -75,6 +75,7 @@ pub mod engine;
 pub mod meeting;
 pub mod parallel;
 pub mod sampling;
+pub mod sharded;
 pub mod shared;
 pub mod single_source;
 pub mod speedup;
@@ -95,6 +96,7 @@ pub use parallel::{
     par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs, par_top_k_similar_to,
 };
 pub use sampling::SamplingEstimator;
+pub use sharded::{ShardInfo, ShardSpec, ShardedQueryEngine};
 pub use shared::SharedQueryEngine;
 pub use single_source::{SingleSourceEstimator, SingleSourceResult, SourceMode};
 pub use speedup::SpeedupEstimator;

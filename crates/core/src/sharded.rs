@@ -1,0 +1,720 @@
+//! K-shard scatter-gather over the cached engine stack.
+//!
+//! [`ShardedQueryEngine`] partitions the vertex space into K contiguous
+//! ranges.  Each shard owns a full serving stack of its own — a
+//! [`CsrGraph`] + `DeltaOverlay` replica behind a [`CachedQueryEngine`]
+//! (its own `usim_cache` instance) and an optional dedicated worker pool —
+//! so shards never contend on a lock, an arena or a cache line.  A
+//! scatter-gather router in front splits batch and top-k requests by the
+//! shard that *owns* each pair, queries the owning shards concurrently,
+//! and merges through the exact `rank_pairs` / `rank_candidates` tie-break
+//! code the single-engine path uses.
+//!
+//! # Ownership vs storage
+//!
+//! A pair `(u, v)` is owned by the shard whose vertex range contains
+//! `min(u, v)` — ownership governs routing, cache residency and worker
+//! pools.  Each shard still holds the *whole* graph: SimRank walks
+//! traverse arbitrary arcs, so the adjacency cannot be range-partitioned
+//! without remote lookups mid-walk.  What sharding buys on one host is
+//! isolation (per-shard locks, arenas, caches and pools scale with K);
+//! across hosts the same router becomes a frontend over K processes each
+//! loading the same snapshot — the multi-process step ROADMAP item 4
+//! names.
+//!
+//! # Determinism
+//!
+//! > **Sharded answers are bit-identical to the single-engine (K=1) path,
+//! > at any shard count and any worker count, before and after update
+//! > rounds.**
+//!
+//! This falls out of three facts: every pair's RNG stream is keyed on
+//! `(seed, u, v)` — never on which engine, thread or shard computes it;
+//! every shard replica applies the same update batches in the same order,
+//! so all replicas are the same graph; and ranking goes through the shared
+//! `rank_pairs` / `rank_candidates` helpers, so dedup, tie-breaks and
+//! truncation are byte-for-byte the single-engine code path.
+//!
+//! Consistency under concurrency is preserved by a two-level lock
+//! hierarchy: queries hold a read gate while they fan out (so one answer
+//! never mixes epochs), and [`ShardedQueryEngine::apply_updates`] holds
+//! the write gate while it walks the shards (so replicas advance in
+//! lockstep).
+
+use crate::cached::CachedQueryEngine;
+use crate::config::SimRankConfig;
+use crate::engine::{QueryEngine, QueryError};
+use crate::meeting::MeetingProfile;
+use crate::shared::SharedQueryEngine;
+use crate::top_k::{ScoredPair, ScoredVertex};
+use parking_lot::RwLock;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use ugraph::{CsrGraph, GraphUpdate, UncertainGraph, UpdateError, UpdateSummary, VertexId};
+use usim_cache::CacheStats;
+
+// The sharded engine is handed to serving threads as-is; a future field
+// with thread-unsafe interior mutability must fail here, not in a server.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedQueryEngine>();
+};
+
+/// How to cut the vertex space into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards K (0 is treated as 1).
+    pub shards: usize,
+    /// Worker threads of each shard's dedicated pool; 0 inherits the
+    /// ambient rayon thread count instead of pinning one.
+    pub threads_per_shard: usize,
+    /// `usim_cache` capacity of each shard's own cache; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            shards: 1,
+            threads_per_shard: 0,
+            cache_capacity: 0,
+        }
+    }
+}
+
+impl ShardSpec {
+    /// A spec with `shards` shards and the other knobs at their defaults.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardSpec {
+            shards,
+            ..Default::default()
+        }
+    }
+}
+
+/// A point-in-time description of one shard, as reported in the server's
+/// `stats` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardInfo {
+    /// Shard index in `0..num_shards`.
+    pub index: usize,
+    /// First vertex id this shard owns.
+    pub start: VertexId,
+    /// One past the last vertex id this shard owns (`start == end` for a
+    /// shard that owns no vertices, possible when K > n).
+    pub end: VertexId,
+    /// Worker threads of the shard's dedicated pool (0 = ambient).
+    pub threads: usize,
+    /// The shard's cache counters, `None` when caching is disabled.
+    pub cache: Option<CacheStats>,
+}
+
+/// One shard: a full engine replica, its cache, and its worker pool.
+#[derive(Debug)]
+struct Shard {
+    engine: CachedQueryEngine,
+    pool: Option<ThreadPool>,
+}
+
+impl Shard {
+    /// Runs `f` on this shard's pool (or the ambient one when unpinned).
+    fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+}
+
+/// K vertex-range shards behind a scatter-gather router; see the module
+/// docs for the design and the determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use ugraph::UncertainGraphBuilder;
+/// use usim_core::{CachedQueryEngine, SharedQueryEngine, ShardSpec, ShardedQueryEngine, SimRankConfig};
+///
+/// let g = UncertainGraphBuilder::new(4)
+///     .arc(2, 0, 0.9)
+///     .arc(2, 1, 0.8)
+///     .arc(3, 2, 0.7)
+///     .build()
+///     .unwrap();
+/// let config = SimRankConfig::default().with_samples(100).with_seed(7);
+/// let sharded = ShardedQueryEngine::new(&g, config, ShardSpec::with_shards(3));
+/// let single = CachedQueryEngine::new(SharedQueryEngine::new(&g, config), 0);
+///
+/// // Scatter-gather answers are bit-identical to the single-engine path.
+/// let pairs = [(0, 1), (1, 2), (2, 3), (0, 3)];
+/// assert_eq!(
+///     sharded.batch_similarities(&pairs).unwrap(),
+///     single.batch_similarities(&pairs).unwrap(),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct ShardedQueryEngine {
+    shards: Vec<Shard>,
+    /// `num_shards + 1` cut points: shard `s` owns vertices
+    /// `boundaries[s] .. boundaries[s + 1]`.
+    boundaries: Vec<usize>,
+    num_vertices: usize,
+    config: SimRankConfig,
+    /// Readers fan out under the read gate; updates advance every replica
+    /// under the write gate — one answer never mixes epochs.
+    gate: RwLock<()>,
+}
+
+impl ShardedQueryEngine {
+    /// Builds a sharded engine for `graph`: the CSR is compiled once and
+    /// replicated per shard.
+    pub fn new(graph: &UncertainGraph, config: SimRankConfig, spec: ShardSpec) -> Self {
+        Self::from_csr(CsrGraph::from_uncertain(graph), config, spec)
+    }
+
+    /// Builds a sharded engine directly on a compiled CSR — the snapshot
+    /// boot path (see [`QueryEngine::from_csr`]): no per-edge work happens
+    /// here beyond cloning the arrays per shard.
+    pub fn from_csr(csr: CsrGraph, config: SimRankConfig, spec: ShardSpec) -> Self {
+        let k = spec.shards.max(1);
+        let n = csr.num_vertices();
+        let boundaries: Vec<usize> = (0..=k).map(|s| s * n / k).collect();
+        let mut shards = Vec::with_capacity(k);
+        let mut remaining = Some(csr);
+        for index in 0..k {
+            let replica = if index + 1 == k {
+                remaining.take().expect("replica source consumed early")
+            } else {
+                remaining.as_ref().expect("replica source alive").clone()
+            };
+            let engine = CachedQueryEngine::new(
+                SharedQueryEngine::from_engine(QueryEngine::from_csr(replica, config)),
+                spec.cache_capacity,
+            );
+            let pool = (spec.threads_per_shard > 0).then(|| {
+                ThreadPoolBuilder::new()
+                    .num_threads(spec.threads_per_shard)
+                    .build()
+                    .expect("thread pool construction")
+            });
+            shards.push(Shard { engine, pool });
+        }
+        ShardedQueryEngine {
+            shards,
+            boundaries,
+            num_vertices: n,
+            config,
+            gate: RwLock::new(()),
+        }
+    }
+
+    /// Wraps an already-built [`CachedQueryEngine`] as the single shard of
+    /// a K=1 router — the adapter that lets callers constructed around the
+    /// unsharded stack (the server's default path) run behind the same
+    /// front door as a real K-shard deployment, with zero behaviour change.
+    pub fn single(engine: CachedQueryEngine) -> Self {
+        let num_vertices = engine.num_vertices();
+        let config = engine.config();
+        ShardedQueryEngine {
+            shards: vec![Shard { engine, pool: None }],
+            boundaries: vec![0, num_vertices],
+            num_vertices,
+            config,
+            gate: RwLock::new(()),
+        }
+    }
+
+    /// Runs `f` against shard 0's raw engine under the query gate *and* the
+    /// shard's read lock — a consistent snapshot of epoch, arc count and
+    /// configuration (all shards agree on these by the lockstep invariant).
+    pub fn with_read<R>(&self, f: impl FnOnce(&QueryEngine) -> R) -> R {
+        let _gate = self.gate.read();
+        self.shards[0].engine.shared().with_read(f)
+    }
+
+    /// Number of shards K.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of live arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.shards[0].engine.num_arcs()
+    }
+
+    /// The configuration every shard runs under.
+    pub fn config(&self) -> SimRankConfig {
+        self.config
+    }
+
+    /// How many update batches have been applied (identical across shards).
+    pub fn update_epoch(&self) -> u64 {
+        self.shards[0].engine.update_epoch()
+    }
+
+    /// Whether the shards carry result caches.
+    pub fn cache_enabled(&self) -> bool {
+        self.shards[0].engine.cache_enabled()
+    }
+
+    /// Per-shard cache capacity (0 when disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.shards[0].engine.cache_capacity()
+    }
+
+    /// The shard owning vertex `v` (callers validate `v` first).
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        debug_assert!((v as usize) < self.num_vertices);
+        self.boundaries.partition_point(|&b| b <= v as usize) - 1
+    }
+
+    /// Descriptions of every shard: vertex ranges, pool sizes and cache
+    /// counters — what the server's `stats` frame reports per shard.
+    pub fn shard_infos(&self) -> Vec<ShardInfo> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardInfo {
+                index,
+                start: self.boundaries[index] as VertexId,
+                end: self.boundaries[index + 1] as VertexId,
+                threads: shard.pool.as_ref().map_or(0, |p| p.current_num_threads()),
+                cache: shard.engine.cache_stats(),
+            })
+            .collect()
+    }
+
+    /// Cache counters summed over all shards, `None` when caching is
+    /// disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        let mut total: Option<CacheStats> = None;
+        for shard in &self.shards {
+            let stats = shard.engine.cache_stats()?;
+            let sum = total.get_or_insert_with(CacheStats::default);
+            sum.hits += stats.hits;
+            sum.misses += stats.misses;
+            sum.stale += stats.stale;
+            sum.evictions += stats.evictions;
+            sum.insertions += stats.insertions;
+            sum.entries += stats.entries;
+        }
+        total
+    }
+
+    /// Direct read access to one shard's cached engine, for observability
+    /// and tests.  **Queries only**: applying updates through this handle
+    /// would advance one replica and desynchronise the shards — all
+    /// updates must go through [`ShardedQueryEngine::apply_updates`].
+    pub fn shard_engine(&self, index: usize) -> &CachedQueryEngine {
+        &self.shards[index].engine
+    }
+
+    fn validate(&self, ids: impl IntoIterator<Item = VertexId>) -> Result<(), QueryError> {
+        let num_vertices = self.num_vertices;
+        for vertex in ids {
+            if (vertex as usize) >= num_vertices {
+                return Err(QueryError::VertexOutOfRange {
+                    vertex,
+                    num_vertices,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `(epoch, score)` of one pair, computed by the owning shard through
+    /// its cache (see [`CachedQueryEngine::similarity`]).
+    pub fn similarity(&self, u: VertexId, v: VertexId) -> Result<(u64, f64), QueryError> {
+        let _gate = self.gate.read();
+        self.validate([u, v])?;
+        let shard = &self.shards[self.shard_of(u.min(v))];
+        shard.run(|| shard.engine.similarity(u, v))
+    }
+
+    /// `(epoch, profile)` of one pair, computed by the owning shard through
+    /// its cache (see [`CachedQueryEngine::profile`]).
+    pub fn profile(&self, u: VertexId, v: VertexId) -> Result<(u64, MeetingProfile), QueryError> {
+        let _gate = self.gate.read();
+        self.validate([u, v])?;
+        let shard = &self.shards[self.shard_of(u.min(v))];
+        shard.run(|| shard.engine.profile(u, v))
+    }
+
+    /// `(epoch, scores)` of a batch in input order: pairs are scattered to
+    /// their owning shards, computed concurrently, and gathered back.
+    pub fn batch_similarities(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<(u64, Vec<f64>), QueryError> {
+        let _gate = self.gate.read();
+        self.validate(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+        let epoch = self.update_epoch();
+        let scores = self.scatter_scores(pairs)?;
+        Ok((epoch, scores))
+    }
+
+    /// `(epoch, ranked pairs)`: scores scatter-gather across shards, the
+    /// ranking runs through the same `rank_pairs` dedup / tie-break /
+    /// truncation as the single-engine path.
+    pub fn batch_top_k(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        k: usize,
+    ) -> Result<(u64, Vec<ScoredPair>), QueryError> {
+        let _gate = self.gate.read();
+        self.validate(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+        let epoch = self.update_epoch();
+        let ranked = crate::engine::rank_pairs(pairs, k, |unique| self.scatter_scores(unique))?;
+        Ok((epoch, ranked))
+    }
+
+    /// `(epoch, ranked candidates)` for one query vertex (see
+    /// [`CachedQueryEngine::batch_top_k_similar_to`]); the per-pair scores
+    /// scatter-gather across shards.
+    pub fn batch_top_k_similar_to(
+        &self,
+        query: VertexId,
+        candidates: &[VertexId],
+        k: usize,
+    ) -> Result<(u64, Vec<ScoredVertex>), QueryError> {
+        let _gate = self.gate.read();
+        self.validate(std::iter::once(query).chain(candidates.iter().copied()))?;
+        let epoch = self.update_epoch();
+        let ranked = crate::engine::rank_candidates(query, candidates, k, |pairs| {
+            self.scatter_scores(pairs)
+        })?;
+        Ok((epoch, ranked))
+    }
+
+    /// Applies one update batch to **every** shard replica under the write
+    /// gate, keeping them in lockstep.  Validation happens on shard 0: a
+    /// rejected batch leaves every replica untouched (shard 0's `apply_all`
+    /// validates before mutating, and the rest are only reached on
+    /// success).
+    pub fn apply_updates(
+        &self,
+        updates: &[GraphUpdate],
+    ) -> Result<(UpdateSummary, u64), UpdateError> {
+        let _gate = self.gate.write();
+        let first = self.shards[0].engine.apply_updates(updates)?;
+        for (index, shard) in self.shards.iter().enumerate().skip(1) {
+            if let Err(error) = shard.engine.apply_updates(updates) {
+                // All replicas saw the same batches in the same order, so a
+                // batch shard 0 accepted cannot fail elsewhere; diverging
+                // replicas would silently serve different answers, which is
+                // strictly worse than dying here.
+                panic!("shard {index} diverged from shard 0 on an update batch: {error}");
+            }
+        }
+        Ok(first)
+    }
+
+    /// Scores for `pairs` in input order: scatter to owning shards, gather
+    /// by original slot.  Callers hold the read gate and have validated the
+    /// ids.
+    fn scatter_scores(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<f64>, QueryError> {
+        if self.shards.len() == 1 || pairs.is_empty() {
+            let shard = &self.shards[0];
+            return shard.run(|| shard.engine.batch_similarities(pairs).map(|(_, s)| s));
+        }
+        let mut slots_by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (slot, &(u, v)) in pairs.iter().enumerate() {
+            slots_by_shard[self.shard_of(u.min(v))].push(slot);
+        }
+        let mut scores = vec![0.0f64; pairs.len()];
+        let mut outcome: Result<(), QueryError> = Ok(());
+        std::thread::scope(|scope| {
+            let mut in_flight = Vec::new();
+            for (index, slots) in slots_by_shard.iter().enumerate() {
+                if slots.is_empty() {
+                    continue;
+                }
+                let shard = &self.shards[index];
+                let sub: Vec<(VertexId, VertexId)> =
+                    slots.iter().map(|&slot| pairs[slot]).collect();
+                in_flight.push((
+                    slots,
+                    scope.spawn(move || {
+                        shard.run(|| shard.engine.batch_similarities(&sub).map(|(_, s)| s))
+                    }),
+                ));
+            }
+            for (slots, handle) in in_flight {
+                match handle.join().expect("shard query worker panicked") {
+                    Ok(sub_scores) => {
+                        for (&slot, score) in slots.iter().zip(sub_scores) {
+                            scores[slot] = score;
+                        }
+                    }
+                    Err(error) => outcome = Err(error),
+                }
+            }
+        });
+        outcome.map(|()| scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::UncertainGraphBuilder;
+
+    fn ladder_graph(n: u32) -> UncertainGraph {
+        // A connected graph with enough vertices that every shard of a
+        // 4-way split owns some, and walks cross shard ranges constantly.
+        let mut builder = UncertainGraphBuilder::new(n as usize);
+        for v in 0..n {
+            builder = builder.arc(v, (v + 1) % n, 0.6 + 0.3 * ((v % 3) as f64) / 3.0);
+            builder = builder.arc((v + 2) % n, v, 0.8);
+        }
+        builder.build().unwrap()
+    }
+
+    fn straddling_pairs(n: u32) -> Vec<(VertexId, VertexId)> {
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for u in 0..n {
+            pairs.push((u, (u + n / 2) % n)); // far apart: different shards
+            pairs.push(((u + 1) % n, u)); // adjacent, sometimes reversed
+        }
+        pairs.push((0, 0)); // self pair
+        pairs.push((n - 1, 0)); // extreme shards
+        pairs
+    }
+
+    fn config() -> SimRankConfig {
+        SimRankConfig::default().with_samples(120).with_seed(11)
+    }
+
+    #[test]
+    fn boundaries_cover_the_vertex_space_exactly_once() {
+        let graph = ladder_graph(10);
+        for k in [1, 2, 3, 4, 7, 10, 13] {
+            let engine = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(k));
+            assert_eq!(engine.num_shards(), k);
+            let infos = engine.shard_infos();
+            assert_eq!(infos[0].start, 0);
+            assert_eq!(infos[k - 1].end as usize, engine.num_vertices());
+            for window in infos.windows(2) {
+                assert_eq!(window[0].end, window[1].start, "gap between shards");
+            }
+            for v in 0..10u32 {
+                let s = engine.shard_of(v);
+                assert!(
+                    infos[s].start <= v && v < infos[s].end,
+                    "vertex {v} routed to shard {s} {infos:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_answers_are_bit_identical_to_the_single_engine_path() {
+        let graph = ladder_graph(12);
+        let single = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(1));
+        let reference = QueryEngine::new(&graph, config());
+        let pairs = straddling_pairs(12);
+        for k in [2, 3, 4, 5] {
+            let sharded = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(k));
+            assert_eq!(
+                sharded.batch_similarities(&pairs).unwrap(),
+                single.batch_similarities(&pairs).unwrap(),
+                "K={k} batch"
+            );
+            assert_eq!(
+                sharded.batch_similarities(&pairs).unwrap().1,
+                reference.batch_similarities(&pairs).unwrap(),
+                "K={k} vs raw engine"
+            );
+            assert_eq!(
+                sharded.batch_top_k(&pairs, 5).unwrap(),
+                single.batch_top_k(&pairs, 5).unwrap(),
+                "K={k} top-k"
+            );
+            let candidates: Vec<VertexId> = (1..12).collect();
+            assert_eq!(
+                sharded.batch_top_k_similar_to(0, &candidates, 4).unwrap(),
+                single.batch_top_k_similar_to(0, &candidates, 4).unwrap(),
+                "K={k} top-k-similar-to"
+            );
+            assert_eq!(
+                sharded.similarity(3, 9).unwrap(),
+                single.similarity(3, 9).unwrap(),
+                "K={k} similarity"
+            );
+            assert_eq!(
+                sharded.profile(2, 10).unwrap(),
+                single.profile(2, 10).unwrap(),
+                "K={k} profile"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_keep_every_replica_in_lockstep() {
+        let graph = ladder_graph(12);
+        let sharded = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(4));
+        let single = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(1));
+        let pairs = straddling_pairs(12);
+        let updates = [
+            GraphUpdate::SetProbability {
+                source: 0,
+                target: 1,
+                probability: 0.05,
+            },
+            GraphUpdate::DeleteArc {
+                source: 2,
+                target: 0,
+            },
+            GraphUpdate::InsertArc {
+                source: 5,
+                target: 0,
+                probability: 0.9,
+            },
+        ];
+        let (summary_sharded, epoch_sharded) = sharded.apply_updates(&updates).unwrap();
+        let (summary_single, epoch_single) = single.apply_updates(&updates).unwrap();
+        assert_eq!(summary_sharded, summary_single);
+        assert_eq!((epoch_sharded, epoch_single), (1, 1));
+        assert_eq!(sharded.num_arcs(), single.num_arcs());
+        assert_eq!(
+            sharded.batch_similarities(&pairs).unwrap(),
+            single.batch_similarities(&pairs).unwrap(),
+            "post-update scatter-gather must stay bit-identical"
+        );
+        // Every shard replica reports the same epoch.
+        for index in 0..sharded.num_shards() {
+            assert_eq!(sharded.shard_engine(index).update_epoch(), 1);
+        }
+    }
+
+    #[test]
+    fn rejected_batches_leave_every_replica_untouched() {
+        let graph = ladder_graph(8);
+        let sharded = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(3));
+        let arcs_before = sharded.num_arcs();
+        let err = sharded
+            .apply_updates(&[
+                GraphUpdate::InsertArc {
+                    source: 0,
+                    target: 3,
+                    probability: 0.5,
+                },
+                GraphUpdate::DeleteArc {
+                    source: 7,
+                    target: 3, // no such arc: the whole batch must reject
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::ArcNotFound {
+                source: 7,
+                target: 3
+            }
+        );
+        assert_eq!(sharded.update_epoch(), 0);
+        assert_eq!(sharded.num_arcs(), arcs_before);
+        for index in 0..sharded.num_shards() {
+            assert_eq!(sharded.shard_engine(index).update_epoch(), 0);
+        }
+    }
+
+    #[test]
+    fn error_semantics_match_the_single_engine() {
+        let graph = ladder_graph(6);
+        let sharded = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(3));
+        let expected = QueryError::VertexOutOfRange {
+            vertex: 99,
+            num_vertices: 6,
+        };
+        assert_eq!(sharded.similarity(0, 99).unwrap_err(), expected);
+        assert_eq!(sharded.profile(99, 0).unwrap_err(), expected);
+        assert_eq!(
+            sharded.batch_similarities(&[(0, 1), (99, 2)]).unwrap_err(),
+            expected
+        );
+        assert_eq!(sharded.batch_top_k(&[(99, 99)], 3).unwrap_err(), expected);
+        assert_eq!(
+            sharded.batch_top_k_similar_to(99, &[0], 2).unwrap_err(),
+            expected
+        );
+    }
+
+    #[test]
+    fn per_shard_caches_fill_and_hit_independently() {
+        let graph = ladder_graph(12);
+        let spec = ShardSpec {
+            shards: 3,
+            threads_per_shard: 0,
+            cache_capacity: 64,
+        };
+        let sharded = ShardedQueryEngine::new(&graph, config(), spec);
+        assert!(sharded.cache_enabled());
+        assert_eq!(sharded.cache_capacity(), 64);
+        let pairs = straddling_pairs(12);
+        let (_, first) = sharded.batch_similarities(&pairs).unwrap();
+        let (_, second) = sharded.batch_similarities(&pairs).unwrap();
+        assert_eq!(first, second);
+        let total = sharded.cache_stats().unwrap();
+        assert!(total.hits > 0, "repeat batch must hit: {total:?}");
+        let infos = sharded.shard_infos();
+        assert_eq!(infos.len(), 3);
+        // Ownership by min(u, v) skews work toward low shards, but every
+        // shard that owns a queried pair must have filled its own cache.
+        let per_shard_insertions: Vec<u64> = infos
+            .iter()
+            .map(|info| info.cache.as_ref().unwrap().insertions)
+            .collect();
+        assert!(
+            per_shard_insertions.iter().all(|&i| i > 0),
+            "every shard owns some pairs here: {per_shard_insertions:?}"
+        );
+        let sum: u64 = per_shard_insertions.iter().sum();
+        assert_eq!(sum, total.insertions);
+    }
+
+    #[test]
+    fn dedicated_pools_do_not_change_answers() {
+        let graph = ladder_graph(10);
+        let pairs = straddling_pairs(10);
+        let ambient = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(2));
+        for threads in [1, 4] {
+            let pinned = ShardedQueryEngine::new(
+                &graph,
+                config(),
+                ShardSpec {
+                    shards: 2,
+                    threads_per_shard: threads,
+                    cache_capacity: 0,
+                },
+            );
+            assert_eq!(
+                pinned.batch_similarities(&pairs).unwrap(),
+                ambient.batch_similarities(&pairs).unwrap(),
+                "threads_per_shard={threads}"
+            );
+            for info in pinned.shard_infos() {
+                assert_eq!(info.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_and_k_larger_than_n() {
+        let graph = ladder_graph(5);
+        let sharded = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(8));
+        assert_eq!(sharded.num_shards(), 8);
+        let (epoch, scores) = sharded.batch_similarities(&[]).unwrap();
+        assert_eq!((epoch, scores.len()), (0, 0));
+        let single = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(1));
+        let pairs = [(0, 1), (1, 2), (2, 0), (0, 4), (3, 4)];
+        assert_eq!(
+            sharded.batch_similarities(&pairs).unwrap(),
+            single.batch_similarities(&pairs).unwrap(),
+        );
+    }
+}

@@ -97,6 +97,12 @@ impl SharedQueryEngine {
         }
     }
 
+    /// Builds a shared engine directly on a compiled CSR graph (see
+    /// [`QueryEngine::from_csr`] — the snapshot boot path).
+    pub fn from_csr(csr: ugraph::CsrGraph, config: SimRankConfig) -> Self {
+        SharedQueryEngine::from_engine(QueryEngine::from_csr(csr, config))
+    }
+
     /// Unwraps the handle back into the exclusive engine.
     pub fn into_engine(self) -> QueryEngine {
         self.inner.into_inner()

@@ -26,17 +26,28 @@
 //! out), so the whole protocol is unit-testable without sockets; the TCP
 //! layer in [`crate::server`] only adds framing and threads.
 //!
-//! All query traffic flows through a [`usim_core::CachedQueryEngine`]: with
+//! All query traffic flows through a [`usim_core::ShardedQueryEngine`] —
+//! by default a K=1 router over a [`usim_core::CachedQueryEngine`]: with
 //! [`RequestHandler::with_cache`] the server reuses epoch-validated answers
 //! for hot pairs (bit-identical to recomputation — the cache can change
 //! latency, never a score), and the `stats` frame reports the cache's
-//! hit/miss/stale/eviction counters.  [`RequestHandler::new`] leaves the
-//! cache off.
+//! hit/miss/stale/eviction counters plus a per-shard section.
+//! [`RequestHandler::new`] leaves the cache off;
+//! [`RequestHandler::sharded`] serves a real K-shard scatter-gather
+//! deployment (`usim serve --shards K`), whose answers are — by the
+//! sharded engine's determinism contract — byte-identical on the wire to
+//! the K=1 server.
+//!
+//! With [`RequestHandler::with_update_log`] attached, every accepted
+//! `update` batch is appended to a durable [`ugraph::UpdateLog`] (synced
+//! before the response frame goes out), so a restarted server can replay
+//! back to the exact epoch its clients last observed.
 
+use parking_lot::Mutex;
 use serde::Value;
 use std::collections::HashMap;
-use ugraph::{GraphUpdate, UpdateError, VertexId};
-use usim_core::{CachedQueryEngine, QueryError, SharedQueryEngine};
+use ugraph::{GraphUpdate, UpdateError, UpdateLog, VertexId};
+use usim_core::{CachedQueryEngine, QueryError, ShardedQueryEngine, SharedQueryEngine};
 
 /// Default cap on `batch` pairs, `top_k` candidates and `update` batches —
 /// a bound on per-request memory and lock-hold time, not a protocol limit.
@@ -66,6 +77,11 @@ pub enum ErrorCode {
     UpdateRejected,
     /// The engine rejected a query ([`usim_core::QueryError`]).
     QueryRejected,
+    /// An update was applied in memory but could not be appended to the
+    /// durable update log: answers already reflect it, a restart would
+    /// not.  Clients should treat the server as needing operator
+    /// attention.
+    LogFailed,
 }
 
 impl ErrorCode {
@@ -79,6 +95,7 @@ impl ErrorCode {
             ErrorCode::OversizedBatch => "oversized_batch",
             ErrorCode::UpdateRejected => "update_rejected",
             ErrorCode::QueryRejected => "query_rejected",
+            ErrorCode::LogFailed => "log_failed",
         }
     }
 }
@@ -145,10 +162,15 @@ type Entries = [(String, Value)];
 /// ```
 #[derive(Debug)]
 pub struct RequestHandler {
-    engine: CachedQueryEngine,
+    engine: ShardedQueryEngine,
     labels: Vec<u64>,
     index: HashMap<u64, VertexId>,
     max_batch: usize,
+    /// When present, every accepted `update` batch is appended here before
+    /// the response frame is written, so a restarted server can replay to
+    /// the epoch its clients last saw.  The mutex is held across
+    /// apply + append: log order always equals epoch order.
+    update_log: Option<Mutex<UpdateLog>>,
 }
 
 impl RequestHandler {
@@ -177,6 +199,24 @@ impl RequestHandler {
         max_batch: usize,
         cache_capacity: usize,
     ) -> Self {
+        RequestHandler::sharded(
+            ShardedQueryEngine::single(CachedQueryEngine::new(engine, cache_capacity)),
+            labels,
+            max_batch,
+        )
+    }
+
+    /// The general constructor: serves any [`ShardedQueryEngine`] — K=1
+    /// wrapping an existing stack ([`ShardedQueryEngine::single`], what
+    /// [`RequestHandler::new`] / [`RequestHandler::with_cache`] build) or a
+    /// real K-shard scatter-gather deployment.  Answers are bit-identical
+    /// either way; only the `stats` frame's shard section differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label table length does not match the engine's
+    /// vertex count, or when `max_batch` is zero.
+    pub fn sharded(engine: ShardedQueryEngine, labels: Vec<u64>, max_batch: usize) -> Self {
         assert_eq!(
             labels.len(),
             engine.num_vertices(),
@@ -189,20 +229,37 @@ impl RequestHandler {
             .map(|(v, &label)| (label, v as VertexId))
             .collect();
         RequestHandler {
-            engine: CachedQueryEngine::new(engine, cache_capacity),
+            engine,
             labels,
             index,
             max_batch,
+            update_log: None,
         }
     }
 
-    /// The shared engine behind the handler.
-    pub fn engine(&self) -> &SharedQueryEngine {
-        self.engine.shared()
+    /// Attaches a durable [`UpdateLog`]: every accepted `update` batch is
+    /// appended (and synced) before its response frame goes out.  The log
+    /// must already be replayed into the engine — [`UpdateLog::open`]
+    /// returns the logged rounds precisely so the boot path can do that
+    /// (see `usim serve --update-log`).
+    pub fn with_update_log(mut self, log: UpdateLog) -> Self {
+        self.update_log = Some(Mutex::new(log));
+        self
     }
 
-    /// The caching wrapper the handler answers through.
+    /// The shared engine behind shard 0 (every shard replica answers
+    /// identically; this is the observability handle).
+    pub fn engine(&self) -> &SharedQueryEngine {
+        self.engine.shard_engine(0).shared()
+    }
+
+    /// Shard 0's caching wrapper (the whole stack under K=1).
     pub fn cached_engine(&self) -> &CachedQueryEngine {
+        self.engine.shard_engine(0)
+    }
+
+    /// The scatter-gather router the handler answers through.
+    pub fn sharded_engine(&self) -> &ShardedQueryEngine {
         &self.engine
     }
 
@@ -389,11 +446,26 @@ impl RequestHandler {
         }
         // Summary and post-update epoch are captured under one write-lock
         // acquisition: a concurrent update committing in between could
-        // otherwise stamp this summary with a later update's epoch.
+        // otherwise stamp this summary with a later update's epoch.  When a
+        // durable log is attached its mutex is taken *first* and held across
+        // apply + append, so the log's round order always equals the
+        // engine's epoch order.
+        let mut log = self.update_log.as_ref().map(Mutex::lock);
         let (summary, epoch) = self
             .engine
             .apply_updates(&updates)
             .map_err(|e| Reject::new(ErrorCode::UpdateRejected, self.describe_update_error(&e)))?;
+        if let Some(log) = log.as_mut() {
+            log.append_round(&updates).map_err(|e| {
+                Reject::new(
+                    ErrorCode::LogFailed,
+                    format!(
+                        "update applied in memory (epoch {epoch}) but could not be \
+                         appended to the update log: {e}"
+                    ),
+                )
+            })?;
+        }
         Ok(ok_frame(
             "update",
             epoch,
@@ -409,7 +481,7 @@ impl RequestHandler {
 
     fn stats(&self, entries: &Entries) -> Result<Frame, Reject> {
         reject_unknown_fields(entries, "stats", &[])?;
-        let (epoch, vertices, arcs, config) = self.engine.shared().with_read(|e| {
+        let (epoch, vertices, arcs, config) = self.engine.with_read(|e| {
             (
                 e.update_epoch(),
                 e.num_vertices(),
@@ -446,6 +518,35 @@ impl RequestHandler {
                 ("insertions".to_string(), Value::Uint(stats.insertions)),
             ]);
         }
+        // Per-shard section: vertex range, pinned worker threads and the
+        // shard's own cache counters (also lock-free snapshots).
+        let shards = self
+            .engine
+            .shard_infos()
+            .into_iter()
+            .map(|info| {
+                let mut entry = vec![
+                    ("index".to_string(), Value::Uint(info.index as u64)),
+                    ("start".to_string(), Value::Uint(info.start as u64)),
+                    ("end".to_string(), Value::Uint(info.end as u64)),
+                    ("threads".to_string(), Value::Uint(info.threads as u64)),
+                ];
+                if let Some(stats) = info.cache {
+                    entry.push((
+                        "cache".to_string(),
+                        Value::Map(vec![
+                            ("entries".to_string(), Value::Uint(stats.entries as u64)),
+                            ("hits".to_string(), Value::Uint(stats.hits)),
+                            ("misses".to_string(), Value::Uint(stats.misses)),
+                            ("stale".to_string(), Value::Uint(stats.stale)),
+                            ("evictions".to_string(), Value::Uint(stats.evictions)),
+                            ("insertions".to_string(), Value::Uint(stats.insertions)),
+                        ]),
+                    ));
+                }
+                Value::Map(entry)
+            })
+            .collect();
         Ok(ok_frame(
             "stats",
             epoch,
@@ -453,6 +554,11 @@ impl RequestHandler {
                 ("vertices".into(), Value::Uint(vertices as u64)),
                 ("arcs".into(), Value::Uint(arcs as u64)),
                 ("max_batch".into(), Value::Uint(self.max_batch as u64)),
+                (
+                    "shard_count".into(),
+                    Value::Uint(self.engine.num_shards() as u64),
+                ),
+                ("shards".into(), Value::Seq(shards)),
                 ("cache".into(), Value::Map(cache)),
                 ("config".into(), config),
             ],
@@ -1044,6 +1150,129 @@ mod tests {
         assert_eq!(get(cache, "stale"), &Value::Uint(stats.stale));
         assert!(matches!(get(cache, "misses"), Value::Uint(_)));
         assert!(matches!(get(cache, "evictions"), Value::Uint(_)));
+    }
+
+    fn fig1_graph() -> ugraph::UncertainGraph {
+        UncertainGraphBuilder::new(5)
+            .arc(0, 2, 0.8)
+            .arc(0, 3, 0.5)
+            .arc(1, 0, 0.8)
+            .arc(1, 2, 0.9)
+            .arc(2, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 4, 0.6)
+            .arc(3, 1, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_handler_is_byte_identical_on_the_wire() {
+        use usim_core::ShardSpec;
+        let (plain, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let sharded = RequestHandler::sharded(
+            ShardedQueryEngine::new(&fig1_graph(), config, ShardSpec::with_shards(3)),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+        );
+        let frames = [
+            r#"{"type":"similarity","source":10,"target":14}"#,
+            r#"{"type":"profile","source":12,"target":13}"#,
+            r#"{"type":"batch","pairs":[[10,14],[11,12],[13,10]]}"#,
+            r#"{"type":"top_k","source":11,"k":3}"#,
+            r#"{"type":"update","updates":[{"op":"set","source":10,"target":12,"probability":0.05}]}"#,
+            r#"{"type":"batch","pairs":[[10,14],[11,12],[13,10]]}"#,
+        ];
+        for frame in frames {
+            assert_eq!(
+                sharded.handle_line(frame).unwrap(),
+                plain.handle_line(frame).unwrap(),
+                "{frame}"
+            );
+        }
+        // Only the stats frame differs — in its shard section.
+        let entries = parse(&sharded.handle_line(r#"{"type":"stats"}"#).unwrap());
+        assert_eq!(get(&entries, "shard_count"), &Value::Uint(3));
+        let shards = get(&entries, "shards").as_seq().unwrap();
+        assert_eq!(shards.len(), 3);
+        let first = shards[0].as_map().unwrap();
+        assert_eq!(get(first, "start"), &Value::Uint(0));
+        let last = shards[2].as_map().unwrap();
+        assert_eq!(get(last, "end"), &Value::Uint(5));
+        // K=1 default reports a single full-range shard.
+        let entries = parse(&plain.handle_line(r#"{"type":"stats"}"#).unwrap());
+        assert_eq!(get(&entries, "shard_count"), &Value::Uint(1));
+        let shards = get(&entries, "shards").as_seq().unwrap();
+        let only = shards[0].as_map().unwrap();
+        assert_eq!(get(only, "start"), &Value::Uint(0));
+        assert_eq!(get(only, "end"), &Value::Uint(5));
+    }
+
+    #[test]
+    fn update_log_replay_restores_the_exact_epoch_and_answers() {
+        let path =
+            std::env::temp_dir().join(format!("usim_server_ulog_{}.ulog", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let queries = [
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"batch","pairs":[[10,14],[11,12],[13,10]]}"#,
+            r#"{"type":"top_k","source":11,"k":3}"#,
+        ];
+
+        // First life: serve with a log attached, apply two update rounds.
+        let (log, rounds) = UpdateLog::open(&path).unwrap();
+        assert!(rounds.is_empty());
+        let live = RequestHandler::new(
+            SharedQueryEngine::new(&fig1_graph(), config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+        )
+        .with_update_log(log);
+        for update in [
+            r#"{"type":"update","updates":[{"op":"set","source":10,"target":12,"probability":0.05}]}"#,
+            r#"{"type":"update","updates":[
+                {"op":"delete","source":11,"target":12},
+                {"op":"insert","source":14,"target":12,"probability":0.9}]}"#,
+        ] {
+            let frame = live.handle_line(update).unwrap();
+            assert!(!frame.is_error, "{}", frame.json);
+        }
+        assert_eq!(live.cached_engine().update_epoch(), 2);
+        let answers: Vec<Frame> = queries
+            .iter()
+            .map(|q| live.handle_line(q).unwrap())
+            .collect();
+        drop(live); // "kill" the server
+
+        // Second life: reopen the log, replay every round, serve again.
+        let (log, rounds) = UpdateLog::open(&path).unwrap();
+        assert_eq!(rounds.len(), 2);
+        let reborn = RequestHandler::new(
+            SharedQueryEngine::new(&fig1_graph(), config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+        )
+        .with_update_log(log);
+        for round in &rounds {
+            // Replayed rounds are already in the log; apply them directly
+            // to the engine, exactly like the serve boot path does.
+            reborn.sharded_engine().apply_updates(round).unwrap();
+        }
+        assert_eq!(reborn.cached_engine().update_epoch(), 2);
+        for (query, expected) in queries.iter().zip(&answers) {
+            assert_eq!(&reborn.handle_line(query).unwrap(), expected, "{query}");
+        }
+        // The reborn log still appends: a third round lands as round 3.
+        let frame = reborn
+            .handle_line(r#"{"type":"update","updates":[{"op":"delete","source":10,"target":13}]}"#)
+            .unwrap();
+        assert!(!frame.is_error, "{}", frame.json);
+        drop(reborn);
+        let (_, rounds) = UpdateLog::open(&path).unwrap();
+        assert_eq!(rounds.len(), 3);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -30,31 +30,33 @@ pub const MAGIC: &[u8; 8] = b"USIMGRB1";
 const HEADER_LEN: usize = 8 + 4 + 8;
 const ARC_RECORD_LEN: usize = 4 + 4 + 8;
 
-/// Incrementally computed FNV-1a hash, used as the format's checksum.
+/// Incrementally computed FNV-1a hash, used as the checksum of every binary
+/// format in this crate ([`crate::snapshot`] and [`crate::updatelog`] reuse
+/// it so all on-disk artifacts share one integrity primitive).
 #[derive(Debug, Clone)]
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
     const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(Self::OFFSET_BASIS)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
 
-fn format_error(message: impl Into<String>) -> GraphError {
+pub(crate) fn format_error(message: impl Into<String>) -> GraphError {
     GraphError::Format {
         message: message.into(),
     }
@@ -225,6 +227,52 @@ mod tests {
         for cut in [4usize, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 3] {
             let err = read_binary(&bytes[..cut]).unwrap_err();
             assert!(err.to_string().contains("truncated"), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_section_boundary_is_a_typed_error() {
+        let bytes = encode(&fig1_graph());
+        // Section boundaries of the format: end of magic, end of header,
+        // end of every arc record, start of the checksum.
+        let mut boundaries = vec![8usize, HEADER_LEN];
+        for arc in 1..=8 {
+            boundaries.push(HEADER_LEN + arc * ARC_RECORD_LEN);
+        }
+        assert_eq!(*boundaries.last().unwrap(), bytes.len() - 8);
+        for &boundary in &boundaries {
+            // At the boundary itself, one byte short, one byte past.
+            for cut in [boundary.saturating_sub(1), boundary, boundary + 1] {
+                let err = read_binary(&bytes[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, GraphError::Format { .. }),
+                    "cut at {cut}: {err}"
+                );
+                assert!(err.to_string().contains("truncated"), "cut at {cut}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_bit_flip_in_every_header_field_is_a_typed_error() {
+        let clean = encode(&fig1_graph());
+        // Every byte of the magic, the vertex count and the arc count: a
+        // flip must surface as a typed Format error — bad magic, checksum
+        // mismatch or truncation — never a panic or a silently wrong graph.
+        for offset in 0..HEADER_LEN {
+            for bit in [0x01u8, 0x80u8] {
+                let mut corrupted = clean.clone();
+                corrupted[offset] ^= bit;
+                let result = std::panic::catch_unwind(|| read_binary(corrupted.as_slice()));
+                let outcome = result.unwrap_or_else(|_| {
+                    panic!("header byte {offset} flipped by {bit:#04x} caused a panic")
+                });
+                let err = outcome.expect_err("corrupted header must not parse");
+                assert!(
+                    matches!(err, GraphError::Format { .. }),
+                    "byte {offset} flip {bit:#04x}: {err}"
+                );
+            }
         }
     }
 

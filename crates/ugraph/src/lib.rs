@@ -25,6 +25,11 @@
 //!   in the tests) and i.i.d. sampling are provided.
 //! * [`io`] — a small weighted-edge-list format (`u v p` per line) used by the
 //!   examples and the experiment harness.
+//! * [`snapshot`] — a versioned, checksummed on-disk image of a [`CsrGraph`]
+//!   (both directions plus an optional label table) read back into place
+//!   without re-sorting or re-validating per edge, and [`updatelog`] — an
+//!   append-only log of [`GraphUpdate`] rounds a restarted server replays on
+//!   top of a snapshot to reach the exact epoch it died at.
 //! * [`stats`] — degree and probability statistics used when calibrating the
 //!   synthetic datasets against Table II of the paper.
 //!
@@ -62,8 +67,10 @@ pub mod io;
 pub mod overlay;
 pub mod possible_world;
 mod serde_impl;
+pub mod snapshot;
 pub mod stats;
 mod uncertain;
+pub mod updatelog;
 
 pub use builder::{DiGraphBuilder, DuplicatePolicy, UncertainGraphBuilder};
 pub use csr::{CsrGraph, CsrView, GraphView};
@@ -72,7 +79,9 @@ pub use graph::{ArcIter, DiGraph};
 pub use overlay::{
     CompactionPolicy, DeltaOverlay, GraphUpdate, OverlayView, UpdateError, UpdateSummary,
 };
+pub use snapshot::CsrSnapshot;
 pub use uncertain::{ProbArc, UncertainGraph};
+pub use updatelog::UpdateLog;
 
 /// Identifier of a vertex.  Vertices of a graph with `n` vertices are the
 /// integers `0..n`.

@@ -46,9 +46,11 @@ echo "--- CLI ground truth ---"
 echo "$CLI_BATCH"
 echo "$CLI_CHURN"
 
-# Start the server on a free port; rendezvous through the port file.
+# Start the server on a free port; rendezvous through the port file.  The
+# startup banner is captured so its provenance fields can be asserted.
 "$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
-    --workers 2 --max-connections 1 --samples "$SAMPLES" --seed "$SEED" &
+    --workers 2 --max-connections 1 --samples "$SAMPLES" --seed "$SEED" \
+    > "$TMP/server1.log" &
 SERVER_PID=$!
 for _ in $(seq 100); do
     [ -s "$TMP/port" ] && break
@@ -59,6 +61,8 @@ ADDR=$(cat "$TMP/port")
 HOST=${ADDR%:*}
 PORT=${ADDR##*:}
 echo "--- server up on $ADDR ---"
+grep -q 'source = text, epoch = 0, shards = 1' "$TMP/server1.log" || {
+    echo "FAIL: banner misses source/epoch/shards:"; cat "$TMP/server1.log"; exit 1; }
 
 # One connection, one frame of every request type, responses in order.
 exec 3<>"/dev/tcp/$HOST/$PORT"
@@ -174,5 +178,80 @@ case "$C_STATS" in
     *) echo "FAIL: cached stats frame misses the cache counters: $C_STATS"; exit 1 ;;
 esac
 echo "--- cached server: repeat batch served bit-identically, 3 hits ---"
+
+# --- snapshot-backed server round ---------------------------------------
+# Compile the graph into a CSR snapshot, serve it sharded with a durable
+# update log, apply an update, let the server die, restart it on the same
+# snapshot + log: the replayed server must report the exact epoch it died
+# at and answer the same batch byte-identically.
+"$USIM" snapshot write "$TMP/graph.tsv" "$TMP/graph.csr"
+"$USIM" snapshot verify "$TMP/graph.csr"
+
+"$USIM" serve --snapshot "$TMP/graph.csr" --update-log "$TMP/updates.log" \
+    --addr 127.0.0.1:0 --port-file "$TMP/port" --workers 2 --shards 3 \
+    --max-connections 1 --samples "$SAMPLES" --seed "$SEED" \
+    > "$TMP/server_snap1.log" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    [ -s "$TMP/port" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/port" ] || { echo "FAIL: snapshot server never wrote the port file"; exit 1; }
+ADDR=$(cat "$TMP/port")
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+echo "--- snapshot server (first life) up on $ADDR ---"
+grep -q 'source = snapshot, epoch = 0, shards = 3' "$TMP/server_snap1.log" || {
+    echo "FAIL: snapshot banner misses source/epoch/shards:"; cat "$TMP/server_snap1.log"; exit 1; }
+
+exec 3<>"/dev/tcp/$HOST/$PORT"
+S_UPDATE=$(ask '{"type":"update","updates":[{"op":"set","source":10,"target":30,"probability":0.1},{"op":"delete","source":40,"target":50}]}')
+S_BATCH=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "--- snapshot server died after its connection budget (simulated crash) ---"
+case "$S_UPDATE" in
+    '{"ok":true,'*'"epoch":1'*) ;;
+    *) echo "FAIL: bad snapshot-server update frame: $S_UPDATE"; exit 1 ;;
+esac
+
+# Second life: same snapshot, same log.  Boot must replay the logged round.
+"$USIM" serve --snapshot "$TMP/graph.csr" --update-log "$TMP/updates.log" \
+    --addr 127.0.0.1:0 --port-file "$TMP/port" --workers 2 --shards 3 \
+    --max-connections 1 --samples "$SAMPLES" --seed "$SEED" \
+    > "$TMP/server_snap2.log" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    [ -s "$TMP/port" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/port" ] || { echo "FAIL: replayed server never wrote the port file"; exit 1; }
+ADDR=$(cat "$TMP/port")
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+echo "--- snapshot server (second life) up on $ADDR ---"
+grep -q 'source = snapshot, epoch = 1, shards = 3' "$TMP/server_snap2.log" || {
+    echo "FAIL: replayed banner misses the replayed epoch:"; cat "$TMP/server_snap2.log"; exit 1; }
+
+exec 3<>"/dev/tcp/$HOST/$PORT"
+S_BATCH_REPLAYED=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+S_STATS=$(ask '{"type":"stats"}')
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+SERVER_PID=""
+
+[ "$S_BATCH_REPLAYED" = "$S_BATCH" ] || {
+    echo "FAIL: replayed server batch differs from the pre-crash batch"
+    echo "before: $S_BATCH"; echo "after:  $S_BATCH_REPLAYED"; exit 1; }
+SNAP_SERVED=$(extract_scores "$S_BATCH_REPLAYED")
+[ "$SNAP_SERVED" = "$CLI_AFTER" ] || {
+    echo "FAIL: replayed snapshot batch != CLI churn round 1"
+    echo "served: $SNAP_SERVED"; echo "cli: $CLI_AFTER"; exit 1; }
+case "$S_STATS" in
+    *'"epoch":1'*'"shard_count":3'*) echo "$S_STATS" ;;
+    *) echo "FAIL: replayed stats frame misses epoch/shard_count: $S_STATS"; exit 1 ;;
+esac
+echo "--- snapshot server: replay restored epoch 1, answers byte-identical ---"
 
 echo "serve-smoke: OK (server answers match the CLI bit for bit at 6 decimals)"

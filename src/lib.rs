@@ -78,9 +78,9 @@ pub mod prelude {
     pub use crate::random_walk::{CsrSampler, WalkArena};
     pub use crate::server::{RequestHandler, Server, ServerOptions};
     pub use crate::simrank::{
-        BaselineEstimator, CachedQueryEngine, QueryEngine, SamplingEstimator, SharedQueryEngine,
-        SimRankConfig, SimRankEstimator, SingleSourceEstimator, SourceMode, SpeedupEstimator,
-        TwoPhaseEstimator, WalkDirection,
+        BaselineEstimator, CachedQueryEngine, QueryEngine, SamplingEstimator, ShardSpec,
+        ShardedQueryEngine, SharedQueryEngine, SimRankConfig, SimRankEstimator,
+        SingleSourceEstimator, SourceMode, SpeedupEstimator, TwoPhaseEstimator, WalkDirection,
     };
 }
 

@@ -1,0 +1,188 @@
+//! Property-based tests for the sharded scatter-gather engine: for pairs
+//! deliberately straddling shard boundaries, a K-shard
+//! [`ShardedQueryEngine`] must answer batch and top-k queries bit-identical
+//! to the K=1 engine — with 1 and with 4 pinned worker threads per shard —
+//! and the identity must survive an `apply_updates` round applied to every
+//! engine in lockstep.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use uncertain_simrank::graph::{DuplicatePolicy, GraphUpdate, UncertainGraph, VertexId};
+use uncertain_simrank::prelude::*;
+
+/// Strategy: a small uncertain graph (duplicates keep the max probability).
+fn small_uncertain_graph(
+    max_vertices: u32,
+    max_arcs: usize,
+) -> impl Strategy<Value = UncertainGraph> {
+    (4..=max_vertices)
+        .prop_flat_map(move |n| {
+            let arcs = proptest::collection::vec((0..n, 0..n, 0.05f64..1.0f64), 1..=max_arcs);
+            (Just(n), arcs)
+        })
+        .prop_map(|(n, arcs)| {
+            UncertainGraphBuilder::new(n as usize)
+                .duplicate_policy(DuplicatePolicy::KeepMaxProbability)
+                .arcs(arcs)
+                .build()
+                .expect("strategy produces valid arcs")
+        })
+}
+
+/// Abstract update op `(u, v, probability, kind)`, translated against the
+/// current arc set so every generated [`GraphUpdate`] is valid.
+type AbstractOp = (u32, u32, f64, u8);
+
+fn realize_updates(graph: &UncertainGraph, ops: &[AbstractOp]) -> Vec<GraphUpdate> {
+    let n = graph.num_vertices() as u32;
+    let mut model: BTreeMap<(VertexId, VertexId), f64> = graph
+        .arcs()
+        .map(|a| ((a.source, a.target), a.probability))
+        .collect();
+    let mut updates = Vec::with_capacity(ops.len());
+    for &(u, v, p, kind) in ops {
+        let (source, target) = (u % n, v % n);
+        match model.entry((source, target)) {
+            std::collections::btree_map::Entry::Occupied(entry) => {
+                if kind == 0 {
+                    entry.remove();
+                    updates.push(GraphUpdate::DeleteArc { source, target });
+                } else {
+                    *entry.into_mut() = p;
+                    updates.push(GraphUpdate::SetProbability {
+                        source,
+                        target,
+                        probability: p,
+                    });
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(entry) => {
+                entry.insert(p);
+                updates.push(GraphUpdate::InsertArc {
+                    source,
+                    target,
+                    probability: p,
+                });
+            }
+        }
+    }
+    updates
+}
+
+/// Every pair `(b - 1, b)` across the interior shard cut points of an
+/// n-vertex space split into `shards` — by construction each one has its
+/// endpoints in two different shards (cut points are `s * n / shards`).
+fn boundary_straddling_pairs(n: usize, shards: usize) -> Vec<(VertexId, VertexId)> {
+    (1..shards)
+        .map(|s| s * n / shards)
+        .filter(|&b| b > 0 && b < n)
+        .flat_map(|b| {
+            let lo = (b - 1) as VertexId;
+            let hi = b as VertexId;
+            // Both orientations: routing keys off min(u, v), answers must
+            // not depend on which side of the cut comes first.
+            [(lo, hi), (hi, lo)]
+        })
+        .collect()
+}
+
+/// A graph, an update round over its vertices, random extra pairs, and a
+/// shard count.
+fn sharded_case() -> impl Strategy<Value = (UncertainGraph, Vec<AbstractOp>, Vec<(u32, u32)>, usize)>
+{
+    small_uncertain_graph(12, 30).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        let ops =
+            proptest::collection::vec((0u32..1000, 0u32..1000, 0.05f64..1.0f64, 0u8..3), 1..=16);
+        let pairs = proptest::collection::vec((0..n, 0..n), 1..=8);
+        (Just(g), ops, pairs, 2usize..=5)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batch and top-k answers for boundary-straddling pairs are
+    /// bit-identical between K shards and K=1, at 1 and 4 pinned worker
+    /// threads per shard, before and after an update round applied to every
+    /// engine in lockstep.
+    #[test]
+    fn straddling_pairs_match_k1_at_1_and_4_threads(
+        case in sharded_case(),
+        seed in 0u64..1000,
+    ) {
+        let (graph, ops, extra, shards) = case;
+        let n = graph.num_vertices();
+        let config = SimRankConfig::default().with_samples(25).with_seed(seed);
+
+        let mut pairs = boundary_straddling_pairs(n, shards);
+        pairs.extend(extra);
+
+        let reference = ShardedQueryEngine::new(&graph, config, ShardSpec::with_shards(1));
+        let engines: Vec<ShardedQueryEngine> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                ShardedQueryEngine::new(
+                    &graph,
+                    config,
+                    ShardSpec {
+                        shards,
+                        threads_per_shard: threads,
+                        cache_capacity: 0,
+                    },
+                )
+            })
+            .collect();
+
+        // Sanity: the straddling pairs do straddle.
+        for &(u, v) in &boundary_straddling_pairs(n, shards) {
+            prop_assert_ne!(engines[0].shard_of(u), engines[0].shard_of(v));
+        }
+
+        let updates = realize_updates(&graph, &ops);
+        for round in 0..2 {
+            let (ref_epoch, ref_scores) = reference.batch_similarities(&pairs).unwrap();
+            let (_, ref_ranked) = reference.batch_top_k(&pairs, 5).unwrap();
+            for engine in &engines {
+                let (epoch, scores) = engine.batch_similarities(&pairs).unwrap();
+                prop_assert_eq!(epoch, ref_epoch, "round {}", round);
+                prop_assert_eq!(&scores, &ref_scores, "round {}", round);
+                let (_, ranked) = engine.batch_top_k(&pairs, 5).unwrap();
+                prop_assert_eq!(&ranked, &ref_ranked, "round {}", round);
+            }
+            if round == 0 {
+                let (_, epoch) = reference.apply_updates(&updates).unwrap();
+                for engine in &engines {
+                    let (_, e) = engine.apply_updates(&updates).unwrap();
+                    prop_assert_eq!(e, epoch);
+                }
+            }
+        }
+    }
+
+    /// Single-pair queries routed to the owning shard agree with the K=1
+    /// engine for every vertex pair adjacent to a shard cut point.
+    #[test]
+    fn boundary_similarity_and_topk_candidates_match_k1(
+        graph in small_uncertain_graph(10, 24),
+        shards in 2usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let n = graph.num_vertices();
+        let config = SimRankConfig::default().with_samples(25).with_seed(seed);
+        let reference = ShardedQueryEngine::new(&graph, config, ShardSpec::with_shards(1));
+        let sharded = ShardedQueryEngine::new(&graph, config, ShardSpec::with_shards(shards));
+
+        let candidates: Vec<VertexId> = (0..n as VertexId).collect();
+        for (u, v) in boundary_straddling_pairs(n, shards) {
+            prop_assert_eq!(
+                sharded.similarity(u, v).unwrap(),
+                reference.similarity(u, v).unwrap()
+            );
+            prop_assert_eq!(
+                sharded.batch_top_k_similar_to(u, &candidates, 3).unwrap(),
+                reference.batch_top_k_similar_to(u, &candidates, 3).unwrap()
+            );
+        }
+    }
+}
