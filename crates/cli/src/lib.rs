@@ -179,6 +179,11 @@ pub fn usage() -> String {
         "                       behind a scatter-gather router; answers stay\n",
         "                       bit-identical at any K                      [default 1]\n",
         "    --shard-threads N  pinned rayon workers per shard; 0 = ambient [default 0]\n",
+        "    --coalesce-window µS  batch concurrent query frames arriving within µS\n",
+        "                       microseconds into one engine dispatch (answers stay\n",
+        "                       byte-identical); 0 = off                    [default 0]\n",
+        "    --coalesce-max N   flush a coalesced batch at N pending requests\n",
+        "                       even before the window closes              [default 16]\n",
         "\n",
         "Run `usim <COMMAND> --help` semantics are not supported; see README.md for\n",
         "per-command examples.\n",

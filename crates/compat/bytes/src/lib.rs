@@ -145,6 +145,20 @@ impl From<BytesMut> for Vec<u8> {
     }
 }
 
+/// Infallible appending, mirroring the real crate's `io::Write` impl — the
+/// hook that lets serialisers (e.g. `serde_json::to_writer`) fill a
+/// reusable buffer in place instead of allocating per call.
+impl std::io::Write for BytesMut {
+    fn write(&mut self, src: &[u8]) -> std::io::Result<usize> {
+        self.data.extend_from_slice(src);
+        Ok(src.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{Buf, BufMut, BytesMut};
@@ -169,5 +183,21 @@ mod tests {
     fn underflow_panics() {
         let mut short: &[u8] = &[1, 2, 3];
         let _ = short.get_u64_le();
+    }
+
+    #[test]
+    fn io_write_appends_and_keeps_the_allocation() {
+        use std::io::Write;
+        let mut buf = BytesMut::with_capacity(64);
+        write!(buf, "hello {}", 42).unwrap();
+        buf.flush().unwrap();
+        assert_eq!(&buf[..], b"hello 42");
+        let capacity_before = {
+            buf.clear();
+            64
+        };
+        write!(buf, "again").unwrap();
+        assert_eq!(&buf[..], b"again");
+        assert!(buf.len() <= capacity_before);
     }
 }

@@ -56,6 +56,42 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serialises `value` as compact JSON directly into an [`std::io::Write`]
+/// sink — byte-identical to [`to_string`] (both run the same writer), but
+/// without the intermediate `String`, so callers can reuse one buffer
+/// across calls.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(writer: W, value: &T) -> Result<()> {
+    let tree = serde::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    let mut sink = IoFmt {
+        inner: writer,
+        error: None,
+    };
+    match write_value(&tree, &mut sink) {
+        Ok(()) => Ok(()),
+        Err(e) => Err(match sink.error {
+            Some(io) => Error::msg(format!("I/O error while writing JSON: {io}")),
+            None => e,
+        }),
+    }
+}
+
+/// Adapts an `io::Write` sink to the `fmt::Write` interface `write_value`
+/// speaks, stashing the underlying I/O error (a bare `fmt::Error` carries
+/// no detail).
+struct IoFmt<W: std::io::Write> {
+    inner: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> fmt::Write for IoFmt<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
 /// Parses a JSON string into any deserialisable type.
 pub fn from_str<T: for<'de> Deserialize<'de>>(input: &str) -> Result<T> {
     let mut parser = Parser {
@@ -90,65 +126,74 @@ impl<'de> Deserializer<'de> for JsonDeserializer {
 // Writer
 // ---------------------------------------------------------------------------
 
-fn write_value(value: &Value, out: &mut String) -> Result<()> {
+// Generic over `fmt::Write` so one formatting path serves both `String`
+// output (`to_string`) and streaming `io::Write` sinks (`to_writer`) —
+// identical formatting logic means identical bytes.
+
+fn fmt_failed(e: fmt::Error) -> Error {
+    let _ = e;
+    Error::msg("formatter error while writing JSON")
+}
+
+fn write_value<W: fmt::Write>(value: &Value, out: &mut W) -> Result<()> {
     match value {
-        Value::Null => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::Int(n) => out.push_str(&n.to_string()),
-        Value::Uint(n) => out.push_str(&n.to_string()),
+        Value::Null => out.write_str("null").map_err(fmt_failed)?,
+        Value::Bool(true) => out.write_str("true").map_err(fmt_failed)?,
+        Value::Bool(false) => out.write_str("false").map_err(fmt_failed)?,
+        Value::Int(n) => write!(out, "{n}").map_err(fmt_failed)?,
+        Value::Uint(n) => write!(out, "{n}").map_err(fmt_failed)?,
         Value::Float(x) => {
             if !x.is_finite() {
                 return Err(Error::msg(format!("cannot serialise non-finite float {x}")));
             }
             if x.fract() == 0.0 && x.abs() < 1e15 {
                 // Match serde_json: integral floats keep a trailing ".0".
-                out.push_str(&format!("{x:.1}"));
+                write!(out, "{x:.1}").map_err(fmt_failed)?;
             } else {
-                out.push_str(&format!("{x}"));
+                write!(out, "{x}").map_err(fmt_failed)?;
             }
         }
-        Value::Str(s) => write_string(s, out),
+        Value::Str(s) => write_string(s, out)?,
         Value::Seq(items) => {
-            out.push('[');
+            out.write_char('[').map_err(fmt_failed)?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',').map_err(fmt_failed)?;
                 }
                 write_value(item, out)?;
             }
-            out.push(']');
+            out.write_char(']').map_err(fmt_failed)?;
         }
         Value::Map(entries) => {
-            out.push('{');
+            out.write_char('{').map_err(fmt_failed)?;
             for (i, (key, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',').map_err(fmt_failed)?;
                 }
-                write_string(key, out);
-                out.push(':');
+                write_string(key, out)?;
+                out.write_char(':').map_err(fmt_failed)?;
                 write_value(item, out)?;
             }
-            out.push('}');
+            out.write_char('}').map_err(fmt_failed)?;
         }
     }
     Ok(())
 }
 
-fn write_string(s: &str, out: &mut String) {
-    out.push('"');
+fn write_string<W: fmt::Write>(s: &str, out: &mut W) -> Result<()> {
+    out.write_char('"').map_err(fmt_failed)?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            '"' => out.write_str("\\\"").map_err(fmt_failed)?,
+            '\\' => out.write_str("\\\\").map_err(fmt_failed)?,
+            '\n' => out.write_str("\\n").map_err(fmt_failed)?,
+            '\r' => out.write_str("\\r").map_err(fmt_failed)?,
+            '\t' => out.write_str("\\t").map_err(fmt_failed)?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).map_err(fmt_failed)?,
+            c => out.write_char(c).map_err(fmt_failed)?,
         }
     }
-    out.push('"');
+    out.write_char('"').map_err(fmt_failed)
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +459,39 @@ mod tests {
         assert!(from_str::<Vec<u32>>("[1, 2").is_err());
         assert!(from_str::<u32>("12x").is_err());
         assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn to_writer_is_byte_identical_to_to_string() {
+        let value = Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("score".into(), Value::Float(0.5481283371)),
+            ("whole".into(), Value::Float(3.0)),
+            (
+                "seq".into(),
+                Value::Seq(vec![Value::Uint(7), Value::Str("a\n\"b\"".into())]),
+            ),
+            ("neg".into(), Value::Int(-4)),
+        ]);
+        let via_string = super::to_string(&value).unwrap();
+        let mut via_writer: Vec<u8> = Vec::new();
+        super::to_writer(&mut via_writer, &value).unwrap();
+        assert_eq!(via_writer, via_string.as_bytes());
+    }
+
+    #[test]
+    fn to_writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = super::to_writer(Broken, &Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("sink closed"), "{err}");
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub use parallel::{
     par_mean_similarity, par_scored_pairs, par_similarities, par_top_k_pairs, par_top_k_similar_to,
 };
 pub use sampling::SamplingEstimator;
-pub use sharded::{ShardInfo, ShardSpec, ShardedQueryEngine};
+pub use sharded::{CoalescedAnswer, CoalescedQuery, ShardInfo, ShardSpec, ShardedQueryEngine};
 pub use shared::SharedQueryEngine;
 pub use single_source::{SingleSourceEstimator, SingleSourceResult, SourceMode};
 pub use speedup::SpeedupEstimator;

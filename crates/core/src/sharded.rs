@@ -49,6 +49,7 @@ use crate::shared::SharedQueryEngine;
 use crate::top_k::{ScoredPair, ScoredVertex};
 use parking_lot::RwLock;
 use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::HashMap;
 use ugraph::{CsrGraph, GraphUpdate, UncertainGraph, UpdateError, UpdateSummary, VertexId};
 use usim_cache::CacheStats;
 
@@ -106,6 +107,49 @@ pub struct ShardInfo {
     pub threads: usize,
     /// The shard's cache counters, `None` when caching is disabled.
     pub cache: Option<CacheStats>,
+}
+
+/// One logical query inside a coalesced engine batch — the unit a request
+/// coalescer collects from concurrent connections and hands to
+/// [`ShardedQueryEngine::serve_batch`] as one slot.
+///
+/// The variants mirror the server's query request types (`similarity`,
+/// `profile`, `top_k`, `batch`); updates and metadata requests are never
+/// coalesced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoalescedQuery {
+    /// One pair score — [`ShardedQueryEngine::similarity`].
+    Similarity(VertexId, VertexId),
+    /// One pair meeting-probability profile —
+    /// [`ShardedQueryEngine::profile`].
+    Profile(VertexId, VertexId),
+    /// Ranked candidates for one query vertex —
+    /// [`ShardedQueryEngine::batch_top_k_similar_to`].
+    TopK {
+        /// The query vertex.
+        query: VertexId,
+        /// The candidate vertices to rank.
+        candidates: Vec<VertexId>,
+        /// How many ranked results to keep.
+        k: usize,
+    },
+    /// Scores of a pair batch in input order —
+    /// [`ShardedQueryEngine::batch_similarities`].
+    Scores(Vec<(VertexId, VertexId)>),
+}
+
+/// The answer to one [`CoalescedQuery`] slot, carrying exactly what the
+/// matching per-request entry point would have returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoalescedAnswer {
+    /// Answer to [`CoalescedQuery::Similarity`].
+    Similarity(f64),
+    /// Answer to [`CoalescedQuery::Profile`].
+    Profile(MeetingProfile),
+    /// Answer to [`CoalescedQuery::TopK`].
+    TopK(Vec<ScoredVertex>),
+    /// Answer to [`CoalescedQuery::Scores`].
+    Scores(Vec<f64>),
 }
 
 /// One shard: a full engine replica, its cache, and its worker pool.
@@ -388,6 +432,125 @@ impl ShardedQueryEngine {
             self.scatter_scores(pairs)
         })?;
         Ok((epoch, ranked))
+    }
+
+    /// Answers a batch of heterogeneous queries — the coalesced entry
+    /// point: every slot is served under **one** read-gate acquisition, so
+    /// all answers share one epoch, and all the pair scores the batch needs
+    /// (similarity pairs, `batch` pairs, and each top-k's candidate pairs)
+    /// are gathered into **one** [`scatter_scores`] call, which dedups
+    /// repeated pairs across slots — concurrent clients asking overlapping
+    /// questions pay for each distinct pair once.
+    ///
+    /// Answers are bit-identical to calling the per-request entry points
+    /// ([`ShardedQueryEngine::similarity`] and friends) one at a time: the
+    /// scores come off the same pair-keyed RNG streams regardless of batch
+    /// shape, and ranking goes through the same `rank_candidates` helper
+    /// as [`ShardedQueryEngine::batch_top_k`].  Validation stays per-slot
+    /// — an invalid query turns into its own `Err` and never poisons the
+    /// rest of the batch.
+    ///
+    /// [`scatter_scores`]: ShardedQueryEngine::batch_similarities
+    pub fn serve_batch(
+        &self,
+        queries: &[CoalescedQuery],
+    ) -> (u64, Vec<Result<CoalescedAnswer, QueryError>>) {
+        let _gate = self.gate.read();
+        let epoch = self.update_epoch();
+
+        // Pass 1: validate each slot (same id order as the per-request
+        // entry points, so error values match exactly) and gather every
+        // pair score the valid slots will need.
+        let mut invalid: Vec<Option<QueryError>> = Vec::with_capacity(queries.len());
+        let mut wanted: Vec<(VertexId, VertexId)> = Vec::new();
+        for query in queries {
+            let check = match query {
+                CoalescedQuery::Similarity(u, v) | CoalescedQuery::Profile(u, v) => {
+                    self.validate([*u, *v])
+                }
+                CoalescedQuery::TopK {
+                    query, candidates, ..
+                } => self.validate(std::iter::once(*query).chain(candidates.iter().copied())),
+                CoalescedQuery::Scores(pairs) => {
+                    self.validate(pairs.iter().flat_map(|&(u, v)| [u, v]))
+                }
+            };
+            if let Err(error) = check {
+                invalid.push(Some(error));
+                continue;
+            }
+            invalid.push(None);
+            match query {
+                CoalescedQuery::Similarity(u, v) => wanted.push((*u, *v)),
+                // Profiles are not plain scores; they are answered per
+                // owning shard in pass 2.
+                CoalescedQuery::Profile(..) => {}
+                CoalescedQuery::TopK {
+                    query, candidates, ..
+                } => {
+                    // Request exactly the pairs `rank_candidates` will ask
+                    // for, so the assembly lookups below always hit.
+                    let mut unique: Vec<VertexId> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&v| v != *query)
+                        .collect();
+                    unique.sort_unstable();
+                    unique.dedup();
+                    wanted.extend(unique.into_iter().map(|v| (*query, v)));
+                }
+                CoalescedQuery::Scores(pairs) => wanted.extend_from_slice(pairs),
+            }
+        }
+
+        // One scatter for the whole coalesced batch; each shard's engine
+        // dedups repeated pairs internally, across slots and clients.
+        // Validation above already excluded every out-of-range id, so this
+        // cannot fail; if it somehow does, every valid slot reports it.
+        let score_map: HashMap<(VertexId, VertexId), f64> = match self.scatter_scores(&wanted) {
+            Ok(scores) => wanted.into_iter().zip(scores).collect(),
+            Err(error) => {
+                let results = invalid
+                    .into_iter()
+                    .map(|slot| Err(slot.unwrap_or(error)))
+                    .collect();
+                return (epoch, results);
+            }
+        };
+
+        // Pass 2: assemble per-slot answers from the shared score map.
+        let results = queries
+            .iter()
+            .zip(invalid)
+            .map(|(query, invalid)| {
+                if let Some(error) = invalid {
+                    return Err(error);
+                }
+                match query {
+                    CoalescedQuery::Similarity(u, v) => {
+                        Ok(CoalescedAnswer::Similarity(score_map[&(*u, *v)]))
+                    }
+                    CoalescedQuery::Profile(u, v) => {
+                        let shard = &self.shards[self.shard_of((*u).min(*v))];
+                        shard
+                            .run(|| shard.engine.profile(*u, *v))
+                            .map(|(_, profile)| CoalescedAnswer::Profile(profile))
+                    }
+                    CoalescedQuery::TopK {
+                        query,
+                        candidates,
+                        k,
+                    } => crate::engine::rank_candidates(*query, candidates, *k, |pairs| {
+                        Ok(pairs.iter().map(|pair| score_map[pair]).collect())
+                    })
+                    .map(CoalescedAnswer::TopK),
+                    CoalescedQuery::Scores(pairs) => Ok(CoalescedAnswer::Scores(
+                        pairs.iter().map(|pair| score_map[pair]).collect(),
+                    )),
+                }
+            })
+            .collect();
+        (epoch, results)
     }
 
     /// Applies one update batch to **every** shard replica under the write
@@ -701,6 +864,119 @@ mod tests {
                 assert_eq!(info.threads, threads);
             }
         }
+    }
+
+    #[test]
+    fn serve_batch_is_bit_identical_to_per_request_calls() {
+        let graph = ladder_graph(12);
+        let candidates: Vec<VertexId> = (0..12).collect();
+        let queries = vec![
+            CoalescedQuery::Similarity(3, 9),
+            CoalescedQuery::Scores(straddling_pairs(12)),
+            CoalescedQuery::Profile(2, 10),
+            CoalescedQuery::TopK {
+                query: 0,
+                candidates: candidates.clone(),
+                k: 4,
+            },
+            // Duplicates across slots: the shared scatter dedups them.
+            CoalescedQuery::Similarity(3, 9),
+            CoalescedQuery::Scores(vec![(3, 9), (9, 3), (0, 0)]),
+            CoalescedQuery::TopK {
+                query: 0,
+                candidates,
+                k: 0,
+            },
+        ];
+        for k in [1, 3, 4] {
+            let engine = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(k));
+            let (epoch, answers) = engine.serve_batch(&queries);
+            assert_eq!(epoch, 0);
+            assert_eq!(answers.len(), queries.len());
+            for (query, answer) in queries.iter().zip(&answers) {
+                let expected = match query {
+                    CoalescedQuery::Similarity(u, v) => {
+                        CoalescedAnswer::Similarity(engine.similarity(*u, *v).unwrap().1)
+                    }
+                    CoalescedQuery::Profile(u, v) => {
+                        CoalescedAnswer::Profile(engine.profile(*u, *v).unwrap().1)
+                    }
+                    CoalescedQuery::TopK {
+                        query,
+                        candidates,
+                        k,
+                    } => CoalescedAnswer::TopK(
+                        engine
+                            .batch_top_k_similar_to(*query, candidates, *k)
+                            .unwrap()
+                            .1,
+                    ),
+                    CoalescedQuery::Scores(pairs) => {
+                        CoalescedAnswer::Scores(engine.batch_similarities(pairs).unwrap().1)
+                    }
+                };
+                assert_eq!(answer.as_ref().unwrap(), &expected, "K={k} {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_batch_isolates_invalid_slots_and_tracks_the_epoch() {
+        let graph = ladder_graph(8);
+        let engine = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(3));
+        let queries = vec![
+            CoalescedQuery::Similarity(0, 99), // invalid
+            CoalescedQuery::Similarity(0, 1),
+            CoalescedQuery::Scores(vec![(1, 2), (99, 0)]), // invalid
+            CoalescedQuery::TopK {
+                query: 99, // invalid
+                candidates: vec![0, 1],
+                k: 2,
+            },
+            CoalescedQuery::Profile(2, 3),
+        ];
+        let (epoch, answers) = engine.serve_batch(&queries);
+        assert_eq!(epoch, 0);
+        let expected_err = QueryError::VertexOutOfRange {
+            vertex: 99,
+            num_vertices: 8,
+        };
+        assert_eq!(answers[0], Err(expected_err));
+        assert_eq!(
+            answers[1],
+            Ok(CoalescedAnswer::Similarity(
+                engine.similarity(0, 1).unwrap().1
+            ))
+        );
+        assert_eq!(answers[2], Err(expected_err));
+        assert_eq!(answers[3], Err(expected_err));
+        assert!(answers[4].is_ok());
+
+        // After an update round, serve_batch reports the new epoch and the
+        // post-update scores.
+        engine
+            .apply_updates(&[GraphUpdate::SetProbability {
+                source: 0,
+                target: 1,
+                probability: 0.05,
+            }])
+            .unwrap();
+        let (epoch, answers) = engine.serve_batch(&[CoalescedQuery::Similarity(0, 1)]);
+        assert_eq!(epoch, 1);
+        assert_eq!(
+            answers[0],
+            Ok(CoalescedAnswer::Similarity(
+                engine.similarity(0, 1).unwrap().1
+            ))
+        );
+    }
+
+    #[test]
+    fn serve_batch_on_an_empty_batch_is_a_no_op() {
+        let graph = ladder_graph(5);
+        let engine = ShardedQueryEngine::new(&graph, config(), ShardSpec::with_shards(2));
+        let (epoch, answers) = engine.serve_batch(&[]);
+        assert_eq!((epoch, answers.len()), (0, 0));
     }
 
     #[test]

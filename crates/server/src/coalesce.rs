@@ -1,0 +1,201 @@
+//! The request coalescer: leader–follower batching of concurrent queries.
+//!
+//! Concurrent connections asking queries within a short window are served
+//! as **one** engine batch through
+//! [`usim_core::ShardedQueryEngine::serve_batch`] — the first submitter
+//! becomes the *leader* and waits until either the collection window
+//! expires or the batch reaches its size cap; every request arriving in
+//! the meantime joins as a *follower* and blocks on its own one-shot
+//! channel.  The leader then takes the whole batch, runs it on the engine
+//! (one read-gate acquisition, one scatter, intra-batch dedup across
+//! clients), and scatters the per-slot answers back.
+//!
+//! Why this is safe: batch answers are pinned bit-identical to sequential
+//! per-request answers at any thread and shard count (the pair-keyed RNG
+//! contract), and one flush runs under one engine read-gate acquisition, so
+//! all answers of a batch share one epoch — exactly what each request would
+//! have observed had it been served alone at that instant.  Coalescing
+//! changes *when* work happens, never *what* comes back.
+//!
+//! There is no background thread: the coalescer borrows the leader's
+//! connection-worker thread for the flush, so an idle server has zero
+//! coalescer threads parked, and backpressure composes naturally with the
+//! transport's bounded worker pool.
+
+use crate::metrics::ServeMetrics;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use usim_core::{CoalescedAnswer, CoalescedQuery, QueryError, ShardedQueryEngine};
+
+/// Tuning of one [`Coalescer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceOptions {
+    /// How long the leader waits for followers before flushing.
+    pub window: Duration,
+    /// Flush as soon as this many requests are pending (the cap also
+    /// bounds engine-batch memory).
+    pub cap: usize,
+}
+
+impl Default for CoalesceOptions {
+    fn default() -> Self {
+        CoalesceOptions {
+            window: Duration::from_micros(500),
+            cap: 16,
+        }
+    }
+}
+
+/// Why a request could not be answered through the coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceError {
+    /// The engine rejected this slot (per-slot: other requests in the same
+    /// batch are unaffected).
+    Query(QueryError),
+    /// The leader never delivered an answer (its thread died mid-flush).
+    /// The submitting connection gets a typed error frame and lives on.
+    Delivery,
+}
+
+impl std::fmt::Display for CoalesceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoalesceError::Query(e) => e.fmt(f),
+            CoalesceError::Delivery => {
+                f.write_str("the coalesced batch serving this request failed to deliver")
+            }
+        }
+    }
+}
+
+/// One parked request: its query and the channel its answer comes back on.
+struct Pending {
+    query: CoalescedQuery,
+    reply: mpsc::SyncSender<Result<(u64, CoalescedAnswer), QueryError>>,
+}
+
+/// The batch being collected right now.
+#[derive(Default)]
+struct State {
+    pending: Vec<Pending>,
+    /// Whether some submitter is currently leading a collection round.
+    leader_present: bool,
+}
+
+/// The leader–follower request coalescer (see the module docs).
+#[derive(Debug)]
+pub struct Coalescer {
+    state: Mutex<State>,
+    wake_leader: Condvar,
+    options: CoalesceOptions,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl std::fmt::Debug for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("State")
+            .field("pending", &self.pending.len())
+            .field("leader_present", &self.leader_present)
+            .finish()
+    }
+}
+
+impl Coalescer {
+    /// Builds a coalescer recording its counters into `metrics`.
+    pub fn new(options: CoalesceOptions, metrics: Arc<ServeMetrics>) -> Self {
+        Coalescer {
+            state: Mutex::new(State::default()),
+            wake_leader: Condvar::new(),
+            options: CoalesceOptions {
+                window: options.window,
+                cap: options.cap.max(1),
+            },
+            metrics,
+        }
+    }
+
+    /// The effective options (cap clamped to at least 1).
+    pub fn options(&self) -> CoalesceOptions {
+        self.options
+    }
+
+    /// Submits one query and blocks until its answer arrives — either
+    /// because this thread became the leader and ran the batch itself, or
+    /// because another leader flushed a batch containing it.
+    pub fn submit(
+        &self,
+        engine: &ShardedQueryEngine,
+        query: CoalescedQuery,
+    ) -> Result<(u64, CoalescedAnswer), CoalesceError> {
+        // Answers are delivered through a one-shot rendezvous; capacity 1
+        // means the leader's send never blocks on a slow receiver.
+        let (reply, answer) = mpsc::sync_channel(1);
+        let am_leader = {
+            let mut state = self.state.lock().expect("coalescer state poisoned");
+            state.pending.push(Pending { query, reply });
+            if state.leader_present {
+                // A leader is collecting: wake it if this submission filled
+                // the batch, then just wait for the answer.
+                if state.pending.len() >= self.options.cap {
+                    self.wake_leader.notify_one();
+                }
+                false
+            } else {
+                state.leader_present = true;
+                true
+            }
+        };
+        if am_leader {
+            self.lead(engine);
+        }
+        match answer.recv() {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(error)) => Err(CoalesceError::Query(error)),
+            Err(mpsc::RecvError) => Err(CoalesceError::Delivery),
+        }
+    }
+
+    /// Leader duty: wait out the window (or the cap), take the batch, run
+    /// it, deliver every answer.  The collection lock is *not* held during
+    /// the engine call, so the next arrival starts a new round while this
+    /// one computes — rounds pipeline.
+    fn lead(&self, engine: &ShardedQueryEngine) {
+        let deadline = Instant::now() + self.options.window;
+        let mut state = self.state.lock().expect("coalescer state poisoned");
+        let mut filled = state.pending.len() >= self.options.cap;
+        while !filled {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _timeout) = self
+                .wake_leader
+                .wait_timeout(state, deadline - now)
+                .expect("coalescer state poisoned");
+            state = next;
+            filled = state.pending.len() >= self.options.cap;
+        }
+        let batch = std::mem::take(&mut state.pending);
+        state.leader_present = false;
+        drop(state);
+
+        let counters = self.metrics.coalescer();
+        counters
+            .requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        if filled {
+            counters.cap_flushes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.window_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let queries: Vec<CoalescedQuery> = batch.iter().map(|p| p.query.clone()).collect();
+        let (epoch, answers) = engine.serve_batch(&queries);
+        for (pending, answer) in batch.into_iter().zip(answers) {
+            // A send can only fail if the submitter died; nothing to do.
+            let _ = pending.reply.send(answer.map(|a| (epoch, a)));
+        }
+    }
+}

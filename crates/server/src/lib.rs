@@ -18,6 +18,12 @@
 //! * [`server`] — `std::net` + `std::thread` transport: one accept loop
 //!   feeding N workers through a bounded job queue.
 //!
+//! Two hot-path subsystems ride on top: the [`coalesce`] module batches
+//! concurrent requests from different connections into single engine calls
+//! (answers stay bit-identical — see its docs for why), and the [`metrics`]
+//! module keeps a lock-free latency histogram plus per-request-type and
+//! coalescer counters, surfaced through the `stats` frame.
+//!
 //! The frame-by-frame protocol reference lives in `docs/PROTOCOL.md`; the
 //! CLI front-end is `usim serve` (crate `usim_cli`).  Answers are
 //! bit-identical to the same entry points called on a local engine with the
@@ -27,8 +33,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod coalesce;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{ErrorCode, Frame, RequestHandler, DEFAULT_MAX_BATCH};
+pub use coalesce::{CoalesceError, CoalesceOptions, Coalescer};
+pub use metrics::{
+    CoalescerCounters, CoalescerSnapshot, LatencyHistogram, RequestKind, ServeMetrics,
+};
+pub use protocol::{ErrorCode, Frame, RequestHandler, ResponseMeta, DEFAULT_MAX_BATCH};
 pub use server::{Server, ServerHandle, ServerOptions, ServerStats};

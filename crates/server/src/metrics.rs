@@ -1,0 +1,276 @@
+//! Lock-free serving metrics: a fixed-bucket latency histogram, per
+//! request-type counters, and the coalescer's batching counters.
+//!
+//! Everything here is plain relaxed atomics — recording sits on the serving
+//! hot path (one histogram increment per response frame), so there are no
+//! locks, no allocation, and no synchronisation beyond the counter itself.
+//! Snapshots read the counters without stopping writers: the `stats` frame
+//! is an observability view, not a linearisable read (exactly like the
+//! cache counters it sits next to).
+//!
+//! The histogram is log-spaced: bucket `i` covers latencies in
+//! `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`), 32 buckets in
+//! total, so the top bucket absorbs everything from ~36 minutes up.
+//! Percentiles are read back as the upper bound of the bucket the rank
+//! falls in — exact enough to alarm on, two orders of magnitude cheaper
+//! than recording every sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log-spaced buckets (`2^31` µs ≈ 36 minutes in the last one).
+const NUM_BUCKETS: usize = 32;
+
+/// A lock-free fixed-bucket latency histogram (log-spaced, microseconds).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let index = (64 - micros.leading_zeros() as usize).min(NUM_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper bound of
+    /// the bucket the rank falls in, `0` when nothing was recorded.
+    pub fn quantile_upper_bound_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based; ceil so q = 1.0 lands on
+        // the last sample and q = 0.0 on the first.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Bucket i covers [2^(i-1), 2^i) µs; report the upper bound.
+                return 1u64 << index;
+            }
+        }
+        1u64 << (NUM_BUCKETS - 1)
+    }
+}
+
+/// The request types the server counts — the six wire request types plus a
+/// bucket for lines that never resolved to one (malformed JSON, unknown
+/// types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A `similarity` frame.
+    Similarity,
+    /// A `profile` frame.
+    Profile,
+    /// A `top_k` frame.
+    TopK,
+    /// A `batch` frame.
+    Batch,
+    /// An `update` frame.
+    Update,
+    /// A `stats` frame.
+    Stats,
+    /// A line that parsed to no known request type.
+    Invalid,
+}
+
+impl RequestKind {
+    /// All kinds, in stats-frame order.
+    pub const ALL: [RequestKind; 7] = [
+        RequestKind::Similarity,
+        RequestKind::Profile,
+        RequestKind::TopK,
+        RequestKind::Batch,
+        RequestKind::Update,
+        RequestKind::Stats,
+        RequestKind::Invalid,
+    ];
+
+    /// The stats-frame field name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Similarity => "similarity",
+            RequestKind::Profile => "profile",
+            RequestKind::TopK => "top_k",
+            RequestKind::Batch => "batch",
+            RequestKind::Update => "update",
+            RequestKind::Stats => "stats",
+            RequestKind::Invalid => "invalid",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RequestKind::Similarity => 0,
+            RequestKind::Profile => 1,
+            RequestKind::TopK => 2,
+            RequestKind::Batch => 3,
+            RequestKind::Update => 4,
+            RequestKind::Stats => 5,
+            RequestKind::Invalid => 6,
+        }
+    }
+}
+
+/// Counters the request coalescer maintains (all zero when coalescing is
+/// off).
+#[derive(Debug, Default)]
+pub struct CoalescerCounters {
+    /// Requests that went through the coalescer.
+    pub requests: AtomicU64,
+    /// Engine batches formed (each serves one or more requests).
+    pub batches: AtomicU64,
+    /// Batches flushed because the collection window expired.
+    pub window_flushes: AtomicU64,
+    /// Batches flushed because the size cap was reached.
+    pub cap_flushes: AtomicU64,
+}
+
+/// A point-in-time view of [`CoalescerCounters`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescerSnapshot {
+    /// Requests that went through the coalescer.
+    pub requests: u64,
+    /// Engine batches formed.
+    pub batches: u64,
+    /// Window-expiry flushes.
+    pub window_flushes: u64,
+    /// Size-cap flushes.
+    pub cap_flushes: u64,
+    /// `requests / batches` (0 when no batch has formed yet).
+    pub mean_occupancy: f64,
+}
+
+/// The serving metrics one server (transport + handler) shares: the latency
+/// histogram fed by the transport at read→flush boundaries, the per
+/// request-type counters fed by the protocol layer, and the coalescer's
+/// batching counters.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    latency: LatencyHistogram,
+    kinds: [AtomicU64; 7],
+    coalescer: CoalescerCounters,
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latency histogram (record at request-read → response-flush
+    /// boundaries).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Counts one request of `kind`.
+    pub fn count_request(&self, kind: RequestKind) {
+        self.kinds[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many requests of `kind` have been counted.
+    pub fn requests_of(&self, kind: RequestKind) -> u64 {
+        self.kinds[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// The coalescer's counters (written by [`crate::coalesce::Coalescer`]).
+    pub fn coalescer(&self) -> &CoalescerCounters {
+        &self.coalescer
+    }
+
+    /// A consistent-enough snapshot of the coalescer counters.
+    pub fn coalescer_snapshot(&self) -> CoalescerSnapshot {
+        let requests = self.coalescer.requests.load(Ordering::Relaxed);
+        let batches = self.coalescer.batches.load(Ordering::Relaxed);
+        CoalescerSnapshot {
+            requests,
+            batches,
+            window_flushes: self.coalescer.window_flushes.load(Ordering::Relaxed),
+            cap_flushes: self.coalescer.cap_flushes.load(Ordering::Relaxed),
+            mean_occupancy: if batches == 0 {
+                0.0
+            } else {
+                requests as f64 / batches as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper_bound_us(0.5), 0);
+        for micros in [0u64, 1, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 7);
+        // All samples fit under 2^17 µs = 131072 µs.
+        assert!(h.quantile_upper_bound_us(1.0) <= 1 << 17);
+        // The median of {0,1,2,3,100,1000,100000} is 3 -> bucket [2,4).
+        assert_eq!(h.quantile_upper_bound_us(0.5), 4);
+        // Monotone in q.
+        let p50 = h.quantile_upper_bound_us(0.5);
+        let p90 = h.quantile_upper_bound_us(0.9);
+        let p99 = h.quantile_upper_bound_us(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+    }
+
+    #[test]
+    fn histogram_survives_extreme_samples() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(60 * 60 * 24)); // a day -> top bucket
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_upper_bound_us(0.0), 1); // the 0µs sample
+        assert_eq!(h.quantile_upper_bound_us(1.0), 1u64 << 31);
+    }
+
+    #[test]
+    fn request_kinds_count_independently() {
+        let m = ServeMetrics::new();
+        m.count_request(RequestKind::Batch);
+        m.count_request(RequestKind::Batch);
+        m.count_request(RequestKind::Stats);
+        assert_eq!(m.requests_of(RequestKind::Batch), 2);
+        assert_eq!(m.requests_of(RequestKind::Stats), 1);
+        assert_eq!(m.requests_of(RequestKind::Invalid), 0);
+    }
+
+    #[test]
+    fn coalescer_snapshot_computes_mean_occupancy() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.coalescer_snapshot().mean_occupancy, 0.0);
+        m.coalescer().requests.fetch_add(6, Ordering::Relaxed);
+        m.coalescer().batches.fetch_add(2, Ordering::Relaxed);
+        m.coalescer().window_flushes.fetch_add(1, Ordering::Relaxed);
+        m.coalescer().cap_flushes.fetch_add(1, Ordering::Relaxed);
+        let snap = m.coalescer_snapshot();
+        assert_eq!(snap.mean_occupancy, 3.0);
+        assert_eq!(snap.window_flushes + snap.cap_flushes, snap.batches);
+    }
+}

@@ -42,12 +42,28 @@
 //! `update` batch is appended to a durable [`ugraph::UpdateLog`] (synced
 //! before the response frame goes out), so a restarted server can replay
 //! back to the exact epoch its clients last observed.
+//!
+//! With [`RequestHandler::with_coalescing`] attached, concurrent
+//! `similarity` / `profile` / `top_k` / `batch` requests are collected into
+//! single engine batches by the [`crate::coalesce::Coalescer`] — answers
+//! stay byte-identical (the engine's batch determinism contract), only
+//! throughput changes.  The handler also counts requests per type and
+//! surfaces those counters — together with the transport's latency
+//! histogram and the coalescer's batching counters — in the `stats`
+//! frame's `latency` and `coalescer` objects.
 
+use crate::coalesce::{CoalesceError, CoalesceOptions, Coalescer};
+use crate::metrics::{RequestKind, ServeMetrics};
+use bytes::{BufMut, BytesMut};
 use parking_lot::Mutex;
 use serde::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 use ugraph::{GraphUpdate, UpdateError, UpdateLog, VertexId};
-use usim_core::{CachedQueryEngine, QueryError, ShardedQueryEngine, SharedQueryEngine};
+use usim_core::{
+    CachedQueryEngine, CoalescedAnswer, CoalescedQuery, QueryError, ShardedQueryEngine,
+    SharedQueryEngine,
+};
 
 /// Default cap on `batch` pairs, `top_k` candidates and `update` batches —
 /// a bound on per-request memory and lock-hold time, not a protocol limit.
@@ -107,6 +123,15 @@ pub struct Frame {
     /// The serialised JSON object, without the trailing newline.
     pub json: String,
     /// Whether this is an `"ok": false` frame.
+    pub is_error: bool,
+}
+
+/// What the transport needs to know about a response that
+/// [`RequestHandler::handle_line_into`] wrote straight into its buffer
+/// (the allocation-free sibling of [`Frame`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Whether the written frame is an `"ok": false` frame.
     pub is_error: bool,
 }
 
@@ -171,6 +196,13 @@ pub struct RequestHandler {
     /// the epoch its clients last saw.  The mutex is held across
     /// apply + append: log order always equals epoch order.
     update_log: Option<Mutex<UpdateLog>>,
+    /// Per-request-type counters, the coalescer's batching counters, and
+    /// the latency histogram the transport records into.
+    metrics: Arc<ServeMetrics>,
+    /// When present, query traffic is batched across connections (updates
+    /// and stats always bypass it — updates need the write gate, stats is
+    /// metadata).
+    coalescer: Option<Coalescer>,
 }
 
 impl RequestHandler {
@@ -234,6 +266,8 @@ impl RequestHandler {
             index,
             max_batch,
             update_log: None,
+            metrics: Arc::new(ServeMetrics::new()),
+            coalescer: None,
         }
     }
 
@@ -245,6 +279,29 @@ impl RequestHandler {
     pub fn with_update_log(mut self, log: UpdateLog) -> Self {
         self.update_log = Some(Mutex::new(log));
         self
+    }
+
+    /// Enables request coalescing: concurrent `similarity` / `profile` /
+    /// `top_k` / `batch` requests are collected (up to `options.window`, or
+    /// until `options.cap` are pending) and dispatched as **one** engine
+    /// batch through the intra-batch-dedup path.  Answers are byte-identical
+    /// to the uncoalesced handler — see [`crate::coalesce`] for why — and
+    /// every response still carries the epoch its batch was computed under.
+    pub fn with_coalescing(mut self, options: CoalesceOptions) -> Self {
+        self.coalescer = Some(Coalescer::new(options, Arc::clone(&self.metrics)));
+        self
+    }
+
+    /// The serving metrics this handler feeds (the transport records
+    /// latencies into the same object, so one `stats` frame tells the whole
+    /// story).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The coalescer, when [`RequestHandler::with_coalescing`] enabled one.
+    pub fn coalescer(&self) -> Option<&Coalescer> {
+        self.coalescer.as_ref()
     }
 
     /// The shared engine behind shard 0 (every shard replica answers
@@ -271,17 +328,50 @@ impl RequestHandler {
     /// Handles one wire line.  Returns `None` for blank lines (keep-alives
     /// are free); otherwise always returns exactly one response frame.
     pub fn handle_line(&self, line: &str) -> Option<Frame> {
+        let (value, is_error) = self.response(line)?;
+        Some(Frame {
+            json: serde_json::to_string(&value).expect("response values are finite"),
+            is_error,
+        })
+    }
+
+    /// Like [`RequestHandler::handle_line`], but serialises the response
+    /// (newline included) straight into `out` — no per-request `String`.
+    /// The bytes appended are exactly `handle_line(line).json + "\n"`
+    /// (same serialiser, same field order), so the wire format is
+    /// indistinguishable; only the allocation profile changes.
+    pub fn handle_line_into(&self, line: &str, out: &mut BytesMut) -> Option<ResponseMeta> {
+        let (value, is_error) = self.response(line)?;
+        serde_json::to_writer(&mut *out, &value).expect("response values are finite");
+        out.put_slice(b"\n");
+        Some(ResponseMeta { is_error })
+    }
+
+    /// The shared core of both entry points: `None` for blank lines,
+    /// otherwise the response as a JSON tree plus its error flag.
+    fn response(&self, line: &str) -> Option<(Value, bool)> {
         let line = line.trim();
         if line.is_empty() {
             return None;
         }
         Some(match self.handle(line) {
-            Ok(frame) => frame,
-            Err(reject) => error_frame(&reject),
+            Ok(value) => (value, false),
+            Err(reject) => {
+                // Lines that never resolved to a known request type count
+                // under the `invalid` kind; field-level failures of a known
+                // type were already counted under that type at dispatch.
+                if matches!(
+                    reject.code,
+                    ErrorCode::MalformedFrame | ErrorCode::UnknownRequestType
+                ) {
+                    self.metrics.count_request(RequestKind::Invalid);
+                }
+                (error_value(&reject), true)
+            }
         })
     }
 
-    fn handle(&self, line: &str) -> Result<Frame, Reject> {
+    fn handle(&self, line: &str) -> Result<Value, Reject> {
         let value: Value = serde_json::from_str(line)
             .map_err(|e| Reject::new(ErrorCode::MalformedFrame, format!("invalid JSON: {e}")))?;
         let entries = value.as_map().ok_or_else(|| {
@@ -305,43 +395,72 @@ impl RequestHandler {
                 ))
             }
         };
-        match rtype {
-            "similarity" => self.similarity(entries),
-            "profile" => self.profile(entries),
-            "top_k" => self.top_k(entries),
-            "batch" => self.batch(entries),
-            "update" => self.update(entries),
-            "stats" => self.stats(entries),
-            other => Err(Reject::new(
-                ErrorCode::UnknownRequestType,
-                format!(
-                    "unknown request type {other:?}; expected one of \
-                     \"similarity\", \"profile\", \"top_k\", \"batch\", \"update\", \"stats\""
-                ),
-            )),
+        let kind = match rtype {
+            "similarity" => RequestKind::Similarity,
+            "profile" => RequestKind::Profile,
+            "top_k" => RequestKind::TopK,
+            "batch" => RequestKind::Batch,
+            "update" => RequestKind::Update,
+            "stats" => RequestKind::Stats,
+            other => {
+                return Err(Reject::new(
+                    ErrorCode::UnknownRequestType,
+                    format!(
+                        "unknown request type {other:?}; expected one of \
+                         \"similarity\", \"profile\", \"top_k\", \"batch\", \"update\", \"stats\""
+                    ),
+                ))
+            }
+        };
+        // Counted at dispatch, before the handler runs: a stats frame
+        // therefore includes itself, and field-level rejections still count
+        // under the type the client named.
+        self.metrics.count_request(kind);
+        match kind {
+            RequestKind::Similarity => self.similarity(entries),
+            RequestKind::Profile => self.profile(entries),
+            RequestKind::TopK => self.top_k(entries),
+            RequestKind::Batch => self.batch(entries),
+            RequestKind::Update => self.update(entries),
+            RequestKind::Stats => self.stats(entries),
+            RequestKind::Invalid => unreachable!("invalid kinds never dispatch"),
         }
     }
 
     // -- request type handlers ---------------------------------------------
 
-    fn similarity(&self, entries: &Entries) -> Result<Frame, Reject> {
+    fn similarity(&self, entries: &Entries) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "similarity", &["source", "target"])?;
         let u = self.resolve(require_label(entries, "source")?)?;
         let v = self.resolve(require_label(entries, "target")?)?;
-        let (epoch, score) = self.engine.similarity(u, v).map_err(query_rejected)?;
-        Ok(ok_frame(
+        let (epoch, score) = if self.coalescer.is_some() {
+            self.coalesced(CoalescedQuery::Similarity(u, v), |answer| match answer {
+                CoalescedAnswer::Similarity(score) => Some(score),
+                _ => None,
+            })?
+        } else {
+            self.engine.similarity(u, v).map_err(query_rejected)?
+        };
+        Ok(ok_value(
             "similarity",
             epoch,
             vec![("score".into(), Value::Float(score))],
         ))
     }
 
-    fn profile(&self, entries: &Entries) -> Result<Frame, Reject> {
+    fn profile(&self, entries: &Entries) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "profile", &["source", "target"])?;
         let u = self.resolve(require_label(entries, "source")?)?;
         let v = self.resolve(require_label(entries, "target")?)?;
-        let (epoch, profile) = self.engine.profile(u, v).map_err(query_rejected)?;
-        Ok(ok_frame(
+        let (epoch, profile) = if self.coalescer.is_some() {
+            self.coalesced(CoalescedQuery::Profile(u, v), |answer| match answer {
+                CoalescedAnswer::Profile(profile) => Some(profile),
+                _ => None,
+            })?
+        } else {
+            self.engine.profile(u, v).map_err(query_rejected)?
+        };
+        Ok(ok_value(
             "profile",
             epoch,
             vec![
@@ -355,7 +474,7 @@ impl RequestHandler {
         ))
     }
 
-    fn top_k(&self, entries: &Entries) -> Result<Frame, Reject> {
+    fn top_k(&self, entries: &Entries) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "top_k", &["source", "k", "candidates"])?;
         let source = self.resolve(require_label(entries, "source")?)?;
         let k = require_usize(entries, "k")?;
@@ -377,10 +496,23 @@ impl RequestHandler {
                     .collect::<Result<_, _>>()?
             }
         };
-        let (epoch, ranked) = self
-            .engine
-            .batch_top_k_similar_to(source, &candidates, k)
-            .map_err(query_rejected)?;
+        let (epoch, ranked) = if self.coalescer.is_some() {
+            self.coalesced(
+                CoalescedQuery::TopK {
+                    query: source,
+                    candidates,
+                    k,
+                },
+                |answer| match answer {
+                    CoalescedAnswer::TopK(ranked) => Some(ranked),
+                    _ => None,
+                },
+            )?
+        } else {
+            self.engine
+                .batch_top_k_similar_to(source, &candidates, k)
+                .map_err(query_rejected)?
+        };
         let results = ranked
             .into_iter()
             .map(|scored| {
@@ -393,14 +525,14 @@ impl RequestHandler {
                 ])
             })
             .collect();
-        Ok(ok_frame(
+        Ok(ok_value(
             "top_k",
             epoch,
             vec![("results".into(), Value::Seq(results))],
         ))
     }
 
-    fn batch(&self, entries: &Entries) -> Result<Frame, Reject> {
+    fn batch(&self, entries: &Entries) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "batch", &["pairs"])?;
         let items = expect_seq(require_field(entries, "pairs")?, "pairs")?;
         self.check_batch_len(items.len(), "pairs")?;
@@ -422,11 +554,17 @@ impl RequestHandler {
                 self.resolve(expect_label(b, &format!("pairs[{i}][1]"))?)?,
             ));
         }
-        let (epoch, scores) = self
-            .engine
-            .batch_similarities(&pairs)
-            .map_err(query_rejected)?;
-        Ok(ok_frame(
+        let (epoch, scores) = if self.coalescer.is_some() {
+            self.coalesced(CoalescedQuery::Scores(pairs), |answer| match answer {
+                CoalescedAnswer::Scores(scores) => Some(scores),
+                _ => None,
+            })?
+        } else {
+            self.engine
+                .batch_similarities(&pairs)
+                .map_err(query_rejected)?
+        };
+        Ok(ok_value(
             "batch",
             epoch,
             vec![(
@@ -436,7 +574,7 @@ impl RequestHandler {
         ))
     }
 
-    fn update(&self, entries: &Entries) -> Result<Frame, Reject> {
+    fn update(&self, entries: &Entries) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "update", &["updates"])?;
         let items = expect_seq(require_field(entries, "updates")?, "updates")?;
         self.check_batch_len(items.len(), "updates")?;
@@ -466,7 +604,7 @@ impl RequestHandler {
                 )
             })?;
         }
-        Ok(ok_frame(
+        Ok(ok_value(
             "update",
             epoch,
             vec![
@@ -479,7 +617,7 @@ impl RequestHandler {
         ))
     }
 
-    fn stats(&self, entries: &Entries) -> Result<Frame, Reject> {
+    fn stats(&self, entries: &Entries) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "stats", &[])?;
         let (epoch, vertices, arcs, config) = self.engine.with_read(|e| {
             (
@@ -547,7 +685,67 @@ impl RequestHandler {
                 Value::Map(entry)
             })
             .collect();
-        Ok(ok_frame(
+        // Latency and coalescer sections: lock-free counter snapshots, like
+        // the cache section above.  Fields are always present (zeroed when
+        // the feature is off) so dashboards need no schema branching.
+        let histogram = self.metrics.latency();
+        let requests = RequestKind::ALL
+            .iter()
+            .map(|&kind| {
+                (
+                    kind.as_str().to_string(),
+                    Value::Uint(self.metrics.requests_of(kind)),
+                )
+            })
+            .collect();
+        let latency = vec![
+            ("count".to_string(), Value::Uint(histogram.count())),
+            (
+                "p50_us".to_string(),
+                Value::Uint(histogram.quantile_upper_bound_us(0.50)),
+            ),
+            (
+                "p90_us".to_string(),
+                Value::Uint(histogram.quantile_upper_bound_us(0.90)),
+            ),
+            (
+                "p99_us".to_string(),
+                Value::Uint(histogram.quantile_upper_bound_us(0.99)),
+            ),
+            ("requests".to_string(), Value::Map(requests)),
+        ];
+        let coalescer_options = self.coalescer.as_ref().map(Coalescer::options);
+        let snapshot = self.metrics.coalescer_snapshot();
+        let coalescer = vec![
+            (
+                "enabled".to_string(),
+                Value::Bool(coalescer_options.is_some()),
+            ),
+            (
+                "window_us".to_string(),
+                Value::Uint(
+                    coalescer_options
+                        .map(|o| u64::try_from(o.window.as_micros()).unwrap_or(u64::MAX))
+                        .unwrap_or(0),
+                ),
+            ),
+            (
+                "cap".to_string(),
+                Value::Uint(coalescer_options.map(|o| o.cap as u64).unwrap_or(0)),
+            ),
+            ("requests".to_string(), Value::Uint(snapshot.requests)),
+            ("batches".to_string(), Value::Uint(snapshot.batches)),
+            (
+                "mean_occupancy".to_string(),
+                Value::Float(snapshot.mean_occupancy),
+            ),
+            (
+                "window_flushes".to_string(),
+                Value::Uint(snapshot.window_flushes),
+            ),
+            ("cap_flushes".to_string(), Value::Uint(snapshot.cap_flushes)),
+        ];
+        Ok(ok_value(
             "stats",
             epoch,
             vec![
@@ -560,9 +758,39 @@ impl RequestHandler {
                 ),
                 ("shards".into(), Value::Seq(shards)),
                 ("cache".into(), Value::Map(cache)),
+                ("latency".into(), Value::Map(latency)),
+                ("coalescer".into(), Value::Map(coalescer)),
                 ("config".into(), config),
             ],
         ))
+    }
+
+    /// Routes one query through the coalescer (the caller checked it is
+    /// enabled) and narrows the answer back to the expected variant.
+    fn coalesced<T>(
+        &self,
+        query: CoalescedQuery,
+        narrow: impl FnOnce(CoalescedAnswer) -> Option<T>,
+    ) -> Result<(u64, T), Reject> {
+        let coalescer = self
+            .coalescer
+            .as_ref()
+            .expect("coalesced() is only called when coalescing is enabled");
+        match coalescer.submit(&self.engine, query) {
+            // The engine pairs every slot with its own answer variant, so a
+            // mismatch cannot happen; reject rather than panic regardless —
+            // a server bug must never take the process down.
+            Ok((epoch, answer)) => narrow(answer).map(|value| (epoch, value)).ok_or_else(|| {
+                Reject::new(
+                    ErrorCode::QueryRejected,
+                    "internal error: coalesced answer kind mismatch",
+                )
+            }),
+            Err(CoalesceError::Query(error)) => Err(query_rejected(error)),
+            Err(delivery @ CoalesceError::Delivery) => {
+                Err(Reject::new(ErrorCode::QueryRejected, delivery.to_string()))
+            }
+        }
     }
 
     // -- helpers -----------------------------------------------------------
@@ -716,33 +944,31 @@ impl RequestHandler {
 }
 
 // -- frame construction ----------------------------------------------------
+//
+// Handlers build JSON *trees*; serialisation happens exactly once, in
+// `handle_line` (to a fresh `String`) or `handle_line_into` (appended to a
+// reusable buffer) — the two spellings share one serialiser, so they are
+// byte-identical by construction.
 
-fn ok_frame(rtype: &str, epoch: u64, payload: Vec<(String, Value)>) -> Frame {
+fn ok_value(rtype: &str, epoch: u64, payload: Vec<(String, Value)>) -> Value {
     let mut entries = vec![
         ("ok".to_string(), Value::Bool(true)),
         ("type".to_string(), Value::Str(rtype.to_string())),
         ("epoch".to_string(), Value::Uint(epoch)),
     ];
     entries.extend(payload);
-    Frame {
-        json: serde_json::to_string(&Value::Map(entries)).expect("response values are finite"),
-        is_error: false,
-    }
+    Value::Map(entries)
 }
 
-fn error_frame(reject: &Reject) -> Frame {
-    let entries = vec![
+fn error_value(reject: &Reject) -> Value {
+    Value::Map(vec![
         ("ok".to_string(), Value::Bool(false)),
         (
             "code".to_string(),
             Value::Str(reject.code.as_str().to_string()),
         ),
         ("message".to_string(), Value::Str(reject.message.clone())),
-    ];
-    Frame {
-        json: serde_json::to_string(&Value::Map(entries)).expect("error frames are finite"),
-        is_error: true,
-    }
+    ])
 }
 
 fn query_rejected(error: QueryError) -> Reject {
@@ -1408,6 +1634,186 @@ mod tests {
             ),
             "update_rejected"
         );
+    }
+
+    #[test]
+    fn handle_line_into_writes_the_same_bytes_without_a_string() {
+        // Two identically-built handlers (so metric counters — which the
+        // stats frame serialises — advance in lockstep): the buffer writer
+        // must produce exactly `handle_line(..).json + "\n"`.
+        let (buffered, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let (stringly, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let mut out = BytesMut::with_capacity(64);
+        for line in [
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"batch","pairs":[[10,11],[11,12]]}"#,
+            r#"{"type":"top_k","source":11,"k":2}"#,
+            "   ",
+            "{oops",
+            r#"{"type":"stats"}"#,
+        ] {
+            out.clear();
+            let meta = buffered.handle_line_into(line, &mut out);
+            match stringly.handle_line(line) {
+                None => {
+                    assert_eq!(meta, None, "{line}");
+                    assert!(out.is_empty(), "{line}");
+                }
+                Some(frame) => {
+                    assert_eq!(meta.unwrap().is_error, frame.is_error, "{line}");
+                    let mut expected = frame.json.into_bytes();
+                    expected.push(b'\n');
+                    assert_eq!(&out[..], &expected[..], "{line}");
+                }
+            }
+        }
+        assert!(!out.is_empty(), "the last response stayed in the buffer");
+    }
+
+    #[test]
+    fn coalesced_handler_is_byte_identical_on_the_wire() {
+        let (plain, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        // cap = 1: every submission flushes immediately, so a
+        // single-threaded test never waits out a window.
+        let coalesced = RequestHandler::new(
+            SharedQueryEngine::new(&fig1_graph(), config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+        )
+        .with_coalescing(CoalesceOptions {
+            window: std::time::Duration::from_millis(50),
+            cap: 1,
+        });
+        let frames = [
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"profile","source":12,"target":13}"#,
+            r#"{"type":"batch","pairs":[[10,14],[11,12],[10,14]]}"#,
+            r#"{"type":"top_k","source":11,"k":3}"#,
+            r#"{"type":"top_k","source":11,"k":0}"#,
+            r#"{"type":"update","updates":[{"op":"set","source":10,"target":12,"probability":0.05}]}"#,
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"similarity","source":10,"target":99}"#,
+        ];
+        for frame in frames {
+            assert_eq!(
+                coalesced.handle_line(frame).unwrap(),
+                plain.handle_line(frame).unwrap(),
+                "{frame}"
+            );
+        }
+        // The coalescer actually ran (updates and the unknown-vertex
+        // rejection bypass it): 6 coalescable requests, every one its own
+        // immediate cap-flush batch.
+        let snapshot = coalesced.metrics().coalescer_snapshot();
+        assert_eq!(snapshot.requests, 6);
+        assert_eq!(snapshot.batches, 6);
+        assert_eq!(snapshot.cap_flushes, 6);
+        assert_eq!(snapshot.mean_occupancy, 1.0);
+    }
+
+    #[test]
+    fn concurrent_coalesced_requests_share_batches_and_stay_identical() {
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let coalesced = RequestHandler::new(
+            SharedQueryEngine::new(&fig1_graph(), config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+        )
+        .with_coalescing(CoalesceOptions {
+            window: std::time::Duration::from_millis(20),
+            cap: 3,
+        });
+        let (plain, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let lines = [
+            r#"{"type":"similarity","source":10,"target":11}"#,
+            r#"{"type":"batch","pairs":[[10,11],[12,13]]}"#,
+            r#"{"type":"similarity","source":12,"target":13}"#,
+        ];
+        // Three threads ask concurrently, several rounds: whichever thread
+        // ends up leading whichever batch, every answer must equal the
+        // uncoalesced handler's.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lines
+                .iter()
+                .map(|line| {
+                    let coalesced = &coalesced;
+                    scope.spawn(move || {
+                        (0..8)
+                            .map(|_| coalesced.handle_line(line).unwrap())
+                            .collect::<Vec<Frame>>()
+                    })
+                })
+                .collect();
+            for (line, handle) in lines.iter().zip(handles) {
+                let expected = plain.handle_line(line).unwrap();
+                for frame in handle.join().unwrap() {
+                    assert_eq!(frame, expected, "{line}");
+                }
+            }
+        });
+        let snapshot = coalesced.metrics().coalescer_snapshot();
+        assert_eq!(snapshot.requests, 24);
+        assert!(snapshot.batches <= 24, "{snapshot:?}");
+        assert_eq!(
+            snapshot.window_flushes + snapshot.cap_flushes,
+            snapshot.batches,
+            "{snapshot:?}"
+        );
+    }
+
+    #[test]
+    fn stats_reports_latency_and_coalescer_sections() {
+        let (handler, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        handler
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        let malformed = handler.handle_line("{oops").unwrap();
+        assert!(malformed.is_error);
+        // The transport records latencies; stand in for it here.
+        handler
+            .metrics()
+            .latency()
+            .record(std::time::Duration::from_micros(300));
+        let entries = parse(&handler.handle_line(r#"{"type":"stats"}"#).unwrap());
+        let latency = get(&entries, "latency").as_map().unwrap();
+        assert_eq!(get(latency, "count"), &Value::Uint(1));
+        // One 300µs sample: every percentile reports its bucket's upper
+        // bound, 512µs.
+        assert_eq!(get(latency, "p50_us"), &Value::Uint(512));
+        assert_eq!(get(latency, "p99_us"), &Value::Uint(512));
+        let requests = get(latency, "requests").as_map().unwrap();
+        assert_eq!(get(requests, "similarity"), &Value::Uint(1));
+        assert_eq!(get(requests, "invalid"), &Value::Uint(1));
+        // The stats frame counts itself (dispatch-time counting).
+        assert_eq!(get(requests, "stats"), &Value::Uint(1));
+        assert_eq!(get(requests, "update"), &Value::Uint(0));
+        let coalescer = get(&entries, "coalescer").as_map().unwrap();
+        assert_eq!(get(coalescer, "enabled"), &Value::Bool(false));
+        assert_eq!(get(coalescer, "window_us"), &Value::Uint(0));
+        assert_eq!(get(coalescer, "batches"), &Value::Uint(0));
+
+        // With coalescing on, the section reflects the configuration.
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let coalesced = RequestHandler::new(
+            SharedQueryEngine::new(&fig1_graph(), config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+        )
+        .with_coalescing(CoalesceOptions {
+            window: std::time::Duration::from_micros(800),
+            cap: 4,
+        });
+        coalesced
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        let entries = parse(&coalesced.handle_line(r#"{"type":"stats"}"#).unwrap());
+        let section = get(&entries, "coalescer").as_map().unwrap();
+        assert_eq!(get(section, "enabled"), &Value::Bool(true));
+        assert_eq!(get(section, "window_us"), &Value::Uint(800));
+        assert_eq!(get(section, "cap"), &Value::Uint(4));
+        assert_eq!(get(section, "requests"), &Value::Uint(1));
+        assert_eq!(get(section, "batches"), &Value::Uint(1));
     }
 
     #[test]

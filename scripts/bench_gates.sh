@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench-gates: run the regression-gated benchmarks in one loop.
+#
+# Each gate is a usim_bench binary that measures itself against its checked-in
+# baseline (crates/bench/baselines/<gate>.json) and exits non-zero on a
+# regression.  The report is written to BENCH_<gate>.json in the repo root so
+# CI can upload every artifact from a single glob.
+#
+# Usage:
+#   scripts/bench_gates.sh                 # the default (bench-smoke) gate set
+#   scripts/bench_gates.sh serve_throughput  # an explicit gate list
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DEFAULT_GATES=(batch_smoke update_churn cache_throughput cold_start)
+GATES=("${@:-${DEFAULT_GATES[@]}}")
+
+for gate in "${GATES[@]}"; do
+    # Gate names follow the baseline/report files; most binaries share the
+    # gate's name, the original smoke gate predates that convention.
+    case "$gate" in
+        batch_smoke) bin=bench_smoke ;;
+        update_churn | cache_throughput | cold_start | serve_throughput) bin=$gate ;;
+        *) echo "bench-gates: unknown gate '$gate'" >&2; exit 2 ;;
+    esac
+    echo "=== gate: $gate (bin: $bin) ==="
+    USIM_BENCH_OUT="BENCH_${gate}.json" \
+        cargo run --release -p usim_bench --bin "$bin"
+done
+
+echo "bench-gates: all gates passed (${GATES[*]})"

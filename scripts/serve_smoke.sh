@@ -7,11 +7,22 @@
 # (crates/cli/tests/serve_equivalence.rs, crates/server/tests/); this script
 # proves the *shipped binary* end to end: process startup, port-file
 # rendezvous, the TCP loop, and graceful --max-connections shutdown.
+#
+# Knobs (all optional — defaults reproduce the classic single-shard run):
+#   USIM_SMOKE_SHARDS           shard count for the main round      [1]
+#   USIM_SMOKE_SOURCE           main-round boot source: text|snapshot [text]
+#   USIM_SMOKE_COALESCE_WINDOW  coalescing window in µs; 0 = off    [0]
+# CI runs the script twice: once with the defaults and once with
+# --shards 2 --snapshot + coalescing, so the sharded, snapshot-booted,
+# coalesced serving path is exercised on the shipped binary too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SAMPLES=200
 SEED=7
+SMOKE_SHARDS=${USIM_SMOKE_SHARDS:-1}
+SMOKE_SOURCE=${USIM_SMOKE_SOURCE:-text}
+SMOKE_COALESCE_WINDOW=${USIM_SMOKE_COALESCE_WINDOW:-0}
 TMP=$(mktemp -d)
 SERVER_PID=""
 cleanup() {
@@ -46,10 +57,49 @@ echo "--- CLI ground truth ---"
 echo "$CLI_BATCH"
 echo "$CLI_CHURN"
 
+# Opens fd 3 to $1:$2 with a bounded retry loop.  Between the port file
+# appearing and the accept loop picking the connection up there is a real
+# race on slow machines; a raw `exec 3<>/dev/tcp/...` that loses it kills
+# the whole script.  The retry wraps the *real* connection — a separate
+# probe connect would burn the server's --max-connections budget.
+connect3() {
+    local host=$1 port=$2 attempt
+    for attempt in $(seq 30); do
+        if exec 3<>"/dev/tcp/$host/$port" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: cannot connect to $host:$port after 30 attempts"
+    return 1
+}
+ask() {
+    printf '%s\n' "$1" >&3
+    local response
+    IFS= read -r response <&3
+    printf '%s\n' "$response"
+}
+
+# Main-round server configuration from the knobs: boot source, shard
+# count, and (optionally) request coalescing.
+SERVE_EXTRA=(--shards "$SMOKE_SHARDS")
+if [ "$SMOKE_COALESCE_WINDOW" -gt 0 ]; then
+    SERVE_EXTRA+=(--coalesce-window "$SMOKE_COALESCE_WINDOW" --coalesce-max 8)
+fi
+case "$SMOKE_SOURCE" in
+    text) SERVE_SOURCE=("$TMP/graph.tsv") ;;
+    snapshot)
+        "$USIM" snapshot write "$TMP/graph.tsv" "$TMP/graph_main.csr"
+        SERVE_SOURCE=(--snapshot "$TMP/graph_main.csr")
+        ;;
+    *) echo "FAIL: USIM_SMOKE_SOURCE must be text or snapshot, got $SMOKE_SOURCE"; exit 1 ;;
+esac
+
 # Start the server on a free port; rendezvous through the port file.  The
 # startup banner is captured so its provenance fields can be asserted.
-"$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
-    --workers 2 --max-connections 1 --samples "$SAMPLES" --seed "$SEED" \
+"$USIM" serve "${SERVE_SOURCE[@]}" --addr 127.0.0.1:0 --port-file "$TMP/port" \
+    --workers 2 --max-connections 1 "${SERVE_EXTRA[@]}" \
+    --samples "$SAMPLES" --seed "$SEED" \
     > "$TMP/server1.log" &
 SERVER_PID=$!
 for _ in $(seq 100); do
@@ -60,18 +110,19 @@ done
 ADDR=$(cat "$TMP/port")
 HOST=${ADDR%:*}
 PORT=${ADDR##*:}
-echo "--- server up on $ADDR ---"
-grep -q 'source = text, epoch = 0, shards = 1' "$TMP/server1.log" || {
+echo "--- server up on $ADDR (source = $SMOKE_SOURCE, shards = $SMOKE_SHARDS, coalesce window = ${SMOKE_COALESCE_WINDOW}us) ---"
+grep -q "source = $SMOKE_SOURCE, epoch = 0, shards = $SMOKE_SHARDS" "$TMP/server1.log" || {
     echo "FAIL: banner misses source/epoch/shards:"; cat "$TMP/server1.log"; exit 1; }
+if [ "$SMOKE_COALESCE_WINDOW" -gt 0 ]; then
+    grep -q "coalesce = ${SMOKE_COALESCE_WINDOW}us/cap 8" "$TMP/server1.log" || {
+        echo "FAIL: banner misses the coalesce settings:"; cat "$TMP/server1.log"; exit 1; }
+else
+    grep -q 'coalesce = off' "$TMP/server1.log" || {
+        echo "FAIL: banner misses 'coalesce = off':"; cat "$TMP/server1.log"; exit 1; }
+fi
 
 # One connection, one frame of every request type, responses in order.
-exec 3<>"/dev/tcp/$HOST/$PORT"
-ask() {
-    printf '%s\n' "$1" >&3
-    local response
-    IFS= read -r response <&3
-    printf '%s\n' "$response"
-}
+connect3 "$HOST" "$PORT"
 
 R_STATS=$(ask '{"type":"stats"}')
 R_SIM=$(ask '{"type":"similarity","source":10,"target":20}')
@@ -103,6 +154,23 @@ case "$R_STATS" in
     *'"vertices":5'*'"arcs":8'*) ;;
     *) echo "FAIL: bad stats frame: $R_STATS"; exit 1 ;;
 esac
+# Observability sections must always be present; the stats frame was the
+# connection's first, so zero earlier frames have been timed yet.
+case "$R_STATS" in
+    *'"latency":{"count":0,'*'"p99_us":'*'"coalescer":{"enabled":'*) ;;
+    *) echo "FAIL: stats frame misses latency/coalescer sections: $R_STATS"; exit 1 ;;
+esac
+if [ "$SMOKE_COALESCE_WINDOW" -gt 0 ]; then
+    case "$R_STATS" in
+        *'"coalescer":{"enabled":true,"window_us":'"$SMOKE_COALESCE_WINDOW"',"cap":8,'*) ;;
+        *) echo "FAIL: coalescer not reported enabled in stats: $R_STATS"; exit 1 ;;
+    esac
+else
+    case "$R_STATS" in
+        *'"coalescer":{"enabled":false,'*) ;;
+        *) echo "FAIL: coalescer reported enabled without the flag: $R_STATS"; exit 1 ;;
+    esac
+fi
 case "$R_UPDATE" in
     *'"epoch":1'*'"deleted":1'*'"reweighted":1'*) ;;
     *) echo "FAIL: bad update summary: $R_UPDATE"; exit 1 ;;
@@ -156,7 +224,7 @@ HOST=${ADDR%:*}
 PORT=${ADDR##*:}
 echo "--- cached server up on $ADDR ---"
 
-exec 3<>"/dev/tcp/$HOST/$PORT"
+connect3 "$HOST" "$PORT"
 C_BATCH1=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
 C_BATCH2=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
 C_STATS=$(ask '{"type":"stats"}')
@@ -176,6 +244,12 @@ C_SERVED=$(extract_scores "$C_BATCH1")
 case "$C_STATS" in
     *'"cache":{"enabled":true,"capacity":1024'*'"hits":3'*) echo "$C_STATS" ;;
     *) echo "FAIL: cached stats frame misses the cache counters: $C_STATS"; exit 1 ;;
+esac
+# Two batch frames were flushed before the stats frame was built, so the
+# histogram must have timed exactly those two.
+case "$C_STATS" in
+    *'"latency":{"count":2,'*) ;;
+    *) echo "FAIL: latency histogram did not count the served frames: $C_STATS"; exit 1 ;;
 esac
 echo "--- cached server: repeat batch served bit-identically, 3 hits ---"
 
@@ -204,7 +278,7 @@ echo "--- snapshot server (first life) up on $ADDR ---"
 grep -q 'source = snapshot, epoch = 0, shards = 3' "$TMP/server_snap1.log" || {
     echo "FAIL: snapshot banner misses source/epoch/shards:"; cat "$TMP/server_snap1.log"; exit 1; }
 
-exec 3<>"/dev/tcp/$HOST/$PORT"
+connect3 "$HOST" "$PORT"
 S_UPDATE=$(ask '{"type":"update","updates":[{"op":"set","source":10,"target":30,"probability":0.1},{"op":"delete","source":40,"target":50}]}')
 S_BATCH=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
 exec 3<&- 3>&-
@@ -234,7 +308,7 @@ echo "--- snapshot server (second life) up on $ADDR ---"
 grep -q 'source = snapshot, epoch = 1, shards = 3' "$TMP/server_snap2.log" || {
     echo "FAIL: replayed banner misses the replayed epoch:"; cat "$TMP/server_snap2.log"; exit 1; }
 
-exec 3<>"/dev/tcp/$HOST/$PORT"
+connect3 "$HOST" "$PORT"
 S_BATCH_REPLAYED=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
 S_STATS=$(ask '{"type":"stats"}')
 exec 3<&- 3>&-
