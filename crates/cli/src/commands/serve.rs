@@ -208,7 +208,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "serving {path} on {bound}: {num_vertices} vertices, {num_arcs} arcs \
          (source = {source}, epoch = {replayed}, shards = {shards}, \
          workers = {workers}, queue = {queue_depth}, max batch = {max_batch}, \
-         cache = {}, coalesce = {}, N = {}, n = {}, seed = {})",
+         cache = {}, coalesce = {}, sampler = {}, N = {}, n = {}, seed = {})",
         if cache_capacity > 0 {
             format!("{cache_capacity} entries/shard")
         } else {
@@ -219,6 +219,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         } else {
             "off".to_string()
         },
+        config.sampler,
         config.num_samples,
         config.horizon,
         config.seed,

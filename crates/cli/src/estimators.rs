@@ -4,8 +4,8 @@ use crate::args::Arguments;
 use crate::CliError;
 use ugraph::{UncertainGraph, VertexId};
 use usim_core::{
-    BaselineEstimator, DeterministicSimRank, DuEtAlEstimator, SamplingEstimator, SimRankConfig,
-    SimRankEstimator, SpeedupEstimator, TwoPhaseEstimator, WalkDirection,
+    BaselineEstimator, DeterministicSimRank, DuEtAlEstimator, SamplerKind, SamplingEstimator,
+    SimRankConfig, SimRankEstimator, SpeedupEstimator, TwoPhaseEstimator, WalkDirection,
 };
 
 /// Option names shared by every command that takes SimRank parameters; splice
@@ -17,6 +17,7 @@ pub const CONFIG_OPTIONS: &[&str] = &[
     "phase-switch",
     "seed",
     "direction",
+    "sampler",
 ];
 
 /// Builds a [`SimRankConfig`] from the shared CLI options, starting from the
@@ -48,6 +49,11 @@ pub fn config_from_args(args: &Arguments) -> Result<SimRankConfig, CliError> {
             )))
         }
     };
+    let sampler: SamplerKind = args
+        .option("sampler")
+        .unwrap_or(SamplerKind::Legacy.as_str())
+        .parse()
+        .map_err(|message: String| CliError::new(format!("--sampler: {message}")))?;
     Ok(SimRankConfig {
         decay,
         horizon,
@@ -55,6 +61,7 @@ pub fn config_from_args(args: &Arguments) -> Result<SimRankConfig, CliError> {
         phase_switch,
         seed,
         direction,
+        sampler,
     })
 }
 
@@ -200,6 +207,8 @@ mod tests {
             "11",
             "--direction",
             "out",
+            "--sampler",
+            "alias",
         ]))
         .unwrap();
         assert_eq!(config.decay, 0.8);
@@ -208,6 +217,7 @@ mod tests {
         assert_eq!(config.phase_switch, 2);
         assert_eq!(config.seed, 11);
         assert_eq!(config.direction, WalkDirection::OutNeighbors);
+        assert_eq!(config.sampler, SamplerKind::Alias);
     }
 
     #[test]
@@ -216,6 +226,7 @@ mod tests {
         assert!(config_from_args(&parse(&["--horizon", "0"])).is_err());
         assert!(config_from_args(&parse(&["--samples", "0"])).is_err());
         assert!(config_from_args(&parse(&["--direction", "sideways"])).is_err());
+        assert!(config_from_args(&parse(&["--sampler", "vose"])).is_err());
     }
 
     #[test]

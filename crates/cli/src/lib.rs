@@ -145,6 +145,10 @@ pub fn usage() -> String {
         "    --phase-switch L   exact steps of SR-TS / SR-SP    [default 1]\n",
         "    --seed S           RNG seed                        [default fixed]\n",
         "    --direction in|out walk direction                  [default in]\n",
+        "    --sampler legacy|alias\n",
+        "                       per-step walk backend: legacy draws each arc\n",
+        "                       lazily; alias precomputes Walker alias tables\n",
+        "                       at build time (O(1) per step)     [default legacy]\n",
         "\n",
         "BATCH / DYNAMIC-UPDATE OPTIONS:\n",
         "    --batch FILE       answer a pairs file (`source target` per line) with\n",

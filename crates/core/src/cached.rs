@@ -28,7 +28,7 @@
 //! pass-through to the engine's own entry points — which already
 //! deduplicate repeated pairs within one batch.
 
-use crate::config::{SimRankConfig, WalkDirection};
+use crate::config::{SamplerKind, SimRankConfig, WalkDirection};
 use crate::engine::{QueryEngine, QueryError};
 use crate::meeting::MeetingProfile;
 use crate::shared::SharedQueryEngine;
@@ -54,17 +54,34 @@ pub enum CachedAnswer {
 
 /// Fingerprints a [`SimRankConfig`] for cache keys: every field that can
 /// change an answer (decay, horizon, samples, phase switch, seed,
-/// direction) contributes its bit pattern.
+/// direction, sampler backend) contributes its bit pattern.
+///
+/// The config is *destructured* rather than read field-by-field, so adding
+/// a field to [`SimRankConfig`] without deciding how it feeds the
+/// fingerprint is a compile error, not a silent cache-collision bug.
 pub fn config_fingerprint(config: &SimRankConfig) -> ConfigFingerprint {
+    let SimRankConfig {
+        decay,
+        horizon,
+        num_samples,
+        phase_switch,
+        seed,
+        direction,
+        sampler,
+    } = *config;
     ConfigFingerprint::from_words(&[
-        config.decay.to_bits(),
-        config.horizon as u64,
-        config.num_samples as u64,
-        config.phase_switch as u64,
-        config.seed,
-        match config.direction {
+        decay.to_bits(),
+        horizon as u64,
+        num_samples as u64,
+        phase_switch as u64,
+        seed,
+        match direction {
             WalkDirection::InNeighbors => 0,
             WalkDirection::OutNeighbors => 1,
+        },
+        match sampler {
+            SamplerKind::Legacy => 0,
+            SamplerKind::Alias => 1,
         },
     ])
 }
@@ -453,6 +470,7 @@ mod tests {
             base.with_phase_switch(2),
             base.with_seed(123),
             base.with_direction(WalkDirection::OutNeighbors),
+            base.with_sampler(SamplerKind::Alias),
         ] {
             assert_ne!(
                 config_fingerprint(&base),
@@ -460,5 +478,30 @@ mod tests {
                 "{other:?} must fingerprint differently"
             );
         }
+    }
+
+    #[test]
+    fn every_config_field_feeds_the_fingerprint() {
+        // Exhaustiveness guard: destructure the config with no `..` rest
+        // pattern.  Adding a field to `SimRankConfig` breaks this test (and
+        // `config_fingerprint` itself, which destructures the same way) at
+        // compile time, forcing the author to decide how the new field
+        // contributes to cache keys.
+        let SimRankConfig {
+            decay,
+            horizon,
+            num_samples,
+            phase_switch,
+            seed,
+            direction,
+            sampler,
+        } = SimRankConfig::default();
+        assert_eq!(decay, 0.6);
+        assert_eq!(horizon, 5);
+        assert_eq!(num_samples, 1000);
+        assert_eq!(phase_switch, 1);
+        assert_eq!(seed, 0x5eed_cafe);
+        assert_eq!(direction, WalkDirection::InNeighbors);
+        assert_eq!(sampler, SamplerKind::Legacy);
     }
 }

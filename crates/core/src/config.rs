@@ -15,6 +15,60 @@ pub enum WalkDirection {
     OutNeighbors,
 }
 
+/// The per-step transition backend of the walk-based engines.
+///
+/// The two backends are *versioned, pluggable samplers*, not interchangeable
+/// implementations of one distribution: answers from different kinds are
+/// never comparable bit-for-bit, so the kind participates in the result
+/// cache's `ConfigFingerprint` and is surfaced by the serve banner and the
+/// `stats` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SamplerKind {
+    /// The lazily-instantiated arena sampler (Fig. 4 of the paper): one
+    /// uniform draw per possible out-arc on first visit, instantiations
+    /// memoized within a walk.  Keeps today's RNG draw order bit-for-bit —
+    /// every pre-existing baseline and equivalence test pins this backend —
+    /// and is the default.
+    #[default]
+    Legacy,
+    /// Precomputed Walker alias tables over the exact expected one-step
+    /// marginals (death mass included): one draw and one 16-byte slot read
+    /// per step, independent of degree.  Trades the within-walk
+    /// possible-world correlation of `Legacy` for raw walk speed; exact for
+    /// horizons ≤ 2 and on certain graphs.
+    Alias,
+}
+
+impl SamplerKind {
+    /// The CLI / banner / stats-frame name of the backend.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SamplerKind::Legacy => "legacy",
+            SamplerKind::Alias => "alias",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SamplerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy" => Ok(SamplerKind::Legacy),
+            "alias" => Ok(SamplerKind::Alias),
+            other => Err(format!(
+                "unknown sampler kind '{other}' (expected 'legacy' or 'alias')"
+            )),
+        }
+    }
+}
+
 /// Parameters of the SimRank measure and its estimators.
 ///
 /// Field defaults follow the paper's experimental setting (Section VII-A):
@@ -38,6 +92,8 @@ pub struct SimRankConfig {
     pub seed: u64,
     /// Walk direction (see [`WalkDirection`]).
     pub direction: WalkDirection,
+    /// The per-step transition backend (see [`SamplerKind`]).
+    pub sampler: SamplerKind,
 }
 
 impl Default for SimRankConfig {
@@ -49,6 +105,7 @@ impl Default for SimRankConfig {
             phase_switch: 1,
             seed: 0x5eed_cafe,
             direction: WalkDirection::InNeighbors,
+            sampler: SamplerKind::Legacy,
         }
     }
 }
@@ -108,6 +165,12 @@ impl SimRankConfig {
         self
     }
 
+    /// Sets the per-step transition backend.
+    pub fn with_sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
     /// The phase switch actually used: `min(l, n)`.
     pub fn effective_phase_switch(&self) -> usize {
         self.phase_switch.min(self.horizon)
@@ -141,6 +204,7 @@ mod tests {
         assert_eq!(c.num_samples, 1000);
         assert_eq!(c.phase_switch, 1);
         assert_eq!(c.direction, WalkDirection::InNeighbors);
+        assert_eq!(c.sampler, SamplerKind::Legacy);
         c.validate();
     }
 
@@ -152,13 +216,15 @@ mod tests {
             .with_samples(50)
             .with_phase_switch(3)
             .with_seed(99)
-            .with_direction(WalkDirection::OutNeighbors);
+            .with_direction(WalkDirection::OutNeighbors)
+            .with_sampler(SamplerKind::Alias);
         assert_eq!(c.decay, 0.8);
         assert_eq!(c.horizon, 7);
         assert_eq!(c.num_samples, 50);
         assert_eq!(c.phase_switch, 3);
         assert_eq!(c.seed, 99);
         assert_eq!(c.direction, WalkDirection::OutNeighbors);
+        assert_eq!(c.sampler, SamplerKind::Alias);
     }
 
     #[test]
@@ -181,12 +247,23 @@ mod tests {
             .with_samples(123)
             .with_phase_switch(2)
             .with_seed(99)
-            .with_direction(WalkDirection::OutNeighbors);
+            .with_direction(WalkDirection::OutNeighbors)
+            .with_sampler(SamplerKind::Alias);
         let json = serde_json::to_string(&config).unwrap();
         assert!(json.contains("\"decay\":0.75"));
         assert!(json.contains("OutNeighbors"));
+        assert!(json.contains("Alias"));
         let restored: SimRankConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(restored, config);
+    }
+
+    #[test]
+    fn sampler_kind_names_roundtrip() {
+        for kind in [SamplerKind::Legacy, SamplerKind::Alias] {
+            assert_eq!(kind.as_str().parse::<SamplerKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert!("vose".parse::<SamplerKind>().is_err());
     }
 
     #[test]

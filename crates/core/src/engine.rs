@@ -33,7 +33,7 @@
 //! Fig. 4) per pair; the exact and two-phase algorithms keep their dedicated
 //! estimators, which share the same CSR fast path for their sampling phases.
 
-use crate::config::{SimRankConfig, WalkDirection};
+use crate::config::{SamplerKind, SimRankConfig, WalkDirection};
 use crate::meeting::MeetingProfile;
 use crate::top_k::{ScoredPair, ScoredVertex};
 use crate::SimRankEstimator;
@@ -41,11 +41,11 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use rwalk::arena::{CsrSampler, WalkArena, DEAD};
+use rwalk::arena::{AliasSampler, CsrSampler, WalkArena, DEAD};
 use std::fmt;
 use ugraph::{
-    CompactionPolicy, CsrGraph, DeltaOverlay, GraphUpdate, OverlayView, UncertainGraph,
-    UpdateError, UpdateSummary, VertexId,
+    CompactionPolicy, CsrGraph, DeltaOverlay, GraphUpdate, OverlayAliasView, OverlayView,
+    UncertainGraph, UpdateError, UpdateSummary, VertexId,
 };
 
 /// Derives the deterministic RNG seed of a pair `(u, v)` from the engine
@@ -193,13 +193,7 @@ impl QueryEngine {
     /// (both directions) is materialised here, once; queries never touch the
     /// original graph again.
     pub fn new(graph: &UncertainGraph, config: SimRankConfig) -> Self {
-        config.validate();
-        QueryEngine {
-            graph: DeltaOverlay::from_graph(graph),
-            config,
-            epoch: 0,
-            scratch: ScratchPool::default(),
-        }
+        Self::from_overlay(DeltaOverlay::from_graph(graph), config)
     }
 
     /// Builds the engine directly on an already-compiled [`CsrGraph`] — the
@@ -211,10 +205,23 @@ impl QueryEngine {
     /// [`QueryEngine::new`] on the graph the CSR was compiled from: walks
     /// only ever see the CSR arrays, and the RNG streams are keyed on
     /// `(seed, u, v)`, not on how the arrays came to be in memory.
+    ///
+    /// Under [`SamplerKind::Alias`] a CSR that already carries alias tables
+    /// (loaded from a snapshot with the alias sections) boots without any
+    /// table construction; one without them gets its tables rebuilt here, so
+    /// older snapshots keep working.
     pub fn from_csr(csr: CsrGraph, config: SimRankConfig) -> Self {
+        Self::from_overlay(DeltaOverlay::new(csr), config)
+    }
+
+    fn from_overlay(mut graph: DeltaOverlay, config: SimRankConfig) -> Self {
         config.validate();
+        if config.sampler == SamplerKind::Alias {
+            // No-op when the base already carries tables (snapshot boot).
+            graph.build_alias_tables();
+        }
         QueryEngine {
-            graph: DeltaOverlay::new(csr),
+            graph,
             config,
             epoch: 0,
             scratch: ScratchPool::default(),
@@ -334,6 +341,18 @@ impl QueryEngine {
         }
     }
 
+    /// The direction-resolved alias-table view of the live graph; only
+    /// meaningful under [`SamplerKind::Alias`], whose constructors build the
+    /// tables up front.
+    #[inline]
+    fn alias_view(&self) -> OverlayAliasView<'_> {
+        match self.config.direction {
+            WalkDirection::InNeighbors => self.graph.reverse_alias(),
+            WalkDirection::OutNeighbors => self.graph.forward_alias(),
+        }
+        .expect("alias tables are built at engine construction under SamplerKind::Alias")
+    }
+
     /// Validates every id of a batch against the graph, so the hot path can
     /// index the CSR arrays unchecked.  Public so wrappers that answer part
     /// of a batch from elsewhere (the caching layer) can keep the engine's
@@ -423,18 +442,36 @@ impl QueryEngine {
         );
         let n = self.config.horizon;
         let num_samples = self.config.num_samples;
-        let view = self.view();
-        let sampler = CsrSampler::new(view);
         let mut rng = StdRng::seed_from_u64(pair_seed(self.config.seed, u, v));
         let mut meeting = vec![0.0f64; n + 1];
         meeting[0] = if u == v { 1.0 } else { 0.0 };
-        for _ in 0..num_samples {
-            sampler.sample_walk_into(&mut scratch.arena, u, n, &mut rng, &mut scratch.walk_u);
-            sampler.sample_walk_into(&mut scratch.arena, v, n, &mut rng, &mut scratch.walk_v);
-            for (k, slot) in meeting.iter_mut().enumerate().take(n + 1).skip(1) {
-                let a = scratch.walk_u[k];
-                if a != DEAD && a == scratch.walk_v[k] {
-                    *slot += 1.0;
+        match self.config.sampler {
+            SamplerKind::Legacy => {
+                let sampler = CsrSampler::new(self.view());
+                for _ in 0..num_samples {
+                    sampler.sample_walk_into(
+                        &mut scratch.arena,
+                        u,
+                        n,
+                        &mut rng,
+                        &mut scratch.walk_u,
+                    );
+                    sampler.sample_walk_into(
+                        &mut scratch.arena,
+                        v,
+                        n,
+                        &mut rng,
+                        &mut scratch.walk_v,
+                    );
+                    count_meetings(&mut meeting, &scratch.walk_u, &scratch.walk_v);
+                }
+            }
+            SamplerKind::Alias => {
+                let sampler = AliasSampler::new(self.alias_view());
+                for _ in 0..num_samples {
+                    sampler.sample_walk_into(u, n, &mut rng, &mut scratch.walk_u);
+                    sampler.sample_walk_into(v, n, &mut rng, &mut scratch.walk_v);
+                    count_meetings(&mut meeting, &scratch.walk_u, &scratch.walk_v);
                 }
             }
         }
@@ -593,6 +630,18 @@ impl QueryEngine {
     ) -> Result<Vec<ScoredVertex>, QueryError> {
         self.validate_vertices(std::iter::once(query).chain(candidates.iter().copied()))?;
         rank_candidates(query, candidates, k, |pairs| self.batch_similarities(pairs))
+    }
+}
+
+/// Accumulates the per-step meetings of one walk pair into `meeting`
+/// (step 0 is handled by the caller; a dead slot never meets).
+#[inline]
+fn count_meetings(meeting: &mut [f64], walk_u: &[VertexId], walk_v: &[VertexId]) {
+    for (k, slot) in meeting.iter_mut().enumerate().skip(1) {
+        let a = walk_u[k];
+        if a != DEAD && a == walk_v[k] {
+            *slot += 1.0;
+        }
     }
 }
 
@@ -1002,6 +1051,127 @@ mod tests {
         );
         assert_eq!(engine.update_epoch(), 0);
         assert_eq!(engine.batch_similarities(&pairs).unwrap(), before);
+    }
+
+    #[test]
+    fn alias_batch_equals_sequential_bit_for_bit() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(
+            &g,
+            SimRankConfig::default()
+                .with_samples(300)
+                .with_seed(7)
+                .with_sampler(SamplerKind::Alias),
+        );
+        assert!(engine.csr().has_alias_tables());
+        let pairs = all_ordered_pairs(5);
+        let batch = engine.batch_similarities(&pairs).unwrap();
+        let sequential: Vec<f64> = pairs
+            .iter()
+            .map(|&(u, v)| engine.similarity(u, v))
+            .collect();
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn alias_batch_results_are_thread_count_invariant() {
+        let g = fig1_graph();
+        let engine = QueryEngine::new(
+            &g,
+            SimRankConfig::default()
+                .with_samples(200)
+                .with_seed(3)
+                .with_sampler(SamplerKind::Alias),
+        );
+        let pairs = all_ordered_pairs(5);
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let many = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let a = single.install(|| engine.batch_similarities(&pairs).unwrap());
+        let b = many.install(|| engine.batch_similarities(&pairs).unwrap());
+        assert_eq!(a, b, "alias mode is pair-keyed too: sharding is invisible");
+    }
+
+    #[test]
+    fn alias_estimates_match_the_exact_baseline_at_short_horizons() {
+        // The alias backend draws every step from the exact expected
+        // one-step marginal W(1); for horizons ≤ 2 walk probabilities factor
+        // through W(1) and W(2) exactly, so its estimates converge to the
+        // same limit as the exact baseline.
+        let g = fig1_graph();
+        let config = SimRankConfig::default()
+            .with_horizon(2)
+            .with_samples(4000)
+            .with_seed(17)
+            .with_sampler(SamplerKind::Alias);
+        let baseline = BaselineEstimator::new(&g, config);
+        let engine = QueryEngine::new(&g, config);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (0, 3), (3, 4)] {
+            let exact = baseline.try_similarity(u, v).unwrap();
+            let estimate = engine.similarity(u, v);
+            assert!(
+                (exact - estimate).abs() < 0.03,
+                "pair ({u},{v}): exact {exact}, alias {estimate}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_and_legacy_are_distinct_backends() {
+        // Same seed, same graph: the two sampler kinds consume randomness
+        // differently and are not expected to be bit-equal.
+        let g = fig1_graph();
+        let config = SimRankConfig::default().with_samples(200).with_seed(7);
+        let legacy = QueryEngine::new(&g, config);
+        let alias = QueryEngine::new(&g, config.with_sampler(SamplerKind::Alias));
+        let pairs = all_ordered_pairs(5);
+        assert_ne!(
+            legacy.batch_similarities(&pairs).unwrap(),
+            alias.batch_similarities(&pairs).unwrap()
+        );
+    }
+
+    #[test]
+    fn alias_updates_match_a_fresh_engine_with_and_without_compaction() {
+        // The overlay patches alias rows for update endpoints only; answers
+        // must still be bit-identical to a fresh engine that rebuilt every
+        // table from scratch — before and after compaction folds the patched
+        // rows back into the base tables.
+        let g = fig1_graph();
+        let config = SimRankConfig::default()
+            .with_samples(400)
+            .with_seed(19)
+            .with_sampler(SamplerKind::Alias);
+        let mut engine = QueryEngine::new(&g, config);
+        let pairs = all_ordered_pairs(5);
+        let before = engine.batch_similarities(&pairs).unwrap();
+
+        let updates = [
+            GraphUpdate::DeleteArc {
+                source: 1,
+                target: 2,
+            },
+            GraphUpdate::InsertArc {
+                source: 4,
+                target: 2,
+                probability: 0.9,
+            },
+            GraphUpdate::SetProbability {
+                source: 0,
+                target: 2,
+                probability: 0.05,
+            },
+        ];
+        engine.apply_updates(&updates).unwrap();
+        let after = engine.batch_similarities(&pairs).unwrap();
+        assert_ne!(before, after, "updates must be visible in alias mode");
+
+        let fresh = QueryEngine::new(&engine.snapshot(), config);
+        assert_eq!(after, fresh.batch_similarities(&pairs).unwrap());
+        engine.set_compaction_policy(CompactionPolicy::eager());
+        engine.apply_updates(&[]).unwrap();
+        assert_eq!(engine.graph().patched_vertices(), 0, "compacted");
+        assert!(engine.csr().has_alias_tables(), "tables survive compaction");
+        assert_eq!(after, engine.batch_similarities(&pairs).unwrap());
     }
 
     #[test]

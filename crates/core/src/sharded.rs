@@ -624,6 +624,7 @@ impl ShardedQueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SamplerKind;
     use ugraph::UncertainGraphBuilder;
 
     fn ladder_graph(n: u32) -> UncertainGraph {
@@ -713,6 +714,56 @@ mod tests {
                 single.profile(2, 10).unwrap(),
                 "K={k} profile"
             );
+        }
+    }
+
+    #[test]
+    fn alias_mode_is_shard_count_invariant() {
+        // The alias backend's own determinism pin: scatter-gather over K > 1
+        // shards is bit-identical to K = 1 and to the raw engine, including
+        // after an update round patches the per-vertex alias rows.
+        let graph = ladder_graph(12);
+        let alias_config = config().with_sampler(SamplerKind::Alias);
+        let single = ShardedQueryEngine::new(&graph, alias_config, ShardSpec::with_shards(1));
+        let reference = QueryEngine::new(&graph, alias_config);
+        let pairs = straddling_pairs(12);
+        for k in [2, 4, 5] {
+            let sharded = ShardedQueryEngine::new(&graph, alias_config, ShardSpec::with_shards(k));
+            assert_eq!(
+                sharded.batch_similarities(&pairs).unwrap().1,
+                single.batch_similarities(&pairs).unwrap().1,
+                "K={k} alias batch"
+            );
+            assert_eq!(
+                sharded.batch_similarities(&pairs).unwrap().1,
+                reference.batch_similarities(&pairs).unwrap(),
+                "K={k} alias vs raw engine"
+            );
+            assert_eq!(
+                sharded.batch_top_k(&pairs, 5).unwrap().1,
+                single.batch_top_k(&pairs, 5).unwrap().1,
+                "K={k} alias top-k"
+            );
+            let updates = [GraphUpdate::SetProbability {
+                source: 0,
+                target: 1,
+                probability: 0.123,
+            }];
+            sharded.apply_updates(&updates).unwrap();
+            single.apply_updates(&updates).unwrap();
+            assert_eq!(
+                sharded.batch_similarities(&pairs).unwrap().1,
+                single.batch_similarities(&pairs).unwrap().1,
+                "K={k} alias batch after update"
+            );
+            // Reset the single-shard replica for the next K.
+            single
+                .apply_updates(&[GraphUpdate::SetProbability {
+                    source: 0,
+                    target: 1,
+                    probability: 0.6,
+                }])
+                .unwrap();
         }
     }
 

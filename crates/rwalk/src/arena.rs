@@ -33,7 +33,7 @@
 
 use crate::sampler::DeadEndPolicy;
 use rand::Rng;
-use ugraph::{GraphView, VertexId};
+use ugraph::{alias_draw, AliasView, GraphView, VertexId};
 
 /// Tombstone marking a dead walk position (the walk terminated earlier).
 /// Real vertex ids are `< num_vertices`, far below `u32::MAX` in practice.
@@ -224,6 +224,95 @@ impl<V: GraphView + Copy> CsrSampler<V> {
                 arena.pool[pool_start as usize + rng.gen_range(0..len as usize)]
             };
             positions.push(current);
+        }
+    }
+}
+
+/// The table-driven step path: a sampler of random walks over precomputed
+/// Walker alias tables (an [`AliasView`] — the static
+/// [`ugraph::CsrAliasView`] or the live [`ugraph::OverlayAliasView`]).
+///
+/// Each step costs exactly **one** `f64` draw and one slot read, independent
+/// of vertex degree: the integer part of the scaled draw picks a slot, the
+/// fractional part flips the slot's biased coin (see [`ugraph::alias`]).
+/// Because each step is drawn independently from the vertex's *expected
+/// one-step marginal* (death mass included as the [`DEAD`] outcome), no
+/// instantiation memo — and therefore no [`WalkArena`] — is needed.
+///
+/// This backend is **not** draw-order (or distribution) compatible with
+/// [`CsrSampler`] beyond two steps: it trades the within-walk possible-world
+/// correlation of the lazy sampler for raw speed.  Engines treat the two as
+/// distinct, versioned backends (`SamplerKind` in `usim_core`) and never mix
+/// their answers.  Its own determinism pin is simpler than the legacy one:
+/// every live step consumes exactly one RNG draw, so a walk's RNG
+/// consumption depends only on where the walk dies — and equal seeds give
+/// bit-identical walks over equal tables.
+#[derive(Debug, Clone, Copy)]
+pub struct AliasSampler<V> {
+    view: V,
+    dead_end_policy: DeadEndPolicy,
+}
+
+impl<V: AliasView + Copy> AliasSampler<V> {
+    /// Creates a sampler over `view` with the default dead-end policy
+    /// (terminate).
+    pub fn new(view: V) -> Self {
+        Self::with_policy(view, DeadEndPolicy::default())
+    }
+
+    /// Creates a sampler with an explicit dead-end policy.
+    pub fn with_policy(view: V, dead_end_policy: DeadEndPolicy) -> Self {
+        AliasSampler {
+            view,
+            dead_end_policy,
+        }
+    }
+
+    /// The alias view this sampler walks.
+    pub fn view(&self) -> V {
+        self.view
+    }
+
+    /// The dead-end policy in use.
+    pub fn dead_end_policy(&self) -> DeadEndPolicy {
+        self.dead_end_policy
+    }
+
+    /// Samples one walk of horizon `length` from `start`, writing the
+    /// `length + 1` positions (step `k` at index `k`; [`DEAD`] once the walk
+    /// terminated) into `positions`, which is cleared first and reused
+    /// without reallocation across calls.
+    pub fn sample_walk_into<R: Rng + ?Sized>(
+        &self,
+        start: VertexId,
+        length: usize,
+        rng: &mut R,
+        positions: &mut Vec<VertexId>,
+    ) {
+        debug_assert!((start as usize) < self.view.num_vertices());
+        positions.clear();
+        positions.reserve(length + 1);
+        positions.push(start);
+        let mut current = start;
+        for _ in 0..length {
+            let drawn = alias_draw(self.view.slots(current), rng.gen::<f64>());
+            if drawn == DEAD {
+                match self.dead_end_policy {
+                    DeadEndPolicy::Terminate => {
+                        // Dead: pad the remaining steps in one go.
+                        positions.resize(length + 1, DEAD);
+                        break;
+                    }
+                    DeadEndPolicy::StayInPlace => {
+                        // "No arc exists" keeps the walk where it is, the
+                        // alias analogue of an empty survivor set.
+                        positions.push(current);
+                    }
+                }
+            } else {
+                current = drawn;
+                positions.push(current);
+            }
         }
     }
 }
@@ -469,6 +558,160 @@ mod tests {
                 "walk escaped the rewired vertex: {pos_b:?}"
             );
         }
+    }
+
+    fn alias_csr(g: &UncertainGraph) -> CsrGraph {
+        let mut csr = CsrGraph::from_uncertain(g);
+        csr.build_alias_tables();
+        csr
+    }
+
+    #[test]
+    fn alias_walks_are_valid_walks_on_the_graph() {
+        let g = fig1_graph();
+        let csr = alias_csr(&g);
+        let sampler = AliasSampler::new(csr.forward_alias().unwrap());
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        for start in [0u32, 1, 2, 3, 4] {
+            for _ in 0..200 {
+                sampler.sample_walk_into(start, 6, &mut rng, &mut positions);
+                assert_eq!(positions.len(), 7);
+                assert_eq!(positions[0], start);
+                for window in positions.windows(2) {
+                    match (window[0], window[1]) {
+                        (DEAD, next) => assert_eq!(next, DEAD, "no resurrection"),
+                        (_, DEAD) => {}
+                        (u, v) => assert!(g.has_arc(u, v), "({u}, {v}) is not an arc"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alias_one_step_frequencies_match_the_expected_marginals() {
+        // Vertex 0 of Fig. 1: Pr(0→2) = 0.6, Pr(0→3) = 0.3, death 0.1 (the
+        // exact expected one-step row, see ugraph::alias).
+        let g = fig1_graph();
+        let csr = alias_csr(&g);
+        let sampler = AliasSampler::new(csr.forward_alias().unwrap());
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 40_000;
+        let mut to2 = 0usize;
+        let mut to3 = 0usize;
+        let mut died = 0usize;
+        for _ in 0..trials {
+            sampler.sample_walk_into(0, 1, &mut rng, &mut positions);
+            match positions[1] {
+                2 => to2 += 1,
+                3 => to3 += 1,
+                DEAD => died += 1,
+                other => panic!("impossible one-step successor {other}"),
+            }
+        }
+        assert!((to2 as f64 / trials as f64 - 0.6).abs() < 0.01);
+        assert!((to3 as f64 / trials as f64 - 0.3).abs() < 0.01);
+        assert!((died as f64 / trials as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn alias_walks_on_certain_graphs_match_uniform_skeleton_walks() {
+        // All probabilities 1: the expected marginal is the uniform skeleton
+        // transition, so the alias walk is an ordinary random walk and never
+        // dies except at true dead ends.
+        let g = fig1_graph().certain();
+        let csr = alias_csr(&g);
+        let sampler = AliasSampler::new(csr.forward_alias().unwrap());
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            sampler.sample_walk_into(0, 8, &mut rng, &mut positions);
+            for window in positions.windows(2) {
+                if window[1] == DEAD {
+                    // Only vertex 4 (no out-arcs) kills a walk.
+                    assert!(window[0] == 4 || window[0] == DEAD, "{positions:?}");
+                } else {
+                    assert!(g.has_arc(window[0], window[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alias_sampler_is_deterministic_per_seed() {
+        let g = fig1_graph();
+        let csr = alias_csr(&g);
+        let sampler = AliasSampler::new(csr.forward_alias().unwrap());
+        let (mut pos_a, mut pos_b) = (Vec::new(), Vec::new());
+        let mut rng_a = StdRng::seed_from_u64(1234);
+        let mut rng_b = StdRng::seed_from_u64(1234);
+        for start in [0u32, 1, 2, 3] {
+            for _ in 0..50 {
+                sampler.sample_walk_into(start, 7, &mut rng_a, &mut pos_a);
+                sampler.sample_walk_into(start, 7, &mut rng_b, &mut pos_b);
+                assert_eq!(pos_a, pos_b);
+            }
+        }
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn alias_stay_in_place_policy_keeps_the_walk_at_dead_ends() {
+        let g = fig1_graph(); // vertex 4 has no out-arcs
+        let csr = alias_csr(&g);
+        let view = csr.forward_alias().unwrap();
+        let stay = AliasSampler::with_policy(view, DeadEndPolicy::StayInPlace);
+        assert_eq!(stay.dead_end_policy(), DeadEndPolicy::StayInPlace);
+        let mut positions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        stay.sample_walk_into(4, 3, &mut rng, &mut positions);
+        assert_eq!(positions, vec![4, 4, 4, 4]);
+
+        let terminating = AliasSampler::new(view);
+        terminating.sample_walk_into(4, 3, &mut rng, &mut positions);
+        assert_eq!(positions, vec![4, DEAD, DEAD, DEAD]);
+
+        // Zero-length walks are just the start, either policy.
+        stay.sample_walk_into(2, 0, &mut rng, &mut positions);
+        assert_eq!(positions, vec![2]);
+    }
+
+    #[test]
+    fn alias_walks_over_untouched_vertices_ignore_overlay_churn() {
+        // The alias analogue of the overlay pin: churn in one component must
+        // not perturb walks (or RNG consumption) in the other.
+        use ugraph::{CompactionPolicy, DeltaOverlay, GraphUpdate};
+        let g = UncertainGraphBuilder::new(4)
+            .arc(0, 1, 0.8)
+            .arc(1, 0, 0.7)
+            .arc(2, 3, 0.6)
+            .arc(3, 2, 0.5)
+            .build()
+            .unwrap();
+        let csr = alias_csr(&g);
+        let mut overlay = DeltaOverlay::with_policy(csr.clone(), CompactionPolicy::never());
+        overlay
+            .apply_all(&[GraphUpdate::SetProbability {
+                source: 2,
+                target: 3,
+                probability: 0.05,
+            }])
+            .unwrap();
+        let static_sampler = AliasSampler::new(csr.forward_alias().unwrap());
+        let live_sampler = AliasSampler::new(overlay.forward_alias().unwrap());
+        let (mut pos_a, mut pos_b) = (Vec::new(), Vec::new());
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let mut rng_b = StdRng::seed_from_u64(55);
+        for start in [0u32, 1] {
+            for _ in 0..100 {
+                static_sampler.sample_walk_into(start, 8, &mut rng_a, &mut pos_a);
+                live_sampler.sample_walk_into(start, 8, &mut rng_b, &mut pos_b);
+                assert_eq!(pos_a, pos_b);
+            }
+        }
+        assert_eq!(rng_a, rng_b);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod transpr;
 pub mod walk;
 pub mod walkpr;
 
-pub use arena::{CsrSampler, WalkArena, DEAD};
+pub use arena::{AliasSampler, CsrSampler, WalkArena, DEAD};
 pub use expected::expected_one_step_matrix;
 pub use girth::{directed_girth, girth_at_least};
 pub use sampler::{SampledWalk, WalkSampler};

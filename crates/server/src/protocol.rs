@@ -10,7 +10,7 @@
 //! | `top_k`      | [`usim_core::QueryEngine::batch_top_k_similar_to`]      |
 //! | `batch`      | [`usim_core::QueryEngine::batch_similarities`]          |
 //! | `update`     | [`usim_core::QueryEngine::apply_updates`]               |
-//! | `stats`      | engine metadata (vertices, arcs, epoch, configuration, result-cache counters) |
+//! | `stats`      | engine metadata (vertices, arcs, epoch, sampler backend, configuration, result-cache counters) |
 //!
 //! Vertices are addressed by the graph file's *original labels* (the same
 //! labels the `usim` CLI speaks), resolved here against the label table.
@@ -627,6 +627,7 @@ impl RequestHandler {
                 *e.config(),
             )
         });
+        let sampler = config.sampler;
         let config = serde::to_value(&config).map_err(|e| {
             Reject::new(
                 ErrorCode::QueryRejected,
@@ -751,6 +752,7 @@ impl RequestHandler {
             vec![
                 ("vertices".into(), Value::Uint(vertices as u64)),
                 ("arcs".into(), Value::Uint(arcs as u64)),
+                ("sampler".into(), Value::Str(sampler.as_str().to_string())),
                 ("max_batch".into(), Value::Uint(self.max_batch as u64)),
                 (
                     "shard_count".into(),
@@ -1302,12 +1304,17 @@ mod tests {
         let entries = parse(&frame);
         assert_eq!(get(&entries, "vertices"), &Value::Uint(5));
         assert_eq!(get(&entries, "arcs"), &Value::Uint(8));
+        // The sampler backend is a top-level field (dashboards and smoke
+        // scripts read it without digging into the config object) *and*
+        // appears inside the serialized config.
+        assert_eq!(get(&entries, "sampler"), &Value::Str("legacy".to_string()));
         let config = get(&entries, "config").as_map().unwrap();
         assert_eq!(
             get(config, "num_samples"),
             &Value::Uint(engine.config().num_samples as u64)
         );
         assert_eq!(get(config, "seed"), &Value::Uint(7));
+        assert_eq!(get(config, "sampler"), &Value::Str("Legacy".to_string()));
         // Cache off by default: the stats frame says so and carries no
         // counters.
         let cache = get(&entries, "cache").as_map().unwrap();

@@ -27,6 +27,7 @@
 //! `neighbors(v)` and `probabilities(v)` are the sub-slices
 //! `targets[offsets[v]..offsets[v+1]]` and `probs[offsets[v]..offsets[v+1]]`.
 
+use crate::alias::{AliasTable, CsrAliasView};
 use crate::graph::DiGraph;
 use crate::uncertain::UncertainGraph;
 use crate::{Probability, VertexId};
@@ -72,11 +73,33 @@ struct CsrDirection {
 /// structure instead of re-deriving adjacency per query.
 ///
 /// [`QueryEngine`]: https://docs.rs/usim_core (crates/core)
-#[derive(Debug, Clone, PartialEq)]
+///
+/// # Alias tables
+///
+/// The graph optionally carries precomputed Walker alias tables for both
+/// directions (see [`crate::alias`]), built on demand by
+/// [`CsrGraph::build_alias_tables`] — only engines configured for the alias
+/// sampler backend pay the `O(Σ d²)` build.  The tables are *derived* data
+/// (a pure function of the CSR arrays), so [`PartialEq`] deliberately
+/// ignores them: a graph with tables equals the same graph without.
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     num_vertices: usize,
     forward: CsrDirection,
     reverse: CsrDirection,
+    /// `(forward, reverse)` alias tables, present only when built or loaded
+    /// from a snapshot that persisted them.
+    alias: Option<Box<(AliasTable, AliasTable)>>,
+}
+
+impl PartialEq for CsrGraph {
+    /// Structural equality of the CSR arrays only — the optional alias
+    /// tables are derived data and do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vertices == other.num_vertices
+            && self.forward == other.forward
+            && self.reverse == other.reverse
+    }
 }
 
 impl CsrGraph {
@@ -114,6 +137,7 @@ impl CsrGraph {
             num_vertices: n,
             forward,
             reverse,
+            alias: None,
         }
     }
 
@@ -144,6 +168,7 @@ impl CsrGraph {
             num_vertices: n,
             forward,
             reverse,
+            alias: None,
         }
     }
 
@@ -174,6 +199,7 @@ impl CsrGraph {
             num_vertices,
             forward,
             reverse,
+            alias: None,
         }
     }
 
@@ -211,6 +237,47 @@ impl CsrGraph {
             targets: &self.reverse.targets,
             probs: &self.reverse.probs,
         }
+    }
+
+    /// Whether alias tables have been built (or loaded) for this graph.
+    #[inline]
+    pub fn has_alias_tables(&self) -> bool {
+        self.alias.is_some()
+    }
+
+    /// Builds the Walker alias tables for both directions (`O(Σ d²)`); a
+    /// no-op when tables are already present.
+    pub fn build_alias_tables(&mut self) {
+        if self.alias.is_none() {
+            let forward = AliasTable::from_view(self.forward());
+            let reverse = AliasTable::from_view(self.reverse());
+            self.alias = Some(Box::new((forward, reverse)));
+        }
+    }
+
+    /// Installs pre-built alias tables (the snapshot reader and overlay
+    /// compaction, which construct tables out of band).
+    pub(crate) fn set_alias_tables(&mut self, forward: AliasTable, reverse: AliasTable) {
+        debug_assert_eq!(forward.num_slots(), self.num_arcs() + self.num_vertices);
+        debug_assert_eq!(reverse.num_slots(), self.num_arcs() + self.num_vertices);
+        self.alias = Some(Box::new((forward, reverse)));
+    }
+
+    /// The `(forward, reverse)` alias tables, when built.
+    pub(crate) fn alias_tables(&self) -> Option<(&AliasTable, &AliasTable)> {
+        self.alias.as_deref().map(|t| (&t.0, &t.1))
+    }
+
+    /// The forward-direction alias view, when tables are built.
+    #[inline]
+    pub fn forward_alias(&self) -> Option<CsrAliasView<'_>> {
+        self.alias.as_deref().map(|t| t.0.view())
+    }
+
+    /// The reverse-direction alias view, when tables are built.
+    #[inline]
+    pub fn reverse_alias(&self) -> Option<CsrAliasView<'_>> {
+        self.alias.as_deref().map(|t| t.1.view())
     }
 }
 

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alias;
 pub mod binfmt;
 mod builder;
 pub mod csr;
@@ -72,12 +73,14 @@ pub mod stats;
 mod uncertain;
 pub mod updatelog;
 
+pub use alias::{alias_draw, AliasSlot, AliasTable, AliasView, CsrAliasView};
 pub use builder::{DiGraphBuilder, DuplicatePolicy, UncertainGraphBuilder};
 pub use csr::{CsrGraph, CsrView, GraphView};
 pub use error::GraphError;
 pub use graph::{ArcIter, DiGraph};
 pub use overlay::{
-    CompactionPolicy, DeltaOverlay, GraphUpdate, OverlayView, UpdateError, UpdateSummary,
+    CompactionPolicy, DeltaOverlay, GraphUpdate, OverlayAliasView, OverlayView, UpdateError,
+    UpdateSummary,
 };
 pub use snapshot::CsrSnapshot;
 pub use uncertain::{ProbArc, UncertainGraph};

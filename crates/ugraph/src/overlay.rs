@@ -48,6 +48,7 @@
 //! assert_eq!(overlay.reverse().neighbors(0), &[2]);
 //! ```
 
+use crate::alias::{build_alias_row, AliasSlot, AliasTable, AliasView, CsrAliasView};
 use crate::csr::{CsrGraph, CsrView, GraphView};
 use crate::uncertain::UncertainGraph;
 use crate::{Probability, VertexId};
@@ -252,6 +253,10 @@ pub struct UpdateSummary {
 struct Row {
     targets: Vec<VertexId>,
     probs: Vec<Probability>,
+    /// The vertex's rebuilt alias row, maintained only when the base carries
+    /// alias tables (refreshed after every applied batch that touches the
+    /// vertex, so reads never see a stale table).
+    alias: Option<Vec<AliasSlot>>,
 }
 
 impl Row {
@@ -296,6 +301,7 @@ impl DirOverlay {
         self.rows.entry(v).or_insert_with(|| Row {
             targets: base.neighbors(v).to_vec(),
             probs: base.probabilities(v).to_vec(),
+            alias: None,
         })
     }
 }
@@ -535,6 +541,28 @@ impl DeltaOverlay {
                 }
             }
         }
+        // Partial alias rebuild: only the vertices this batch actually
+        // touched (sources in the forward direction, targets in the
+        // reverse) pay the O(d²) row rebuild; every other row keeps its
+        // table bit-for-bit.
+        if self.base.has_alias_tables() {
+            let mut sources: Vec<VertexId> = updates.iter().map(|u| u.endpoints().0).collect();
+            let mut targets: Vec<VertexId> = updates.iter().map(|u| u.endpoints().1).collect();
+            for (dirty, overlay) in [
+                (&mut sources, &mut self.forward),
+                (&mut targets, &mut self.reverse),
+            ] {
+                dirty.sort_unstable();
+                dirty.dedup();
+                for &v in dirty.iter() {
+                    let row = overlay
+                        .rows
+                        .get_mut(&v)
+                        .expect("every update endpoint has a patched row");
+                    row.alias = Some(build_alias_row(&row.targets, &row.probs));
+                }
+            }
+        }
         self.ops_since_compaction += updates.len();
         self.version += 1;
         summary.compacted = self.maybe_compact();
@@ -560,10 +588,62 @@ impl DeltaOverlay {
         let n = self.num_vertices();
         let forward = merge_direction(n, self.live_arcs, self.base.forward(), &self.forward.rows);
         let reverse = merge_direction(n, self.live_arcs, self.base.reverse(), &self.reverse.rows);
+        // Alias tables ride along: unpatched vertices keep their base slots
+        // bit-for-bit, patched vertices contribute the row rebuilt at apply
+        // time — no vertex is rebuilt twice, none is rebuilt needlessly.
+        let alias = self.base.alias_tables().map(|(fwd, rev)| {
+            (
+                merge_alias_direction(n, self.live_arcs, fwd, &self.forward.rows),
+                merge_alias_direction(n, self.live_arcs, rev, &self.reverse.rows),
+            )
+        });
         self.base = CsrGraph::from_raw_directions(n, forward, reverse);
+        if let Some((fwd, rev)) = alias {
+            self.base.set_alias_tables(fwd, rev);
+        }
         self.forward.rows.clear();
         self.reverse.rows.clear();
         self.ops_since_compaction = 0;
+    }
+
+    /// Whether the base (and therefore the live views) carry alias tables.
+    #[inline]
+    pub fn has_alias_tables(&self) -> bool {
+        self.base.has_alias_tables()
+    }
+
+    /// Builds alias tables for the base and a rebuilt alias row for every
+    /// already-patched vertex, so the live alias views become available
+    /// mid-flight; a no-op when tables are already maintained.
+    pub fn build_alias_tables(&mut self) {
+        if !self.base.has_alias_tables() {
+            self.base.build_alias_tables();
+        }
+        for overlay in [&mut self.forward, &mut self.reverse] {
+            for row in overlay.rows.values_mut() {
+                if row.alias.is_none() {
+                    row.alias = Some(build_alias_row(&row.targets, &row.probs));
+                }
+            }
+        }
+    }
+
+    /// The live forward alias view, when the base carries tables.
+    #[inline]
+    pub fn forward_alias(&self) -> Option<OverlayAliasView<'_>> {
+        self.base.forward_alias().map(|base| OverlayAliasView {
+            base,
+            rows: &self.forward.rows,
+        })
+    }
+
+    /// The live reverse alias view, when the base carries tables.
+    #[inline]
+    pub fn reverse_alias(&self) -> Option<OverlayAliasView<'_>> {
+        self.base.reverse_alias().map(|base| OverlayAliasView {
+            base,
+            rows: &self.reverse.rows,
+        })
     }
 
     /// Materialises the live graph as an [`UncertainGraph`] (for persisting
@@ -607,6 +687,32 @@ fn merge_direction(
         offsets.push(targets.len());
     }
     (offsets, targets, probs)
+}
+
+/// Concatenates one direction's live alias rows (the row rebuilt at apply
+/// time where the vertex is patched, the base table's slots otherwise) into
+/// a fresh contiguous [`AliasTable`].
+fn merge_alias_direction(
+    num_vertices: usize,
+    num_arcs: usize,
+    base: &AliasTable,
+    rows: &HashMap<VertexId, Row>,
+) -> AliasTable {
+    let mut offsets = Vec::with_capacity(num_vertices + 1);
+    let mut slots = Vec::with_capacity(num_arcs + num_vertices);
+    offsets.push(0);
+    for v in 0..num_vertices as VertexId {
+        match rows.get(&v) {
+            Some(row) => slots.extend_from_slice(
+                row.alias
+                    .as_deref()
+                    .expect("patched rows carry alias rows while the base has tables"),
+            ),
+            None => slots.extend_from_slice(base.slots_of(v)),
+        }
+        offsets.push(slots.len());
+    }
+    AliasTable::from_raw(offsets, slots)
 }
 
 /// A borrowed, direction-fixed view of a [`DeltaOverlay`]: the base
@@ -672,6 +778,35 @@ impl<'a> OverlayView<'a> {
     pub fn arc_probability(&self, u: VertexId, v: VertexId) -> Option<Probability> {
         let idx = self.neighbors(u).binary_search(&v).ok()?;
         Some(self.probabilities(u)[idx])
+    }
+}
+
+/// A borrowed, direction-fixed alias view of a [`DeltaOverlay`]: the base
+/// [`CsrAliasView`] plus the patched rows of that direction.  Serves the
+/// rebuilt alias row for a patched vertex and the base table's slots —
+/// pointer-identical — otherwise, mirroring [`OverlayView`]'s contract for
+/// adjacency slices.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayAliasView<'a> {
+    base: CsrAliasView<'a>,
+    rows: &'a HashMap<VertexId, Row>,
+}
+
+impl AliasView for OverlayAliasView<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    #[inline]
+    fn slots(&self, v: VertexId) -> &[AliasSlot] {
+        match self.rows.get(&v) {
+            Some(row) => row
+                .alias
+                .as_deref()
+                .expect("patched rows carry alias rows while the base has tables"),
+            None => self.base.slots_of(v),
+        }
     }
 }
 
@@ -993,6 +1128,125 @@ mod tests {
         assert_eq!(CompactionPolicy::eager().threshold(1_000_000), 1);
         assert_eq!(CompactionPolicy::never().threshold(8), usize::MAX);
         assert_eq!(CompactionPolicy::default().threshold(0), 4096);
+    }
+
+    /// Every vertex's live alias slots must equal a from-scratch table
+    /// build over the live adjacency — the invariant the partial rebuild
+    /// maintains.
+    fn assert_alias_matches_fresh_build(overlay: &DeltaOverlay) {
+        let mut fresh = CsrGraph::from_uncertain(&overlay.to_uncertain());
+        fresh.build_alias_tables();
+        let pairs = [
+            (
+                overlay.forward_alias().unwrap(),
+                fresh.forward_alias().unwrap(),
+            ),
+            (
+                overlay.reverse_alias().unwrap(),
+                fresh.reverse_alias().unwrap(),
+            ),
+        ];
+        for (live, expected) in pairs {
+            for v in 0..overlay.num_vertices() as VertexId {
+                assert_eq!(live.slots(v), expected.slots_of(v), "alias row of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn updates_rebuild_alias_rows_only_for_touched_vertices() {
+        let mut base = CsrGraph::from_uncertain(&fig1_graph());
+        base.build_alias_tables();
+        let mut overlay = DeltaOverlay::with_policy(base, CompactionPolicy::never());
+        overlay
+            .apply_all(&[
+                GraphUpdate::InsertArc {
+                    source: 4,
+                    target: 0,
+                    probability: 0.3,
+                },
+                GraphUpdate::SetProbability {
+                    source: 2,
+                    target: 0,
+                    probability: 0.95,
+                },
+            ])
+            .unwrap();
+        assert_alias_matches_fresh_build(&overlay);
+        // An untouched vertex serves the base table's slots pointer-
+        // identically — the "only patched vertices rebuilt" contract.
+        let live = overlay.forward_alias().unwrap();
+        let base_table = overlay.base().forward_alias().unwrap();
+        assert!(std::ptr::eq(
+            live.slots(1).as_ptr(),
+            base_table.slots_of(1).as_ptr()
+        ));
+        // Touched vertices serve rebuilt rows, not the stale base slots.
+        assert_ne!(live.slots(2), base_table.slots_of(2));
+    }
+
+    #[test]
+    fn compaction_carries_alias_tables_into_the_new_base() {
+        let mut base = CsrGraph::from_uncertain(&fig1_graph());
+        base.build_alias_tables();
+        let mut overlay = DeltaOverlay::with_policy(base, CompactionPolicy::never());
+        overlay
+            .apply_all(&[
+                GraphUpdate::DeleteArc {
+                    source: 3,
+                    target: 4,
+                },
+                GraphUpdate::InsertArc {
+                    source: 4,
+                    target: 2,
+                    probability: 0.2,
+                },
+            ])
+            .unwrap();
+        overlay.compact();
+        assert!(overlay.base().has_alias_tables());
+        assert_eq!(overlay.patched_vertices(), 0);
+        assert_alias_matches_fresh_build(&overlay);
+        // The compacted tables are bit-identical to a from-scratch build of
+        // the same graph (copy-vs-rebuild indistinguishability).
+        let mut fresh = CsrGraph::from_uncertain(&overlay.to_uncertain());
+        fresh.build_alias_tables();
+        let (fwd, rev) = overlay.base().alias_tables().unwrap();
+        let (fresh_fwd, fresh_rev) = fresh.alias_tables().unwrap();
+        assert_eq!(fwd, fresh_fwd);
+        assert_eq!(rev, fresh_rev);
+    }
+
+    #[test]
+    fn alias_tables_can_be_built_mid_flight_over_patched_rows() {
+        let mut overlay = DeltaOverlay::with_policy(
+            CsrGraph::from_uncertain(&fig1_graph()),
+            CompactionPolicy::never(),
+        );
+        assert!(overlay.forward_alias().is_none());
+        overlay
+            .apply_all(&[GraphUpdate::InsertArc {
+                source: 4,
+                target: 0,
+                probability: 0.3,
+            }])
+            .unwrap();
+        overlay.build_alias_tables();
+        assert!(overlay.has_alias_tables());
+        assert_alias_matches_fresh_build(&overlay);
+    }
+
+    #[test]
+    fn overlay_without_tables_never_maintains_alias_rows() {
+        let mut overlay = DeltaOverlay::from_graph(&fig1_graph());
+        overlay
+            .apply_all(&[GraphUpdate::DeleteArc {
+                source: 0,
+                target: 2,
+            }])
+            .unwrap();
+        assert!(overlay.forward_alias().is_none());
+        assert!(overlay.reverse_alias().is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DEFAULT_GATES=(batch_smoke update_churn cache_throughput cold_start)
+DEFAULT_GATES=(batch_smoke update_churn cache_throughput cold_start alias_speedup)
 GATES=("${@:-${DEFAULT_GATES[@]}}")
 
 for gate in "${GATES[@]}"; do
@@ -20,6 +20,7 @@ for gate in "${GATES[@]}"; do
     # gate's name, the original smoke gate predates that convention.
     case "$gate" in
         batch_smoke) bin=bench_smoke ;;
+        alias_speedup) bin=csr_vs_alias ;;
         update_churn | cache_throughput | cold_start | serve_throughput) bin=$gate ;;
         *) echo "bench-gates: unknown gate '$gate'" >&2; exit 2 ;;
     esac

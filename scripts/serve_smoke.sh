@@ -12,9 +12,13 @@
 #   USIM_SMOKE_SHARDS           shard count for the main round      [1]
 #   USIM_SMOKE_SOURCE           main-round boot source: text|snapshot [text]
 #   USIM_SMOKE_COALESCE_WINDOW  coalescing window in µs; 0 = off    [0]
-# CI runs the script twice: once with the defaults and once with
-# --shards 2 --snapshot + coalescing, so the sharded, snapshot-booted,
-# coalesced serving path is exercised on the shipped binary too.
+#   USIM_SMOKE_SAMPLER          walk backend: legacy|alias          [legacy]
+# CI runs the script three times: once with the defaults, once with
+# --shards 2 --snapshot + coalescing, and once with --sampler alias
+# --snapshot, so the sharded, snapshot-booted, coalesced and alias-table
+# serving paths are all exercised on the shipped binary.  The sampler kind
+# applies to every round (including the CLI ground truth), so the whole
+# pipeline is asserted end to end under the selected backend.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +27,7 @@ SEED=7
 SMOKE_SHARDS=${USIM_SMOKE_SHARDS:-1}
 SMOKE_SOURCE=${USIM_SMOKE_SOURCE:-text}
 SMOKE_COALESCE_WINDOW=${USIM_SMOKE_COALESCE_WINDOW:-0}
+SMOKE_SAMPLER=${USIM_SMOKE_SAMPLER:-legacy}
 TMP=$(mktemp -d)
 SERVER_PID=""
 cleanup() {
@@ -50,9 +55,10 @@ printf '10 20\n20 30\n30 40\n' > "$TMP/pairs.txt"
 # CLI ground truth: batch scores before and after one update round.
 printf -- '= 10 30 0.1\n- 40 50\n' > "$TMP/updates.txt"
 CLI_BATCH=$("$USIM" simrank "$TMP/graph.tsv" --batch "$TMP/pairs.txt" \
-    --samples "$SAMPLES" --seed "$SEED")
+    --samples "$SAMPLES" --seed "$SEED" --sampler "$SMOKE_SAMPLER")
 CLI_CHURN=$("$USIM" simrank "$TMP/graph.tsv" --batch "$TMP/pairs.txt" \
-    --updates "$TMP/updates.txt" --samples "$SAMPLES" --seed "$SEED")
+    --updates "$TMP/updates.txt" --samples "$SAMPLES" --seed "$SEED" \
+    --sampler "$SMOKE_SAMPLER")
 echo "--- CLI ground truth ---"
 echo "$CLI_BATCH"
 echo "$CLI_CHURN"
@@ -82,7 +88,7 @@ ask() {
 
 # Main-round server configuration from the knobs: boot source, shard
 # count, and (optionally) request coalescing.
-SERVE_EXTRA=(--shards "$SMOKE_SHARDS")
+SERVE_EXTRA=(--shards "$SMOKE_SHARDS" --sampler "$SMOKE_SAMPLER")
 if [ "$SMOKE_COALESCE_WINDOW" -gt 0 ]; then
     SERVE_EXTRA+=(--coalesce-window "$SMOKE_COALESCE_WINDOW" --coalesce-max 8)
 fi
@@ -110,9 +116,11 @@ done
 ADDR=$(cat "$TMP/port")
 HOST=${ADDR%:*}
 PORT=${ADDR##*:}
-echo "--- server up on $ADDR (source = $SMOKE_SOURCE, shards = $SMOKE_SHARDS, coalesce window = ${SMOKE_COALESCE_WINDOW}us) ---"
+echo "--- server up on $ADDR (source = $SMOKE_SOURCE, shards = $SMOKE_SHARDS, sampler = $SMOKE_SAMPLER, coalesce window = ${SMOKE_COALESCE_WINDOW}us) ---"
 grep -q "source = $SMOKE_SOURCE, epoch = 0, shards = $SMOKE_SHARDS" "$TMP/server1.log" || {
     echo "FAIL: banner misses source/epoch/shards:"; cat "$TMP/server1.log"; exit 1; }
+grep -q "sampler = $SMOKE_SAMPLER" "$TMP/server1.log" || {
+    echo "FAIL: banner misses 'sampler = $SMOKE_SAMPLER':"; cat "$TMP/server1.log"; exit 1; }
 if [ "$SMOKE_COALESCE_WINDOW" -gt 0 ]; then
     grep -q "coalesce = ${SMOKE_COALESCE_WINDOW}us/cap 8" "$TMP/server1.log" || {
         echo "FAIL: banner misses the coalesce settings:"; cat "$TMP/server1.log"; exit 1; }
@@ -153,6 +161,11 @@ esac
 case "$R_STATS" in
     *'"vertices":5'*'"arcs":8'*) ;;
     *) echo "FAIL: bad stats frame: $R_STATS"; exit 1 ;;
+esac
+# The walk backend must be reported as a top-level stats field.
+case "$R_STATS" in
+    *'"sampler":"'"$SMOKE_SAMPLER"'"'*) ;;
+    *) echo "FAIL: stats frame misses sampler kind '$SMOKE_SAMPLER': $R_STATS"; exit 1 ;;
 esac
 # Observability sections must always be present; the stats frame was the
 # connection's first, so zero earlier frames have been timed yet.
@@ -212,7 +225,7 @@ CLI_AFTER=$(table_column 2 "$CLI_CHURN")
 # CLI scores, and the stats frame must report the hits.
 "$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
     --workers 2 --max-connections 1 --cache-capacity 1024 \
-    --samples "$SAMPLES" --seed "$SEED" &
+    --samples "$SAMPLES" --seed "$SEED" --sampler "$SMOKE_SAMPLER" &
 SERVER_PID=$!
 for _ in $(seq 100); do
     [ -s "$TMP/port" ] && break
@@ -264,7 +277,7 @@ echo "--- cached server: repeat batch served bit-identically, 3 hits ---"
 "$USIM" serve --snapshot "$TMP/graph.csr" --update-log "$TMP/updates.log" \
     --addr 127.0.0.1:0 --port-file "$TMP/port" --workers 2 --shards 3 \
     --max-connections 1 --samples "$SAMPLES" --seed "$SEED" \
-    > "$TMP/server_snap1.log" &
+    --sampler "$SMOKE_SAMPLER" > "$TMP/server_snap1.log" &
 SERVER_PID=$!
 for _ in $(seq 100); do
     [ -s "$TMP/port" ] && break
@@ -294,7 +307,7 @@ esac
 "$USIM" serve --snapshot "$TMP/graph.csr" --update-log "$TMP/updates.log" \
     --addr 127.0.0.1:0 --port-file "$TMP/port" --workers 2 --shards 3 \
     --max-connections 1 --samples "$SAMPLES" --seed "$SEED" \
-    > "$TMP/server_snap2.log" &
+    --sampler "$SMOKE_SAMPLER" > "$TMP/server_snap2.log" &
 SERVER_PID=$!
 for _ in $(seq 100); do
     [ -s "$TMP/port" ] && break

@@ -75,11 +75,11 @@ pub mod prelude {
         CompactionPolicy, CsrGraph, CsrView, DeltaOverlay, DiGraph, DiGraphBuilder, GraphError,
         GraphUpdate, GraphView, UncertainGraph, UncertainGraphBuilder, UpdateError, VertexId,
     };
-    pub use crate::random_walk::{CsrSampler, WalkArena};
+    pub use crate::random_walk::{AliasSampler, CsrSampler, WalkArena};
     pub use crate::server::{CoalesceOptions, RequestHandler, Server, ServerOptions};
     pub use crate::simrank::{
-        BaselineEstimator, CachedQueryEngine, QueryEngine, SamplingEstimator, ShardSpec,
-        ShardedQueryEngine, SharedQueryEngine, SimRankConfig, SimRankEstimator,
+        BaselineEstimator, CachedQueryEngine, QueryEngine, SamplerKind, SamplingEstimator,
+        ShardSpec, ShardedQueryEngine, SharedQueryEngine, SimRankConfig, SimRankEstimator,
         SingleSourceEstimator, SourceMode, SpeedupEstimator, TwoPhaseEstimator, WalkDirection,
     };
 }
