@@ -24,6 +24,23 @@
 //!   cache entry in O(1): entries from older epochs never hit (counted as
 //!   `stale`), so no scan or flush runs inside the write lock.
 //!
+//! # Footprint-based survival
+//!
+//! The epoch bump alone would throw away every entry on every update round,
+//! even rounds that cannot have changed the entry's answer.  Each cached
+//! answer therefore carries the [`ugraph::VertexFootprint`] of its walks
+//! (recorded by [`QueryEngine::batch_similarities_traced`] /
+//! [`QueryEngine::profile_traced`] at zero RNG cost), and
+//! [`CachedQueryEngine::apply_updates`] runs
+//! [`usim_cache::ResultCache::revalidate`] inside the write lock: entries
+//! whose footprint is disjoint from the round's touched-vertex set
+//! ([`ugraph::footprint::touched_vertices`] — both endpoints of every
+//! update) are **re-stamped** to the new epoch and keep hitting; the rest
+//! go stale exactly as before.  Safety is one-sided: an answer depends only
+//! on the adjacency rows of vertices its walks visited, the footprint is a
+//! superset of those, and bloom false positives only kill entries — never
+//! let one survive a round that touched it.
+//!
 //! With the cache disabled (capacity 0) the wrapper is a zero-cost
 //! pass-through to the engine's own entry points — which already
 //! deduplicate repeated pairs within one batch.
@@ -185,8 +202,13 @@ impl CachedQueryEngine {
             if let Some(CachedAnswer::Profile(profile)) = cache.get(&key, epoch) {
                 return Ok((epoch, profile));
             }
-            let profile = e.profile(u, v);
-            cache.insert(key, CachedAnswer::Profile(profile.clone()), epoch);
+            let (profile, footprint) = e.profile_traced(u, v);
+            cache.insert_with_footprint(
+                key,
+                CachedAnswer::Profile(profile.clone()),
+                epoch,
+                footprint,
+            );
             Ok((epoch, profile))
         })
     }
@@ -242,15 +264,25 @@ impl CachedQueryEngine {
     }
 
     /// Applies an update batch and returns `(summary, new epoch)` captured
-    /// under one write-lock acquisition.  The epoch bump is the whole
-    /// invalidation: entries stored under older epochs can never hit again.
+    /// under one write-lock acquisition.  The epoch bump invalidates every
+    /// cached entry by default; immediately after it (still inside the
+    /// write lock, so no reader can race the sweep) the cache is
+    /// revalidated against the round's touched-vertex set — entries whose
+    /// walk footprint is disjoint from every updated endpoint are
+    /// re-stamped to the new epoch and keep serving hits.
     pub fn apply_updates(
         &self,
         updates: &[GraphUpdate],
     ) -> Result<(UpdateSummary, u64), UpdateError> {
         self.engine.with_write(|e| {
+            let from_epoch = e.update_epoch();
             let summary = e.apply_updates(updates)?;
-            Ok((summary, e.update_epoch()))
+            let to_epoch = e.update_epoch();
+            if let Some(cache) = &self.cache {
+                let touched = ugraph::footprint::touched_vertices(updates);
+                cache.revalidate(&touched, from_epoch, to_epoch);
+            }
+            Ok((summary, to_epoch))
         })
     }
 
@@ -308,15 +340,16 @@ impl CachedQueryEngine {
             // inserted once; one engine batch covers them all, sharded
             // across workers.
             let (distinct, distinct_of) = crate::engine::dedup_pairs(&misses);
-            let computed = e.batch_similarities(&distinct)?;
+            let computed = e.batch_similarities_traced(&distinct)?;
             for (&slot, &index) in miss_slots.iter().zip(distinct_of.iter()) {
-                scores[slot] = computed[index];
+                scores[slot] = computed[index].0;
             }
-            for (&(u, v), &score) in distinct.iter().zip(computed.iter()) {
-                cache.insert(
+            for (&(u, v), &(score, footprint)) in distinct.iter().zip(computed.iter()) {
+                cache.insert_with_footprint(
                     PairKey::score(u, v, self.fingerprint),
                     CachedAnswer::Score(score),
                     epoch,
+                    footprint,
                 );
             }
         }
@@ -420,6 +453,114 @@ mod tests {
         let hits_before = cached.cache_stats().unwrap().hits;
         cached.batch_similarities(&pairs).unwrap();
         assert!(cached.cache_stats().unwrap().hits > hits_before);
+    }
+
+    /// Two disconnected components: queries in one, updates in the other.
+    /// Walks can never cross, so footprints and touched sets are disjoint.
+    fn two_component_graph() -> ugraph::UncertainGraph {
+        UncertainGraphBuilder::new(6)
+            // Component A: vertices 0..3.
+            .arc(2, 0, 0.9)
+            .arc(2, 1, 0.8)
+            .arc(1, 0, 0.7)
+            // Component B: vertices 3..6.
+            .arc(5, 3, 0.9)
+            .arc(5, 4, 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn entries_survive_updates_disjoint_from_their_footprint() {
+        let g = two_component_graph();
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let cached = CachedQueryEngine::new(SharedQueryEngine::new(&g, config), 256);
+        let pairs: Vec<(VertexId, VertexId)> = vec![(0, 1), (0, 2), (1, 2)];
+        let (_, before) = cached.batch_similarities(&pairs).unwrap();
+
+        // The round only touches component B: every component-A entry's
+        // footprint is disjoint from {3, 5} and must survive.
+        let updates = [GraphUpdate::SetProbability {
+            source: 5,
+            target: 3,
+            probability: 0.2,
+        }];
+        let (_, epoch) = cached.apply_updates(&updates).unwrap();
+        assert_eq!(epoch, 1);
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!(
+            (stats.survived, stats.killed),
+            (pairs.len() as u64, 0),
+            "disjoint round must re-stamp everything: {stats:?}"
+        );
+
+        // The repeat ask is served entirely from the cache…
+        let misses_before = stats.misses;
+        let (epoch, after) = cached.batch_similarities(&pairs).unwrap();
+        assert_eq!(epoch, 1);
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!(stats.misses, misses_before, "no recompute after survival");
+        assert_eq!(after, before, "component A is untouched by the update");
+
+        // …and the survivors are bit-identical to a fresh engine built on
+        // the updated graph (the ground truth for "survival was sound").
+        let mut reference = QueryEngine::new(&g, config);
+        reference.apply_updates(&updates).unwrap();
+        assert_eq!(after, reference.batch_similarities(&pairs).unwrap());
+    }
+
+    #[test]
+    fn entries_touching_the_updated_region_still_die() {
+        let g = two_component_graph();
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let cached = CachedQueryEngine::new(SharedQueryEngine::new(&g, config), 256);
+        cached.batch_similarities(&[(0, 1), (3, 4)]).unwrap();
+
+        // Touches component A (vertex 0 is in (0, 1)'s footprint — both
+        // walks start there or reach it); (3, 4) lives in B and survives.
+        let updates = [GraphUpdate::SetProbability {
+            source: 1,
+            target: 0,
+            probability: 0.2,
+        }];
+        cached.apply_updates(&updates).unwrap();
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!(
+            (stats.survived, stats.killed),
+            (1, 1),
+            "A-side entry dies, B-side survives: {stats:?}"
+        );
+
+        // The dead pair recomputes against the live graph.
+        let mut reference = QueryEngine::new(&g, config);
+        reference.apply_updates(&updates).unwrap();
+        let (_, scores) = cached.batch_similarities(&[(0, 1), (3, 4)]).unwrap();
+        assert_eq!(
+            scores,
+            reference.batch_similarities(&[(0, 1), (3, 4)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn profile_entries_survive_disjoint_rounds_too() {
+        let g = two_component_graph();
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let cached = CachedQueryEngine::new(SharedQueryEngine::new(&g, config), 256);
+        let (_, before) = cached.profile(0, 1).unwrap();
+        cached
+            .apply_updates(&[GraphUpdate::InsertArc {
+                source: 4,
+                target: 3,
+                probability: 0.5,
+            }])
+            .unwrap();
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!((stats.survived, stats.killed), (1, 0), "{stats:?}");
+        let hits_before = stats.hits;
+        let (epoch, after) = cached.profile(0, 1).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(after, before);
+        assert_eq!(cached.cache_stats().unwrap().hits, hits_before + 1);
     }
 
     #[test]

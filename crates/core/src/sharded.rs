@@ -344,6 +344,8 @@ impl ShardedQueryEngine {
             sum.stale += stats.stale;
             sum.evictions += stats.evictions;
             sum.insertions += stats.insertions;
+            sum.survived += stats.survived;
+            sum.killed += stats.killed;
             sum.entries += stats.entries;
         }
         total
@@ -1020,6 +1022,52 @@ mod tests {
                 engine.similarity(0, 1).unwrap().1
             ))
         );
+    }
+
+    #[test]
+    fn survival_composes_across_shards() {
+        // Two disconnected components: queries in A (0..3), updates in B
+        // (3..6).  Each shard revalidates its own cache; the summed stats
+        // must show every cached entry surviving the disjoint round.
+        let graph = UncertainGraphBuilder::new(6)
+            .arc(2, 0, 0.9)
+            .arc(2, 1, 0.8)
+            .arc(1, 0, 0.7)
+            .arc(5, 3, 0.9)
+            .arc(5, 4, 0.8)
+            .build()
+            .unwrap();
+        let spec = ShardSpec {
+            shards: 3,
+            threads_per_shard: 0,
+            cache_capacity: 64,
+        };
+        let sharded = ShardedQueryEngine::new(&graph, config(), spec);
+        let pairs = [(0, 1), (0, 2), (1, 2)];
+        let (_, before) = sharded.batch_similarities(&pairs).unwrap();
+
+        let updates = [GraphUpdate::SetProbability {
+            source: 5,
+            target: 3,
+            probability: 0.2,
+        }];
+        sharded.apply_updates(&updates).unwrap();
+        let stats = sharded.cache_stats().unwrap();
+        assert_eq!(stats.killed, 0, "{stats:?}");
+        assert_eq!(stats.survived as usize, stats.entries, "{stats:?}");
+        assert!(stats.survived > 0, "{stats:?}");
+
+        let misses_before = stats.misses;
+        let (epoch, after) = sharded.batch_similarities(&pairs).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(after, before);
+        let stats = sharded.cache_stats().unwrap();
+        assert_eq!(stats.misses, misses_before, "served from survivors");
+
+        // Ground truth: a fresh engine on the updated graph agrees.
+        let mut reference = QueryEngine::new(&graph, config());
+        reference.apply_updates(&updates).unwrap();
+        assert_eq!(after, reference.batch_similarities(&pairs).unwrap());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Walk-footprint capture: folding the vertices a sampled walk visited into
+//! a [`VertexFootprint`], without touching the walk's RNG stream.
+//!
+//! A SimRank answer for a pair is a pure function of the pair's RNG stream
+//! and the adjacency rows of the vertices its walks visited — both the
+//! lazily-instantiated [`crate::CsrSampler`] and the alias-table
+//! [`crate::AliasSampler`] only ever read the row of the vertex a walk
+//! currently stands on.  The positions buffer a sampler fills therefore
+//! *is* the dependency set of the walk (a superset, in fact: the final
+//! position's row is never read), and recording it after the walk returns
+//! consumes **zero RNG draws** — the bit-identity pins on the samplers hold
+//! with or without capture, which is what makes footprint-carrying cache
+//! entries safe to re-stamp across disjoint update rounds.
+
+use crate::arena::DEAD;
+use ugraph::{VertexFootprint, VertexId};
+
+/// Records every live position of a sampled walk into `footprint`.
+///
+/// `positions` is the buffer a sampler's `sample_walk_into` filled: one
+/// vertex per step, [`DEAD`] tombstones after the walk died.  Tombstones
+/// are skipped; everything else — including the start vertex and the final
+/// position, whose row the walk never read — is recorded.  Recording a
+/// superset of the rows actually read is safe by the footprint's one-sided
+/// contract: it can only cause extra invalidation, never a wrong survival.
+///
+/// # Example
+///
+/// ```
+/// use rwalk::footprint::record_walk;
+/// use rwalk::DEAD;
+/// use ugraph::VertexFootprint;
+///
+/// let mut fp = VertexFootprint::new();
+/// record_walk(&mut fp, &[4, 2, 7, DEAD, DEAD]);
+/// assert!(fp.may_contain(4) && fp.may_contain(2) && fp.may_contain(7));
+/// assert!(!fp.may_contain(DEAD));
+/// ```
+#[inline]
+pub fn record_walk(footprint: &mut VertexFootprint, positions: &[VertexId]) {
+    for &v in positions {
+        if v != DEAD {
+            footprint.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{AliasSampler, CsrSampler, WalkArena};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ugraph::{CsrGraph, UncertainGraphBuilder};
+
+    fn line_graph() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3 -> 4, certain enough that walks usually live.
+        let mut builder = UncertainGraphBuilder::new(5);
+        for v in 0..4u32 {
+            builder = builder.arc(v, v + 1, 0.95);
+        }
+        CsrGraph::from_uncertain(&builder.build().unwrap())
+    }
+
+    #[test]
+    fn recording_covers_exactly_the_live_positions() {
+        let mut fp = VertexFootprint::new();
+        record_walk(&mut fp, &[3, 1, DEAD, DEAD]);
+        assert!(fp.may_contain(3) && fp.may_contain(1));
+        // DEAD itself is never inserted; an empty walk records nothing.
+        let mut empty = VertexFootprint::new();
+        record_walk(&mut empty, &[DEAD, DEAD]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn capture_does_not_perturb_csr_sampler_rng_draws() {
+        // The same seed with and without capture must yield bit-identical
+        // walks: recording happens after the sampler returns and reads only
+        // the positions buffer.
+        let csr = line_graph();
+        let sampler = CsrSampler::new(csr.forward());
+        let mut plain = Vec::new();
+        let mut traced = Vec::new();
+        let mut arena_a = WalkArena::new();
+        let mut arena_b = WalkArena::new();
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut fp = VertexFootprint::new();
+        for _ in 0..50 {
+            sampler.sample_walk_into(&mut arena_a, 0, 4, &mut rng_a, &mut plain);
+            sampler.sample_walk_into(&mut arena_b, 0, 4, &mut rng_b, &mut traced);
+            record_walk(&mut fp, &traced);
+            assert_eq!(plain, traced);
+            for &v in plain.iter().filter(|&&v| v != DEAD) {
+                assert!(fp.may_contain(v), "visited vertex {v} missing");
+            }
+        }
+        assert!(!fp.is_empty());
+    }
+
+    #[test]
+    fn capture_does_not_perturb_alias_sampler_rng_draws() {
+        let mut csr = line_graph();
+        csr.build_alias_tables();
+        let sampler = AliasSampler::new(csr.forward_alias().unwrap());
+        let mut plain = Vec::new();
+        let mut traced = Vec::new();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut fp = VertexFootprint::new();
+        for _ in 0..50 {
+            sampler.sample_walk_into(0, 4, &mut rng_a, &mut plain);
+            sampler.sample_walk_into(0, 4, &mut rng_b, &mut traced);
+            record_walk(&mut fp, &traced);
+            assert_eq!(plain, traced);
+        }
+        for &v in plain.iter().filter(|&&v| v != DEAD) {
+            assert!(fp.may_contain(v));
+        }
+    }
+}

@@ -655,6 +655,8 @@ impl RequestHandler {
                 ("stale".to_string(), Value::Uint(stats.stale)),
                 ("evictions".to_string(), Value::Uint(stats.evictions)),
                 ("insertions".to_string(), Value::Uint(stats.insertions)),
+                ("survived".to_string(), Value::Uint(stats.survived)),
+                ("killed".to_string(), Value::Uint(stats.killed)),
             ]);
         }
         // Per-shard section: vertex range, pinned worker threads and the
@@ -680,6 +682,8 @@ impl RequestHandler {
                             ("stale".to_string(), Value::Uint(stats.stale)),
                             ("evictions".to_string(), Value::Uint(stats.evictions)),
                             ("insertions".to_string(), Value::Uint(stats.insertions)),
+                            ("survived".to_string(), Value::Uint(stats.survived)),
+                            ("killed".to_string(), Value::Uint(stats.killed)),
                         ]),
                     ));
                 }
@@ -1383,6 +1387,59 @@ mod tests {
         assert_eq!(get(cache, "stale"), &Value::Uint(stats.stale));
         assert!(matches!(get(cache, "misses"), Value::Uint(_)));
         assert!(matches!(get(cache, "evictions"), Value::Uint(_)));
+        assert_eq!(get(cache, "survived"), &Value::Uint(stats.survived));
+        assert_eq!(get(cache, "killed"), &Value::Uint(stats.killed));
+        assert!(
+            stats.killed > 0,
+            "the update touched cached footprints: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cached_entries_survive_disjoint_updates_on_the_wire() {
+        // In fig1 vertex 4 (label 14) has no out-arcs, so reverse walks
+        // never *reach* it — a self-loop insert there is disjoint from
+        // every cached footprint that doesn't start at 14.
+        let config = SimRankConfig::default().with_samples(150).with_seed(7);
+        let cached = RequestHandler::with_cache(
+            SharedQueryEngine::new(&fig1_graph(), config),
+            (10..15).collect(),
+            DEFAULT_MAX_BATCH,
+            512,
+        );
+        let ask = r#"{"type":"batch","pairs":[[10,11],[11,12],[12,13]]}"#;
+        let before = cached.handle_line(ask).unwrap();
+        cached
+            .handle_line(
+                r#"{"type":"update","updates":[{"op":"insert","source":14,"target":14,"probability":0.5}]}"#,
+            )
+            .unwrap();
+        let stats = cached.cached_engine().cache_stats().unwrap();
+        assert_eq!(
+            (stats.survived, stats.killed),
+            (3, 0),
+            "every entry is disjoint from vertex 4: {stats:?}"
+        );
+        // The repeat ask hits the survivors; the scores are unchanged (the
+        // frame differs only in its epoch stamp).
+        let misses_before = stats.misses;
+        let after = cached.handle_line(ask).unwrap();
+        let stats = cached.cached_engine().cache_stats().unwrap();
+        assert_eq!(stats.misses, misses_before, "no recompute: {stats:?}");
+        let scores_of = |frame: &Frame| {
+            parse(frame)
+                .iter()
+                .find(|(k, _)| k == "scores")
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(scores_of(&after), scores_of(&before));
+        // And the wire stats frame reports the survival.
+        let frame = cached.handle_line(r#"{"type":"stats"}"#).unwrap();
+        let entries = parse(&frame);
+        let cache = get(&entries, "cache").as_map().unwrap();
+        assert_eq!(get(cache, "survived"), &Value::Uint(3));
+        assert_eq!(get(cache, "killed"), &Value::Uint(0));
     }
 
     fn fig1_graph() -> ugraph::UncertainGraph {

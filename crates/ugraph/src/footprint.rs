@@ -1,0 +1,250 @@
+//! Compact vertex-set summaries for fine-grained cache invalidation.
+//!
+//! A [`VertexFootprint`] is a small fixed-size bloom filter (256 bits, two
+//! probe bits per vertex) summarising a set of vertex ids.  The random-walk
+//! estimators have a locality property that makes this worth having: a
+//! cached SimRank answer depends only on the adjacency rows of the vertices
+//! its walks actually visited, so an update round that touches a *disjoint*
+//! vertex set cannot change the answer.  Callers record the visited set
+//! into a footprint at computation time and test it against the round's
+//! touched-vertex set ([`touched_vertices`]) at invalidation time.
+//!
+//! The filter's guarantee is deliberately **one-sided**: membership tests
+//! can report false *positives* (two vertices sharing probe bits) but never
+//! false *negatives* — every inserted vertex tests positive forever.  For
+//! invalidation that means a footprint can only claim an answer depends on
+//! *more* vertices than it really does: false positives over-invalidate
+//! (a survivable entry is recomputed, costing time), never under-invalidate
+//! (a stale answer can never survive).  Correctness never rests on the
+//! filter being precise.
+//!
+//! # Example
+//!
+//! ```
+//! use ugraph::footprint::VertexFootprint;
+//!
+//! let mut walked = VertexFootprint::new();
+//! walked.insert(3);
+//! walked.insert(7);
+//! assert!(walked.may_contain(3) && walked.may_contain(7));
+//! // Disjoint touched sets are (modulo false positives) rejected…
+//! let mut touched = VertexFootprint::new();
+//! touched.insert(1000);
+//! // …and a shared vertex is always detected: no false negatives.
+//! touched.insert(7);
+//! assert!(walked.intersects(&touched));
+//! ```
+
+use crate::overlay::GraphUpdate;
+use crate::VertexId;
+
+/// Number of bits in a [`VertexFootprint`].
+pub const FOOTPRINT_BITS: usize = 256;
+const WORDS: usize = FOOTPRINT_BITS / 64;
+
+/// A 256-bit bloom filter over vertex ids (two probe bits per vertex).
+///
+/// See the [module docs](self) for the one-sided guarantee and the
+/// invalidation use case.  The type is `Copy` and 32 bytes, cheap enough to
+/// store alongside every cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VertexFootprint {
+    words: [u64; WORDS],
+}
+
+/// SplitMix64 finalizer: decorrelates the two probe-bit indices from the
+/// (often sequential) vertex ids.
+#[inline]
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The two probe-bit positions of a vertex, as `(word, mask)` pairs.
+#[inline]
+fn probes(v: VertexId) -> [(usize, u64); 2] {
+    let h = mix(v as u64);
+    let a = (h & 0xff) as usize;
+    let b = ((h >> 32) & 0xff) as usize;
+    [(a / 64, 1u64 << (a % 64)), (b / 64, 1u64 << (b % 64))]
+}
+
+impl VertexFootprint {
+    /// The empty footprint (no vertex tests positive).
+    pub fn new() -> Self {
+        VertexFootprint::default()
+    }
+
+    /// The all-ones footprint: every vertex tests positive, so the entry it
+    /// guards dies on *any* non-empty touched set.  This is the safe
+    /// default for answers whose visited set is unknown.
+    pub fn saturated() -> Self {
+        VertexFootprint {
+            words: [u64::MAX; WORDS],
+        }
+    }
+
+    /// Records vertex `v`.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) {
+        for (word, mask) in probes(v) {
+            self.words[word] |= mask;
+        }
+    }
+
+    /// Whether `v` *may* have been recorded.  `true` for every inserted
+    /// vertex (no false negatives); occasionally `true` for others (false
+    /// positives over-approximate, which only over-invalidates).
+    #[inline]
+    pub fn may_contain(&self, v: VertexId) -> bool {
+        probes(v)
+            .iter()
+            .all(|&(word, mask)| self.words[word] & mask != 0)
+    }
+
+    /// Whether any bit is shared with `other`.  When `other` summarises a
+    /// touched-vertex set this is a conservative quick test: `false` proves
+    /// the sets are disjoint (a shared vertex sets the same bits in both),
+    /// `true` may be a bit-level coincidence — callers wanting precision
+    /// re-test per vertex with [`VertexFootprint::may_contain`].
+    #[inline]
+    pub fn intersects(&self, other: &VertexFootprint) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Folds `other` into `self` (set union).
+    pub fn merge(&mut self, other: &VertexFootprint) {
+        for (word, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *word |= o;
+        }
+    }
+
+    /// Whether no vertex has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of bits set (observability; full ≈ always-invalidated).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// The deduplicated, sorted set of vertices an update batch touches: both
+/// endpoints of every update.
+///
+/// Both endpoints are conservative on purpose.  An arc mutation of
+/// `(source, target)` changes the *forward* adjacency row of `source` and
+/// the *reverse* (transpose) row of `target`; which row a walk reads
+/// depends on the engine's walk direction, so including both endpoints
+/// keeps the touched set a superset of the changed rows under either
+/// direction — over-invalidation at worst, never under-invalidation.
+pub fn touched_vertices(updates: &[GraphUpdate]) -> Vec<VertexId> {
+    let mut touched: Vec<VertexId> = updates
+        .iter()
+        .flat_map(|u| {
+            let (s, t) = u.endpoints();
+            [s, t]
+        })
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_vertices_always_test_positive() {
+        let mut fp = VertexFootprint::new();
+        for v in (0..10_000u32).step_by(7) {
+            fp.insert(v);
+        }
+        for v in (0..10_000u32).step_by(7) {
+            assert!(fp.may_contain(v), "false negative for {v}");
+        }
+    }
+
+    #[test]
+    fn empty_footprint_contains_nothing_and_saturated_everything() {
+        let empty = VertexFootprint::new();
+        let full = VertexFootprint::saturated();
+        assert!(empty.is_empty());
+        assert!(!full.is_empty());
+        for v in [0u32, 1, 255, 256, 12345, u32::MAX] {
+            assert!(!empty.may_contain(v));
+            assert!(full.may_contain(v));
+        }
+        assert_eq!(full.count_ones() as usize, FOOTPRINT_BITS);
+        assert_eq!(empty.count_ones(), 0);
+    }
+
+    #[test]
+    fn sparse_footprints_reject_most_foreign_vertices() {
+        // Not a hard guarantee (bloom filters have false positives), but a
+        // 16-vertex footprint must reject the clear majority of a foreign
+        // id range, or the filter is useless for survival.
+        let mut fp = VertexFootprint::new();
+        for v in 0..16u32 {
+            fp.insert(v);
+        }
+        let false_positives = (1000..2000u32).filter(|&v| fp.may_contain(v)).count();
+        assert!(
+            false_positives < 100,
+            "16 inserts should fill few bits: {false_positives} FPs"
+        );
+    }
+
+    #[test]
+    fn shared_vertices_always_intersect() {
+        for shared in [0u32, 99, 4096, 70_000] {
+            let mut a = VertexFootprint::new();
+            let mut b = VertexFootprint::new();
+            a.insert(1);
+            a.insert(shared);
+            b.insert(1_000_000);
+            b.insert(shared);
+            assert!(a.intersects(&b), "shared vertex {shared} missed");
+            assert!(b.intersects(&a));
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = VertexFootprint::new();
+        let mut b = VertexFootprint::new();
+        a.insert(1);
+        b.insert(2);
+        a.merge(&b);
+        assert!(a.may_contain(1) && a.may_contain(2));
+    }
+
+    #[test]
+    fn touched_vertices_collects_both_endpoints_sorted_deduped() {
+        let updates = [
+            GraphUpdate::InsertArc {
+                source: 9,
+                target: 2,
+                probability: 0.5,
+            },
+            GraphUpdate::DeleteArc {
+                source: 2,
+                target: 5,
+            },
+            GraphUpdate::SetProbability {
+                source: 9,
+                target: 5,
+                probability: 0.1,
+            },
+        ];
+        assert_eq!(touched_vertices(&updates), vec![2, 5, 9]);
+        assert!(touched_vertices(&[]).is_empty());
+    }
+}

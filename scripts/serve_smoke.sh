@@ -222,7 +222,11 @@ CLI_AFTER=$(table_column 2 "$CLI_CHURN")
 # --- cached-server round -----------------------------------------------
 # Same graph and seed, --cache-capacity on: the same batch asked twice must
 # come back byte-identical (the repeat is served from the cache), match the
-# CLI scores, and the stats frame must report the hits.
+# CLI scores, and the stats frame must report the hits.  Then an update
+# that is *disjoint* from every cached walk footprint (a self-loop on
+# label 50, which no reverse walk from the queried pairs ever reaches) is
+# applied: the entries must survive revalidation and keep serving the same
+# scores at the new epoch without recomputing.
 "$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
     --workers 2 --max-connections 1 --cache-capacity 1024 \
     --samples "$SAMPLES" --seed "$SEED" --sampler "$SMOKE_SAMPLER" &
@@ -240,6 +244,8 @@ echo "--- cached server up on $ADDR ---"
 connect3 "$HOST" "$PORT"
 C_BATCH1=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
 C_BATCH2=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+C_UPDATE=$(ask '{"type":"update","updates":[{"op":"insert","source":50,"target":50,"probability":0.5}]}')
+C_BATCH3=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
 C_STATS=$(ask '{"type":"stats"}')
 exec 3<&- 3>&-
 wait "$SERVER_PID"
@@ -254,17 +260,38 @@ C_SERVED=$(extract_scores "$C_BATCH1")
 [ "$C_SERVED" = "$CLI_BEFORE" ] || {
     echo "FAIL: cached batch != CLI batch"
     echo "served: $C_SERVED"; echo "cli: $CLI_BEFORE"; exit 1; }
+case "$C_UPDATE" in
+    *'"error"'*) echo "FAIL: disjoint update frame errored: $C_UPDATE"; exit 1 ;;
+esac
+# The update touched only label 50, which none of the cached footprints
+# contain: all 3 entries must survive and answer batch 3 from the cache —
+# same scores, new epoch, 6 total hits (3 from the repeat, 3 from the
+# survivors), zero killed.
+C_SERVED3=$(extract_scores "$C_BATCH3")
+C_SERVED1=$(extract_scores "$C_BATCH1")
+[ "$C_SERVED3" = "$C_SERVED1" ] || {
+    echo "FAIL: survivors changed their scores after a disjoint update"
+    echo "before: $C_SERVED1"; echo "after: $C_SERVED3"; exit 1; }
 case "$C_STATS" in
-    *'"cache":{"enabled":true,"capacity":1024'*'"hits":3'*) echo "$C_STATS" ;;
+    *'"cache":{"enabled":true,"capacity":1024'*'"hits":6'*) echo "$C_STATS" ;;
     *) echo "FAIL: cached stats frame misses the cache counters: $C_STATS"; exit 1 ;;
 esac
-# Two batch frames were flushed before the stats frame was built, so the
-# histogram must have timed exactly those two.
 case "$C_STATS" in
-    *'"latency":{"count":2,'*) ;;
+    *'"survived":3'*) ;;
+    *) echo "FAIL: stats frame does not report 3 survivors: $C_STATS"; exit 1 ;;
+esac
+case "$C_STATS" in
+    *'"killed":0'*) ;;
+    *) echo "FAIL: disjoint update killed cache entries: $C_STATS"; exit 1 ;;
+esac
+# Four frames (two batches, the update, the survivor batch) were flushed
+# before the stats frame was built, so the histogram must have timed
+# exactly those four.
+case "$C_STATS" in
+    *'"latency":{"count":4,'*) ;;
     *) echo "FAIL: latency histogram did not count the served frames: $C_STATS"; exit 1 ;;
 esac
-echo "--- cached server: repeat batch served bit-identically, 3 hits ---"
+echo "--- cached server: repeat batch bit-identical, 3 entries survived a disjoint update ---"
 
 # --- snapshot-backed server round ---------------------------------------
 # Compile the graph into a CSR snapshot, serve it sharded with a durable
