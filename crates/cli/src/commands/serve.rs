@@ -6,6 +6,8 @@
 //!            [--cache-capacity 0] [--format text|binary]
 //!            [--shards 1] [--shard-threads 0] [--update-log PATH]
 //!            [--coalesce-window 0] [--coalesce-max 16]
+//!            [--trace-sample-rate 0] [--slow-log 32]
+//!            [--metrics-port P] [--metrics-port-file PATH]
 //!            [SimRank options]
 //! usim serve --snapshot PATH [same options]
 //! ```
@@ -63,6 +65,24 @@
 //! frame's `coalescer` object reports batches formed, mean occupancy, and
 //! window- vs cap-flush counts either way.
 //!
+//! `--trace-sample-rate R` (0 < R ≤ 1) turns on per-request stage tracing:
+//! every ⌈1/R⌉-th request gets a trace id and per-stage wall-clock timings
+//! (parse → coalesce-wait → queue-wait → cache-lookup → shard-route →
+//! walk-sample → merge → serialize), feeding the per-stage histograms in
+//! the `stats` frame and a bounded slow-query log (`--slow-log N` keeps
+//! the N slowest traced requests, served by the `slow_queries` frame).
+//! Tracing never changes answers — instrumentation only reads clocks —
+//! so responses stay byte-identical at any sample rate.  `0` (the
+//! default) disables tracing entirely: no clock reads on the hot path.
+//!
+//! `--metrics-port P` binds a second plaintext HTTP listener (on the same
+//! interface as `--addr`; `0` picks a free port) answering every request
+//! with the Prometheus text exposition — the same body the `metrics`
+//! frame returns.  `--metrics-port-file PATH` writes the exporter's bound
+//! address, mirroring `--port-file`.  Either tracing or a metrics port
+//! also enables the process-wide walk metrics (walks, steps, meetings,
+//! overlay row reads, …).
+//!
 //! Because serving blocks, the startup banner is printed (and flushed)
 //! directly to stdout when the listener is ready, not returned like other
 //! commands' output; the returned string is the final serving summary.
@@ -75,7 +95,9 @@ use std::io::Write;
 use ugraph::snapshot::read_snapshot_file;
 use ugraph::{CsrGraph, UpdateLog};
 use usim_core::{ShardSpec, ShardedQueryEngine};
-use usim_server::{CoalesceOptions, RequestHandler, Server, ServerOptions, DEFAULT_MAX_BATCH};
+use usim_server::{
+    CoalesceOptions, MetricsExporter, RequestHandler, Server, ServerOptions, DEFAULT_MAX_BATCH,
+};
 
 const BASE_OPTIONS: &[&str] = &[
     "addr",
@@ -92,6 +114,10 @@ const BASE_OPTIONS: &[&str] = &[
     "shard-threads",
     "coalesce-window",
     "coalesce-max",
+    "trace-sample-rate",
+    "slow-log",
+    "metrics-port",
+    "metrics-port-file",
 ];
 
 fn spec() -> ArgSpec<'static> {
@@ -121,6 +147,18 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let shard_threads: usize = args.parse_option("shard-threads", 0usize)?;
     let coalesce_window: u64 = args.parse_option("coalesce-window", 0u64)?;
     let coalesce_max: usize = args.parse_option("coalesce-max", 16usize)?;
+    let trace_sample_rate: f64 = args.parse_option("trace-sample-rate", 0.0f64)?;
+    let slow_log: usize = args.parse_option("slow-log", 32usize)?;
+    let metrics_port: Option<u16> = match args.option("metrics-port") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::new(format!("--metrics-port: invalid port '{raw}'")))?,
+        ),
+        None => None,
+    };
+    if !(0.0..=1.0).contains(&trace_sample_rate) {
+        return Err(CliError::new("--trace-sample-rate must be in [0, 1]"));
+    }
     if workers == 0 {
         return Err(CliError::new("--workers must be at least 1"));
     }
@@ -172,6 +210,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             cap: coalesce_max,
         });
     }
+    if trace_sample_rate > 0.0 {
+        handler = handler.with_tracing(trace_sample_rate, slow_log);
+    }
+    if trace_sample_rate > 0.0 || metrics_port.is_some() {
+        handler = handler.with_walk_metrics();
+    }
     let mut replayed = 0u64;
     if let Some(log_path) = args.option("update-log") {
         let (log, rounds) =
@@ -200,6 +244,23 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError::new(format!("cannot bind {addr}: {e}")))?;
     let bound = server.local_addr();
 
+    // The metrics exporter shares the query listener's interface; port 0
+    // picks a free one, published through --metrics-port-file.
+    let exporter = match metrics_port {
+        Some(port) => {
+            let metrics_addr = format!("{}:{}", bound.ip(), port);
+            let exporter = MetricsExporter::bind(&metrics_addr, server.handler())
+                .map_err(|e| CliError::new(format!("cannot bind metrics {metrics_addr}: {e}")))?;
+            if let Some(path) = args.option("metrics-port-file") {
+                std::fs::write(path, format!("{}\n", exporter.local_addr())).map_err(|e| {
+                    CliError::new(format!("cannot write metrics port file {path}: {e}"))
+                })?;
+            }
+            Some(exporter.spawn())
+        }
+        None => None,
+    };
+
     if let Some(port_file) = args.option("port-file") {
         std::fs::write(port_file, format!("{bound}\n"))
             .map_err(|e| CliError::new(format!("cannot write port file {port_file}: {e}")))?;
@@ -208,7 +269,8 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         "serving {path} on {bound}: {num_vertices} vertices, {num_arcs} arcs \
          (source = {source}, epoch = {replayed}, shards = {shards}, \
          workers = {workers}, queue = {queue_depth}, max batch = {max_batch}, \
-         cache = {}, coalesce = {}, sampler = {}, N = {}, n = {}, seed = {})",
+         cache = {}, coalesce = {}, trace = {}, metrics = {}, \
+         sampler = {}, N = {}, n = {}, seed = {})",
         if cache_capacity > 0 {
             format!("{cache_capacity} entries/shard")
         } else {
@@ -218,6 +280,15 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             format!("{coalesce_window}us/cap {coalesce_max}")
         } else {
             "off".to_string()
+        },
+        if trace_sample_rate > 0.0 {
+            format!("{trace_sample_rate}/slow {slow_log}")
+        } else {
+            "off".to_string()
+        },
+        match &exporter {
+            Some(running) => running.addr().to_string(),
+            None => "off".to_string(),
         },
         config.sampler,
         config.num_samples,
@@ -229,11 +300,17 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let stats = server
         .run()
         .map_err(|e| CliError::new(format!("server error: {e}")))?;
-    // Clean shutdown: the rendezvous file must not outlive the server it
-    // points at (a stale file would send the next script to a dead — or
+    if let Some(running) = exporter {
+        running.shutdown();
+    }
+    // Clean shutdown: the rendezvous files must not outlive the server they
+    // point at (a stale file would send the next script to a dead — or
     // worse, someone else's — port).
     if let Some(port_file) = args.option("port-file") {
         let _ = std::fs::remove_file(port_file);
+    }
+    if let Some(path) = args.option("metrics-port-file") {
+        let _ = std::fs::remove_file(path);
     }
     Ok(format!(
         "served {} connections, {} frames ({} errors)\n",
@@ -472,6 +549,93 @@ mod tests {
         assert!(stats.contains("\"hits\":2"), "{stats}");
         drop((conn, reader));
         runner.join().unwrap().unwrap();
+        std::fs::remove_file(&graph_path).unwrap();
+    }
+
+    #[test]
+    fn traced_serve_exposes_stages_exporter_and_stats_view() {
+        use std::io::{BufRead, BufReader, Read, Write};
+
+        let graph_path = temp("traced.tsv");
+        std::fs::write(&graph_path, "0 2 0.8\n1 2 0.9\n2 0 0.7\n").unwrap();
+        let port_file = temp("traced.port");
+        let metrics_port_file = temp("traced.mport");
+        let port_file_str = port_file.to_str().unwrap().to_string();
+        let metrics_port_file_str = metrics_port_file.to_str().unwrap().to_string();
+        let graph_str = graph_path.to_str().unwrap().to_string();
+        let runner = std::thread::spawn(move || {
+            run(&tokens(&[
+                &graph_str,
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file_str,
+                "--max-connections",
+                "2",
+                "--trace-sample-rate",
+                "1",
+                "--slow-log",
+                "8",
+                "--metrics-port",
+                "0",
+                "--metrics-port-file",
+                &metrics_port_file_str,
+                "--samples",
+                "50",
+            ]))
+        });
+        let wait_for = |path: &std::path::Path| loop {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if text.trim().contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let addr = wait_for(&port_file);
+        let metrics_addr = wait_for(&metrics_port_file);
+
+        // Connection 1: traced query traffic.
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut ask = |frame: &str| {
+            writeln!(conn, "{frame}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        let first = ask(r#"{"type":"similarity","source":0,"target":1}"#);
+        let _ = ask(r#"{"type":"batch","pairs":[[0,1],[1,2]]}"#);
+        assert!(first.contains("\"score\""), "{first}");
+        drop((conn, reader));
+
+        // The exporter answers plain HTTP scrapes with the exposition.
+        let mut scrape = std::net::TcpStream::connect(&metrics_addr).unwrap();
+        scrape.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut exposition = String::new();
+        scrape.read_to_string(&mut exposition).unwrap();
+        assert!(
+            exposition.contains("usim_requests_total{kind=\"similarity\"} 1"),
+            "{exposition}"
+        );
+        assert!(exposition.contains("usim_walks_total"), "{exposition}");
+        assert!(
+            exposition.contains("usim_stage_duration_seconds_bucket{stage=\"walk_sample\""),
+            "{exposition}"
+        );
+
+        // Connection 2: the `usim stats --server` live view.
+        let view = crate::run(&tokens(&["stats", "--server", &addr])).unwrap();
+        assert!(view.contains("epoch 0, 3 vertices"), "{view}");
+        assert!(view.contains("tracing: every 1th request"), "{view}");
+        assert!(view.contains("walk_sample"), "{view}");
+        assert!(view.contains("slowest traced requests:"), "{view}");
+
+        runner.join().unwrap().unwrap();
+        assert!(
+            !metrics_port_file.exists(),
+            "metrics port file must be removed"
+        );
         std::fs::remove_file(&graph_path).unwrap();
     }
 

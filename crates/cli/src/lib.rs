@@ -112,7 +112,8 @@ pub fn usage() -> String {
         "COMMANDS:\n",
         "    datasets     List the synthetic dataset registry (Table II stand-ins)\n",
         "    generate     Generate a synthetic uncertain graph and write it to a file\n",
-        "    stats        Print topology and probability statistics of a graph file\n",
+        "    stats        Print statistics of a graph file, or (--server) a live\n",
+        "                 counter view of a running `usim serve` instance\n",
         "    simrank      SimRank similarity of one vertex pair (all estimators available)\n",
         "    topk         The k vertices most similar to a source vertex\n",
         "    topk-pairs   The k most similar vertex pairs of a graph\n",
@@ -188,6 +189,20 @@ pub fn usage() -> String {
         "                       byte-identical); 0 = off                    [default 0]\n",
         "    --coalesce-max N   flush a coalesced batch at N pending requests\n",
         "                       even before the window closes              [default 16]\n",
+        "    --trace-sample-rate R  trace every ~1/R-th request: per-stage timings,\n",
+        "                       stage histograms in `stats`, slow-query log\n",
+        "                       (answers stay byte-identical); 0 = off     [default 0]\n",
+        "    --slow-log N       keep the N slowest traced requests for the\n",
+        "                       `slow_queries` frame                       [default 32]\n",
+        "    --metrics-port P   serve the Prometheus text exposition over plain\n",
+        "                       HTTP on port P (0 picks a free port)\n",
+        "    --metrics-port-file PATH  write the exporter's bound address to PATH\n",
+        "\n",
+        "SERVER STATS VIEW (stats --server):\n",
+        "    --server HOST:PORT render a running server's counters (latency,\n",
+        "                       cache, coalescer, stage traces, slow queries)\n",
+        "    --watch SECS       repeat every SECS seconds\n",
+        "    --iterations N     stop after N views; 0 = forever with --watch [default 1]\n",
         "\n",
         "Run `usim <COMMAND> --help` semantics are not supported; see README.md for\n",
         "per-command examples.\n",

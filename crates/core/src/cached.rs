@@ -53,6 +53,7 @@ use crate::top_k::{ScoredPair, ScoredVertex};
 use std::sync::Arc;
 use ugraph::{GraphUpdate, UpdateError, UpdateSummary, VertexId};
 use usim_cache::{CacheStats, ConfigFingerprint, PairKey, ResultCache};
+use usim_obs::{time_stage, Stage, StageTrace};
 
 /// The concrete cache type the engine integration uses: pair keys to
 /// cached answers.
@@ -182,27 +183,53 @@ impl CachedQueryEngine {
 
     /// `(epoch, score)` of one pair (see [`QueryEngine::try_similarity`]).
     pub fn similarity(&self, u: VertexId, v: VertexId) -> Result<(u64, f64), QueryError> {
+        self.similarity_with_trace(u, v, None)
+    }
+
+    /// [`CachedQueryEngine::similarity`] with stage tracing: cache probes
+    /// count toward `cache_lookup`, miss computation toward `walk_sample`.
+    /// The answer is bit-identical with or without a trace attached.
+    pub fn similarity_with_trace(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, f64), QueryError> {
         self.engine.with_read(|e| {
             e.validate_vertices([u, v])?;
             let epoch = e.update_epoch();
-            let scores = self.scores_for(e, epoch, &[(u, v)])?;
+            let scores = self.scores_for(e, epoch, &[(u, v)], trace)?;
             Ok((epoch, scores[0]))
         })
     }
 
     /// `(epoch, profile)` of one pair (see [`QueryEngine::try_profile`]).
     pub fn profile(&self, u: VertexId, v: VertexId) -> Result<(u64, MeetingProfile), QueryError> {
+        self.profile_with_trace(u, v, None)
+    }
+
+    /// [`CachedQueryEngine::profile`] with stage tracing (see
+    /// [`CachedQueryEngine::similarity_with_trace`]).
+    pub fn profile_with_trace(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, MeetingProfile), QueryError> {
         self.engine.with_read(|e| {
             e.validate_vertices([u, v])?;
             let epoch = e.update_epoch();
             let Some(cache) = &self.cache else {
-                return Ok((epoch, e.profile(u, v)));
+                let profile = time_stage(trace, Stage::WalkSample, || e.profile(u, v));
+                return Ok((epoch, profile));
             };
             let key = PairKey::profile(u, v, self.fingerprint);
-            if let Some(CachedAnswer::Profile(profile)) = cache.get(&key, epoch) {
+            let hit = time_stage(trace, Stage::CacheLookup, || cache.get(&key, epoch));
+            if let Some(CachedAnswer::Profile(profile)) = hit {
                 return Ok((epoch, profile));
             }
-            let (profile, footprint) = e.profile_traced(u, v);
+            let (profile, footprint) =
+                time_stage(trace, Stage::WalkSample, || e.profile_traced(u, v));
             cache.insert_with_footprint(
                 key,
                 CachedAnswer::Profile(profile.clone()),
@@ -221,10 +248,20 @@ impl CachedQueryEngine {
         &self,
         pairs: &[(VertexId, VertexId)],
     ) -> Result<(u64, Vec<f64>), QueryError> {
+        self.batch_similarities_with_trace(pairs, None)
+    }
+
+    /// [`CachedQueryEngine::batch_similarities`] with stage tracing (see
+    /// [`CachedQueryEngine::similarity_with_trace`]).
+    pub fn batch_similarities_with_trace(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, Vec<f64>), QueryError> {
         self.engine.with_read(|e| {
             e.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
             let epoch = e.update_epoch();
-            Ok((epoch, self.scores_for(e, epoch, pairs)?))
+            Ok((epoch, self.scores_for(e, epoch, pairs, trace)?))
         })
     }
 
@@ -238,8 +275,9 @@ impl CachedQueryEngine {
         self.engine.with_read(|e| {
             e.validate_vertices(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
             let epoch = e.update_epoch();
-            let ranked =
-                crate::engine::rank_pairs(pairs, k, |unique| self.scores_for(e, epoch, unique))?;
+            let ranked = crate::engine::rank_pairs(pairs, k, |unique| {
+                self.scores_for(e, epoch, unique, None)
+            })?;
             Ok((epoch, ranked))
         })
     }
@@ -257,7 +295,7 @@ impl CachedQueryEngine {
             e.validate_vertices(std::iter::once(query).chain(candidates.iter().copied()))?;
             let epoch = e.update_epoch();
             let ranked = crate::engine::rank_candidates(query, candidates, k, |pairs| {
-                self.scores_for(e, epoch, pairs)
+                self.scores_for(e, epoch, pairs, None)
             })?;
             Ok((epoch, ranked))
         })
@@ -317,30 +355,36 @@ impl CachedQueryEngine {
         e: &QueryEngine,
         epoch: u64,
         pairs: &[(VertexId, VertexId)],
+        trace: Option<&StageTrace>,
     ) -> Result<Vec<f64>, QueryError> {
         let Some(cache) = &self.cache else {
-            return e.batch_similarities(pairs);
+            return time_stage(trace, Stage::WalkSample, || e.batch_similarities(pairs));
         };
         let mut scores = vec![0.0f64; pairs.len()];
         let mut miss_slots: Vec<usize> = Vec::new();
         let mut misses: Vec<(VertexId, VertexId)> = Vec::new();
-        for (slot, &(u, v)) in pairs.iter().enumerate() {
-            match cache.get(&PairKey::score(u, v, self.fingerprint), epoch) {
-                Some(CachedAnswer::Score(score)) => scores[slot] = score,
-                // A profile under a score key cannot happen (the kind is in
-                // the key); recompute rather than trust a corrupt pairing.
-                Some(CachedAnswer::Profile(_)) | None => {
-                    miss_slots.push(slot);
-                    misses.push((u, v));
+        time_stage(trace, Stage::CacheLookup, || {
+            for (slot, &(u, v)) in pairs.iter().enumerate() {
+                match cache.get(&PairKey::score(u, v, self.fingerprint), epoch) {
+                    Some(CachedAnswer::Score(score)) => scores[slot] = score,
+                    // A profile under a score key cannot happen (the kind is
+                    // in the key); recompute rather than trust a corrupt
+                    // pairing.
+                    Some(CachedAnswer::Profile(_)) | None => {
+                        miss_slots.push(slot);
+                        misses.push((u, v));
+                    }
                 }
             }
-        }
+        });
         if !misses.is_empty() {
             // Deduplicate the misses so each distinct pair is computed and
             // inserted once; one engine batch covers them all, sharded
             // across workers.
             let (distinct, distinct_of) = crate::engine::dedup_pairs(&misses);
-            let computed = e.batch_similarities_traced(&distinct)?;
+            let computed = time_stage(trace, Stage::WalkSample, || {
+                e.batch_similarities_traced(&distinct)
+            })?;
             for (&slot, &index) in miss_slots.iter().zip(distinct_of.iter()) {
                 scores[slot] = computed[index].0;
             }

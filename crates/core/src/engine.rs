@@ -323,6 +323,9 @@ impl QueryEngine {
     /// ```
     pub fn apply_updates(&mut self, updates: &[GraphUpdate]) -> Result<UpdateSummary, UpdateError> {
         let summary = self.graph.apply_all(updates)?;
+        if summary.compacted {
+            usim_obs::walk_metrics().count_compaction();
+        }
         self.epoch += 1;
         for scratch in self.scratch.free.get_mut().iter_mut() {
             scratch.arena.invalidate();
@@ -472,6 +475,13 @@ impl QueryEngine {
         let mut rng = StdRng::seed_from_u64(pair_seed(self.config.seed, u, v));
         let mut meeting = vec![0.0f64; n + 1];
         meeting[0] = if u == v { 1.0 } else { 0.0 };
+        // Walk metrics are derived from the positions buffers the samplers
+        // already wrote — like footprint capture, the tally consumes zero
+        // RNG draws and never branches on sampled values, so metered and
+        // unmetered calls are bit-identical.  One relaxed load per query
+        // when metering is off.
+        let metered = usim_obs::walk_metrics().enabled();
+        let mut tally = usim_obs::WalkTally::default();
         match self.config.sampler {
             SamplerKind::Legacy => {
                 let sampler = CsrSampler::new(self.view());
@@ -494,6 +504,15 @@ impl QueryEngine {
                         rwalk::footprint::record_walk(fp, &scratch.walk_u);
                         rwalk::footprint::record_walk(fp, &scratch.walk_v);
                     }
+                    if metered {
+                        tally_pair_walks(
+                            &mut tally,
+                            &scratch.walk_u,
+                            &scratch.walk_v,
+                            &self.view(),
+                            self.config.sampler,
+                        );
+                    }
                     count_meetings(&mut meeting, &scratch.walk_u, &scratch.walk_v);
                 }
             }
@@ -506,9 +525,21 @@ impl QueryEngine {
                         rwalk::footprint::record_walk(fp, &scratch.walk_u);
                         rwalk::footprint::record_walk(fp, &scratch.walk_v);
                     }
+                    if metered {
+                        tally_pair_walks(
+                            &mut tally,
+                            &scratch.walk_u,
+                            &scratch.walk_v,
+                            &self.view(),
+                            self.config.sampler,
+                        );
+                    }
                     count_meetings(&mut meeting, &scratch.walk_u, &scratch.walk_v);
                 }
             }
+        }
+        if metered {
+            usim_obs::walk_metrics().flush(&tally);
         }
         for slot in meeting.iter_mut().skip(1) {
             *slot /= num_samples as f64;
@@ -688,6 +719,48 @@ impl QueryEngine {
     ) -> Result<Vec<ScoredVertex>, QueryError> {
         self.validate_vertices(std::iter::once(query).chain(candidates.iter().copied()))?;
         rank_candidates(query, candidates, k, |pairs| self.batch_similarities(pairs))
+    }
+}
+
+/// Folds one sample pair's walks into a [`usim_obs::WalkTally`]: walk and
+/// step counts per backend, deaths, meetings, and patched- vs base-row
+/// attribution of every sampled transition (the overlay serves the same
+/// patched rows to both backends, so one [`OverlayView`] answers for both).
+/// Runs only when metering is on; reads the positions buffers the samplers
+/// already wrote.
+fn tally_pair_walks(
+    tally: &mut usim_obs::WalkTally,
+    walk_u: &[VertexId],
+    walk_v: &[VertexId],
+    view: &OverlayView<'_>,
+    sampler: SamplerKind,
+) {
+    tally.walks += 2;
+    for walk in [walk_u, walk_v] {
+        // A transition was sampled at every position before the first DEAD
+        // slot (the dying transition included); a full-horizon walk sampled
+        // one per non-final position.
+        let first_dead = walk.iter().position(|&p| p == DEAD);
+        let steps = first_dead.unwrap_or(walk.len() - 1) as u64;
+        match sampler {
+            SamplerKind::Legacy => tally.steps_legacy += steps,
+            SamplerKind::Alias => tally.steps_alias += steps,
+        }
+        if first_dead.is_some() {
+            tally.deaths += 1;
+        }
+        for &position in &walk[..steps as usize] {
+            if view.is_patched(position) {
+                tally.rows_patched += 1;
+            } else {
+                tally.rows_base += 1;
+            }
+        }
+    }
+    for (&a, &b) in walk_u.iter().zip(walk_v.iter()).skip(1) {
+        if a != DEAD && a == b {
+            tally.meetings += 1;
+        }
     }
 }
 

@@ -52,6 +52,7 @@ use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::HashMap;
 use ugraph::{CsrGraph, GraphUpdate, UncertainGraph, UpdateError, UpdateSummary, VertexId};
 use usim_cache::CacheStats;
+use usim_obs::{time_stage, Stage, StageTrace};
 
 // The sharded engine is handed to serving threads as-is; a future field
 // with thread-unsafe interior mutability must fail here, not in a server.
@@ -375,19 +376,47 @@ impl ShardedQueryEngine {
     /// `(epoch, score)` of one pair, computed by the owning shard through
     /// its cache (see [`CachedQueryEngine::similarity`]).
     pub fn similarity(&self, u: VertexId, v: VertexId) -> Result<(u64, f64), QueryError> {
+        self.similarity_with_trace(u, v, None)
+    }
+
+    /// [`ShardedQueryEngine::similarity`] with stage tracing: routing and
+    /// validation count toward `shard_route`; the owning shard's cache
+    /// probe and walk sampling are split inside (a point query runs on one
+    /// shard only, so per-stage times never overlap concurrent work).
+    pub fn similarity_with_trace(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, f64), QueryError> {
         let _gate = self.gate.read();
-        self.validate([u, v])?;
-        let shard = &self.shards[self.shard_of(u.min(v))];
-        shard.run(|| shard.engine.similarity(u, v))
+        let shard = time_stage(trace, Stage::ShardRoute, || {
+            self.validate([u, v])
+                .map(|()| &self.shards[self.shard_of(u.min(v))])
+        })?;
+        shard.run(|| shard.engine.similarity_with_trace(u, v, trace))
     }
 
     /// `(epoch, profile)` of one pair, computed by the owning shard through
     /// its cache (see [`CachedQueryEngine::profile`]).
     pub fn profile(&self, u: VertexId, v: VertexId) -> Result<(u64, MeetingProfile), QueryError> {
+        self.profile_with_trace(u, v, None)
+    }
+
+    /// [`ShardedQueryEngine::profile`] with stage tracing (see
+    /// [`ShardedQueryEngine::similarity_with_trace`]).
+    pub fn profile_with_trace(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, MeetingProfile), QueryError> {
         let _gate = self.gate.read();
-        self.validate([u, v])?;
-        let shard = &self.shards[self.shard_of(u.min(v))];
-        shard.run(|| shard.engine.profile(u, v))
+        let shard = time_stage(trace, Stage::ShardRoute, || {
+            self.validate([u, v])
+                .map(|()| &self.shards[self.shard_of(u.min(v))])
+        })?;
+        shard.run(|| shard.engine.profile_with_trace(u, v, trace))
     }
 
     /// `(epoch, scores)` of a batch in input order: pairs are scattered to
@@ -396,10 +425,22 @@ impl ShardedQueryEngine {
         &self,
         pairs: &[(VertexId, VertexId)],
     ) -> Result<(u64, Vec<f64>), QueryError> {
+        self.batch_similarities_with_trace(pairs, None)
+    }
+
+    /// [`ShardedQueryEngine::batch_similarities`] with stage tracing (see
+    /// [`ShardedQueryEngine::similarity_with_trace`]).
+    pub fn batch_similarities_with_trace(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, Vec<f64>), QueryError> {
         let _gate = self.gate.read();
-        self.validate(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
+        time_stage(trace, Stage::ShardRoute, || {
+            self.validate(pairs.iter().flat_map(|&(u, v)| [u, v]))
+        })?;
         let epoch = self.update_epoch();
-        let scores = self.scatter_scores(pairs)?;
+        let scores = self.scatter_scores(pairs, trace)?;
         Ok((epoch, scores))
     }
 
@@ -414,7 +455,8 @@ impl ShardedQueryEngine {
         let _gate = self.gate.read();
         self.validate(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
         let epoch = self.update_epoch();
-        let ranked = crate::engine::rank_pairs(pairs, k, |unique| self.scatter_scores(unique))?;
+        let ranked =
+            crate::engine::rank_pairs(pairs, k, |unique| self.scatter_scores(unique, None))?;
         Ok((epoch, ranked))
     }
 
@@ -427,11 +469,39 @@ impl ShardedQueryEngine {
         candidates: &[VertexId],
         k: usize,
     ) -> Result<(u64, Vec<ScoredVertex>), QueryError> {
+        self.batch_top_k_similar_to_with_trace(query, candidates, k, None)
+    }
+
+    /// [`ShardedQueryEngine::batch_top_k_similar_to`] with stage tracing:
+    /// validation counts toward `shard_route`, scoring toward the scatter's
+    /// stages, and the final ranking toward `merge`.
+    pub fn batch_top_k_similar_to_with_trace(
+        &self,
+        query: VertexId,
+        candidates: &[VertexId],
+        k: usize,
+        trace: Option<&StageTrace>,
+    ) -> Result<(u64, Vec<ScoredVertex>), QueryError> {
         let _gate = self.gate.read();
-        self.validate(std::iter::once(query).chain(candidates.iter().copied()))?;
+        time_stage(trace, Stage::ShardRoute, || {
+            self.validate(std::iter::once(query).chain(candidates.iter().copied()))
+        })?;
         let epoch = self.update_epoch();
-        let ranked = crate::engine::rank_candidates(query, candidates, k, |pairs| {
-            self.scatter_scores(pairs)
+        // Score first (the scatter times its own stages), then rank the
+        // scored pairs under `merge` — timing `rank_candidates` whole would
+        // double-count the scoring it drives.
+        let mut unique: Vec<VertexId> =
+            candidates.iter().copied().filter(|&v| v != query).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let wanted: Vec<(VertexId, VertexId)> = unique.into_iter().map(|v| (query, v)).collect();
+        let scores = self.scatter_scores(&wanted, trace)?;
+        let score_map: HashMap<(VertexId, VertexId), f64> =
+            wanted.into_iter().zip(scores).collect();
+        let ranked = time_stage(trace, Stage::Merge, || {
+            crate::engine::rank_candidates(query, candidates, k, |pairs| {
+                Ok(pairs.iter().map(|pair| score_map[pair]).collect())
+            })
         })?;
         Ok((epoch, ranked))
     }
@@ -457,12 +527,25 @@ impl ShardedQueryEngine {
         &self,
         queries: &[CoalescedQuery],
     ) -> (u64, Vec<Result<CoalescedAnswer, QueryError>>) {
+        self.serve_batch_with_trace(queries, None)
+    }
+
+    /// [`ShardedQueryEngine::serve_batch`] with stage tracing: pass-1
+    /// validation/collection counts toward `shard_route`, the scatter
+    /// toward its own stages, and pass-2 assembly (including per-shard
+    /// profile slots) toward `merge`.
+    pub fn serve_batch_with_trace(
+        &self,
+        queries: &[CoalescedQuery],
+        trace: Option<&StageTrace>,
+    ) -> (u64, Vec<Result<CoalescedAnswer, QueryError>>) {
         let _gate = self.gate.read();
         let epoch = self.update_epoch();
 
         // Pass 1: validate each slot (same id order as the per-request
         // entry points, so error values match exactly) and gather every
         // pair score the valid slots will need.
+        let route_start = trace.map(|_| std::time::Instant::now());
         let mut invalid: Vec<Option<QueryError>> = Vec::with_capacity(queries.len());
         let mut wanted: Vec<(VertexId, VertexId)> = Vec::new();
         for query in queries {
@@ -504,23 +587,30 @@ impl ShardedQueryEngine {
                 CoalescedQuery::Scores(pairs) => wanted.extend_from_slice(pairs),
             }
         }
+        if let (Some(trace), Some(start)) = (trace, route_start) {
+            trace.add(Stage::ShardRoute, start.elapsed());
+        }
 
         // One scatter for the whole coalesced batch; each shard's engine
         // dedups repeated pairs internally, across slots and clients.
         // Validation above already excluded every out-of-range id, so this
         // cannot fail; if it somehow does, every valid slot reports it.
-        let score_map: HashMap<(VertexId, VertexId), f64> = match self.scatter_scores(&wanted) {
-            Ok(scores) => wanted.into_iter().zip(scores).collect(),
-            Err(error) => {
-                let results = invalid
-                    .into_iter()
-                    .map(|slot| Err(slot.unwrap_or(error)))
-                    .collect();
-                return (epoch, results);
-            }
-        };
+        let score_map: HashMap<(VertexId, VertexId), f64> =
+            match self.scatter_scores(&wanted, trace) {
+                Ok(scores) => wanted.into_iter().zip(scores).collect(),
+                Err(error) => {
+                    let results = invalid
+                        .into_iter()
+                        .map(|slot| Err(slot.unwrap_or(error)))
+                        .collect();
+                    return (epoch, results);
+                }
+            };
 
         // Pass 2: assemble per-slot answers from the shared score map.
+        // Profile slots run their engine work here, so their sampling time
+        // lands in `merge` — an accepted coarseness (profiles are rare).
+        let merge_start = trace.map(|_| std::time::Instant::now());
         let results = queries
             .iter()
             .zip(invalid)
@@ -552,6 +642,9 @@ impl ShardedQueryEngine {
                 }
             })
             .collect();
+        if let (Some(trace), Some(start)) = (trace, merge_start) {
+            trace.add(Stage::Merge, start.elapsed());
+        }
         (epoch, results)
     }
 
@@ -581,11 +674,27 @@ impl ShardedQueryEngine {
     /// Scores for `pairs` in input order: scatter to owning shards, gather
     /// by original slot.  Callers hold the read gate and have validated the
     /// ids.
-    fn scatter_scores(&self, pairs: &[(VertexId, VertexId)]) -> Result<Vec<f64>, QueryError> {
+    ///
+    /// Stage attribution: with one shard the trace goes inside, where the
+    /// cached engine splits `cache_lookup` from `walk_sample`.  With K > 1
+    /// the shards run concurrently, so per-shard stage times would sum past
+    /// the request's wall time; instead the router times the whole scatter
+    /// as `walk_sample` from this thread and passes no trace inward.
+    fn scatter_scores(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        trace: Option<&StageTrace>,
+    ) -> Result<Vec<f64>, QueryError> {
         if self.shards.len() == 1 || pairs.is_empty() {
             let shard = &self.shards[0];
-            return shard.run(|| shard.engine.batch_similarities(pairs).map(|(_, s)| s));
+            return shard.run(|| {
+                shard
+                    .engine
+                    .batch_similarities_with_trace(pairs, trace)
+                    .map(|(_, s)| s)
+            });
         }
+        let scatter_start = trace.map(|_| std::time::Instant::now());
         let mut slots_by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (slot, &(u, v)) in pairs.iter().enumerate() {
             slots_by_shard[self.shard_of(u.min(v))].push(slot);
@@ -619,6 +728,9 @@ impl ShardedQueryEngine {
                 }
             }
         });
+        if let (Some(trace), Some(start)) = (trace, scatter_start) {
+            trace.add(Stage::WalkSample, start.elapsed());
+        }
         outcome.map(|()| scores)
     }
 }

@@ -1,0 +1,152 @@
+//! A lock-free, fixed-bucket, log-spaced latency histogram.
+//!
+//! Recording sits on serving hot paths (one increment per response frame,
+//! one per traced stage), so there are no locks, no allocation, and no
+//! synchronisation beyond the counter itself.  Snapshots read the counters
+//! without stopping writers: quantiles are an observability view, not a
+//! linearisable read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log-spaced buckets (`2^31` µs ≈ 36 minutes in the last one).
+pub(crate) const NUM_BUCKETS: usize = 32;
+
+/// A lock-free fixed-bucket latency histogram (log-spaced, microseconds).
+///
+/// Bucket layout (driven by `leading_zeros` on the sample's µs value):
+/// bucket 0 counts **exactly-0µs** samples, bucket `i` for `i >= 1` covers
+/// `[2^(i-1), 2^i)` µs, and the last bucket (31) is a catch-all for
+/// everything at or above `2^30` µs.  Quantiles report the bucket's upper
+/// bound `2^i` — exact enough to alarm on, two orders of magnitude cheaper
+/// than recording every sample.  (For the catch-all bucket the reported
+/// `2^31` is a lower bound on the true upper bound.)
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket a sample of `micros` µs lands in: 0 for a 0µs sample,
+    /// otherwise `floor(log2(micros)) + 1`, clamped to the catch-all.
+    #[inline]
+    pub fn bucket_index(micros: u64) -> usize {
+        (64 - micros.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the per-bucket counts (stack-allocated;
+    /// the exposition path iterates it with [`LatencyHistogram::bound_us`]).
+    pub fn snapshot_counts(&self) -> [u64; NUM_BUCKETS] {
+        let mut counts = [0u64; NUM_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        counts
+    }
+
+    /// The upper bound of bucket `index`, µs (`1` for bucket 0: its only
+    /// content is 0µs samples, which are `< 1`).
+    #[inline]
+    pub fn bound_us(index: usize) -> u64 {
+        1u64 << index.min(NUM_BUCKETS - 1)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper bound of
+    /// the bucket the rank falls in, `0` when nothing was recorded.
+    ///
+    /// Allocation-free: the counts are snapshotted into a fixed-size stack
+    /// array, so the single snapshot also keeps the rank and the scan
+    /// consistent under concurrent recording.
+    pub fn quantile_upper_bound_us(&self, q: f64) -> u64 {
+        let counts = self.snapshot_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based; ceil so q = 1.0 lands on
+        // the last sample and q = 0.0 on the first.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bound_us(index);
+            }
+        }
+        Self::bound_us(NUM_BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper_bound_us(0.5), 0);
+        for micros in [0u64, 1, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 7);
+        // All samples fit under 2^17 µs = 131072 µs.
+        assert!(h.quantile_upper_bound_us(1.0) <= 1 << 17);
+        // The median of {0,1,2,3,100,1000,100000} is 3 -> bucket [2,4).
+        assert_eq!(h.quantile_upper_bound_us(0.5), 4);
+        // Monotone in q.
+        let p50 = h.quantile_upper_bound_us(0.5);
+        let p90 = h.quantile_upper_bound_us(0.9);
+        let p99 = h.quantile_upper_bound_us(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+    }
+
+    #[test]
+    fn histogram_survives_extreme_samples() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(60 * 60 * 24)); // a day -> top bucket
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_upper_bound_us(0.0), 1); // the 0µs sample
+        assert_eq!(h.quantile_upper_bound_us(1.0), 1u64 << 31);
+    }
+
+    #[test]
+    fn bucket_layout_matches_the_documented_bounds() {
+        // Bucket 0 is exactly {0}; bucket i >= 1 covers [2^(i-1), 2^i).
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        for i in 1..NUM_BUCKETS - 1 {
+            let low = 1u64 << (i - 1);
+            let high = (1u64 << i) - 1;
+            assert_eq!(LatencyHistogram::bucket_index(low), i, "low edge of {i}");
+            assert_eq!(LatencyHistogram::bucket_index(high), i, "high edge of {i}");
+        }
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_counts_sees_every_record() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(5));
+        let counts = h.snapshot_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+        assert_eq!(counts[LatencyHistogram::bucket_index(5)], 2);
+    }
+}

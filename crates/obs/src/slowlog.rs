@@ -1,0 +1,160 @@
+//! A bounded ring of the N slowest traced requests with their stage
+//! breakdown.
+//!
+//! Admission is gated by an atomic threshold — once the log is full, a
+//! request cheaper than the cheapest kept entry is rejected with one
+//! relaxed load and never takes the lock, so the hot path stays lock-free
+//! in the steady state (most requests are fast; that is the point of a
+//! slow-query log).  Entries are fixed-size (`&'static str` kind, stage
+//! array), so offers allocate nothing.
+
+use crate::stage::NUM_STAGES;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One slow request: its trace id, request kind, handler wall time, and
+/// per-stage breakdown in [`crate::Stage::ALL`] order, µs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// The id the transport stamped the request with.
+    pub trace_id: u64,
+    /// The request's wire type (`"batch"`, `"similarity"`, …).
+    pub kind: &'static str,
+    /// Handler wall time (parse → serialize), µs.
+    pub total_us: u64,
+    /// Stage timings in [`crate::Stage::ALL`] order, µs.
+    pub stages_us: [u64; NUM_STAGES],
+}
+
+/// The bounded slow-query ring (see module docs).
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    /// Admission floor: a new entry must beat this to take the lock.  `0`
+    /// while the log is not full, then the cheapest kept entry's total.
+    threshold_us: AtomicU64,
+    /// Kept entries, sorted slowest-first.  Locked only on admission (rare
+    /// by construction) and snapshot (the `slow_queries` frame).
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowQueryLog {
+    /// An empty log keeping the `capacity` slowest entries (`0` disables
+    /// the log — every offer is rejected at the threshold gate).
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity,
+            threshold_us: AtomicU64::new(if capacity == 0 { u64::MAX } else { 0 }),
+            entries: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// How many entries the log keeps.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one finished trace; keeps it only if it is among the
+    /// `capacity` slowest seen so far.
+    pub fn offer(&self, entry: SlowEntry) {
+        // Lock-free rejection: strictly-slower-than-the-floor is required
+        // once the ring is full, so ties never churn the lock.
+        if entry.total_us <= self.threshold_us.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow log lock");
+        // Recheck under the lock: a racing offer may have raised the floor.
+        if entries.len() == self.capacity
+            && entry.total_us <= entries.last().map_or(0, |e| e.total_us)
+        {
+            return;
+        }
+        let at = entries
+            .partition_point(|kept| kept.total_us >= entry.total_us)
+            .min(entries.len());
+        entries.insert(at, entry);
+        entries.truncate(self.capacity);
+        if entries.len() == self.capacity {
+            let floor = entries.last().map_or(0, |e| e.total_us);
+            self.threshold_us.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The kept entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().expect("slow log lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, total_us: u64) -> SlowEntry {
+        SlowEntry {
+            trace_id: id,
+            kind: "batch",
+            total_us,
+            stages_us: [0; NUM_STAGES],
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_n_in_descending_order() {
+        let log = SlowQueryLog::new(3);
+        for (id, total) in [(1, 50), (2, 10), (3, 400), (4, 90), (5, 200)] {
+            log.offer(entry(id, total));
+        }
+        let kept = log.snapshot();
+        assert_eq!(
+            kept.iter().map(|e| e.trace_id).collect::<Vec<_>>(),
+            [3, 5, 4]
+        );
+        assert_eq!(
+            kept.iter().map(|e| e.total_us).collect::<Vec<_>>(),
+            [400, 200, 90]
+        );
+    }
+
+    #[test]
+    fn threshold_rejects_fast_requests_once_full() {
+        let log = SlowQueryLog::new(2);
+        log.offer(entry(1, 100));
+        log.offer(entry(2, 300));
+        // Full: the floor is 100; an 80µs request is rejected, a 100µs tie
+        // too, a 150µs one displaces the floor entry.
+        log.offer(entry(3, 80));
+        log.offer(entry(4, 100));
+        log.offer(entry(5, 150));
+        let kept = log.snapshot();
+        assert_eq!(kept.iter().map(|e| e.trace_id).collect::<Vec<_>>(), [2, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_never_keeps_anything() {
+        let log = SlowQueryLog::new(0);
+        log.offer(entry(1, u64::MAX - 1));
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_offers_keep_the_global_slowest() {
+        let log = std::sync::Arc::new(SlowQueryLog::new(8));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let log = log.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let total = t * 1000 + i;
+                    log.offer(entry(total, total));
+                }
+            }));
+        }
+        for join in joins {
+            join.join().unwrap();
+        }
+        let kept = log.snapshot();
+        let totals: Vec<u64> = kept.iter().map(|e| e.total_us).collect();
+        assert_eq!(totals, (3242..=3249).rev().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests pinning [`LatencyHistogram`] against a sorted-sample
+//! oracle, plus counter coherence under concurrent recording.
+//!
+//! The oracle: with every sample in hand, the `q`-quantile's true value is
+//! the `clamp(ceil(q·n), 1, n)`-th smallest sample, and the histogram —
+//! which only keeps per-bucket counts — must report exactly that sample's
+//! bucket upper bound.  This holds for *any* sample distribution because
+//! the bucket index is monotone in the sample value, so the rank-th sample
+//! in bucket-scan order is the rank-th sample in sorted order.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use usim_obs::LatencyHistogram;
+
+/// Samples biased toward bucket boundaries: the strategy draws a shape
+/// selector and a raw value, and maps a quarter of the draws each to
+/// uniform values, exact powers of two, and the values one below/above a
+/// power — the edges where an off-by-one in `bucket_index` would hide.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..4, 0u64..1_000_000_000u64), 1..200).prop_map(|draws| {
+        draws
+            .into_iter()
+            .map(|(shape, raw)| match shape {
+                0 => raw,
+                1 => 1u64 << (raw % 40),
+                2 => (1u64 << (raw % 40)).saturating_sub(1),
+                _ => (1u64 << (raw % 40)).saturating_add(1),
+            })
+            .collect()
+    })
+}
+
+/// What the histogram must answer for quantile `q` over `sorted` samples.
+fn oracle_upper_bound_us(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as u64;
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let sample = sorted[rank as usize - 1];
+    LatencyHistogram::bound_us(LatencyHistogram::bucket_index(sample))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_match_the_sorted_sample_oracle(micros in samples()) {
+        let histogram = LatencyHistogram::new();
+        for &us in &micros {
+            histogram.record(Duration::from_micros(us));
+        }
+        let mut sorted = micros.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(histogram.count(), micros.len() as u64);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(
+                histogram.quantile_upper_bound_us(q),
+                oracle_upper_bound_us(&sorted, q),
+                "q = {} over {} samples",
+                q,
+                sorted.len()
+            );
+        }
+        // Quantiles are monotone in q even between the pinned points.
+        let mut previous = 0u64;
+        for percent in 0..=100u32 {
+            let value = histogram.quantile_upper_bound_us(f64::from(percent) / 100.0);
+            prop_assert!(value >= previous, "quantile regressed at q={}", percent);
+            previous = value;
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_agree_with_count_and_the_samples(micros in samples()) {
+        let histogram = LatencyHistogram::new();
+        for &us in &micros {
+            histogram.record(Duration::from_micros(us));
+        }
+        let counts = histogram.snapshot_counts();
+        prop_assert_eq!(counts.iter().sum::<u64>(), micros.len() as u64);
+        // Per-bucket: the snapshot count equals the number of samples whose
+        // bucket_index maps there.
+        for (index, &count) in counts.iter().enumerate() {
+            let expected = micros
+                .iter()
+                .filter(|&&us| LatencyHistogram::bucket_index(us) == index)
+                .count() as u64;
+            prop_assert_eq!(count, expected, "bucket {}", index);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_samples(
+        micros in samples(),
+        threads in 2usize..6,
+    ) {
+        let histogram = Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for chunk in micros.chunks(micros.len().div_ceil(threads)) {
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for &us in chunk {
+                        histogram.record(Duration::from_micros(us));
+                    }
+                });
+            }
+        });
+        // Every recorded sample is visible once all writers joined: counts
+        // are relaxed atomics, but the join is a synchronisation point.
+        prop_assert_eq!(histogram.count(), micros.len() as u64);
+        prop_assert_eq!(
+            histogram.snapshot_counts().iter().sum::<u64>(),
+            micros.len() as u64
+        );
+        let mut sorted = micros.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(
+                histogram.quantile_upper_bound_us(q),
+                oracle_upper_bound_us(&sorted, q),
+                "q = {} after concurrent recording",
+                q
+            );
+        }
+    }
+}

@@ -105,6 +105,7 @@ impl WalkArena {
     /// ever be observed again, even by callers that keep an arena alive
     /// across updates.
     pub fn invalidate(&mut self) {
+        usim_obs::walk_metrics().count_arena_invalidation();
         self.pool.clear();
         self.epoch = match self.epoch.checked_add(1) {
             Some(next) => next,
@@ -127,6 +128,9 @@ impl WalkArena {
         if self.stamp[v as usize] == self.epoch {
             return self.slots[v as usize];
         }
+        // First visit in this walk: the row is materialised below, which is
+        // already O(degree) in RNG draws — one gated counter bump is noise.
+        usim_obs::walk_metrics().count_rows_instantiated(1);
         let start = self.pool.len() as u32;
         let neighbors = view.neighbors(v);
         let probabilities = view.probabilities(v);

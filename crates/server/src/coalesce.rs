@@ -27,6 +27,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use usim_core::{CoalescedAnswer, CoalescedQuery, QueryError, ShardedQueryEngine};
+use usim_obs::{Stage, StageTrace};
 
 /// Tuning of one [`Coalescer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,10 +124,17 @@ impl Coalescer {
     /// Submits one query and blocks until its answer arrives — either
     /// because this thread became the leader and ran the batch itself, or
     /// because another leader flushed a batch containing it.
+    ///
+    /// Stage attribution when `trace` is attached: a follower's whole
+    /// blocked wait counts as `coalesce_wait`; a leader counts only its
+    /// collection wait there, and the batch's engine stages land on the
+    /// *leader's* trace (the thread that actually ran them) — followers see
+    /// that work inside their wait.
     pub fn submit(
         &self,
         engine: &ShardedQueryEngine,
         query: CoalescedQuery,
+        trace: Option<&StageTrace>,
     ) -> Result<(u64, CoalescedAnswer), CoalesceError> {
         // Answers are delivered through a one-shot rendezvous; capacity 1
         // means the leader's send never blocks on a slow receiver.
@@ -146,10 +154,15 @@ impl Coalescer {
                 true
             }
         };
+        let wait_start = trace.filter(|_| !am_leader).map(|_| Instant::now());
         if am_leader {
-            self.lead(engine);
+            self.lead(engine, trace);
         }
-        match answer.recv() {
+        let received = answer.recv();
+        if let (Some(trace), Some(start)) = (trace, wait_start) {
+            trace.add(Stage::CoalesceWait, start.elapsed());
+        }
+        match received {
             Ok(Ok(result)) => Ok(result),
             Ok(Err(error)) => Err(CoalesceError::Query(error)),
             Err(mpsc::RecvError) => Err(CoalesceError::Delivery),
@@ -160,7 +173,8 @@ impl Coalescer {
     /// it, deliver every answer.  The collection lock is *not* held during
     /// the engine call, so the next arrival starts a new round while this
     /// one computes — rounds pipeline.
-    fn lead(&self, engine: &ShardedQueryEngine) {
+    fn lead(&self, engine: &ShardedQueryEngine, trace: Option<&StageTrace>) {
+        let wait_start = trace.map(|_| Instant::now());
         let deadline = Instant::now() + self.options.window;
         let mut state = self.state.lock().expect("coalescer state poisoned");
         let mut filled = state.pending.len() >= self.options.cap;
@@ -179,6 +193,9 @@ impl Coalescer {
         let batch = std::mem::take(&mut state.pending);
         state.leader_present = false;
         drop(state);
+        if let (Some(trace), Some(start)) = (trace, wait_start) {
+            trace.add(Stage::CoalesceWait, start.elapsed());
+        }
 
         let counters = self.metrics.coalescer();
         counters
@@ -192,7 +209,7 @@ impl Coalescer {
         }
 
         let queries: Vec<CoalescedQuery> = batch.iter().map(|p| p.query.clone()).collect();
-        let (epoch, answers) = engine.serve_batch(&queries);
+        let (epoch, answers) = engine.serve_batch_with_trace(&queries, trace);
         for (pending, answer) in batch.into_iter().zip(answers) {
             // A send can only fail if the submitter died; nothing to do.
             let _ = pending.reply.send(answer.map(|a| (epoch, a)));

@@ -24,6 +24,15 @@
 //! module keeps a lock-free latency histogram plus per-request-type and
 //! coalescer counters, surfaced through the `stats` frame.
 //!
+//! Observability rides on `usim_obs`: sampled per-request stage tracing
+//! ([`RequestHandler::with_tracing`] — stage timings, a slow-query log
+//! behind the `slow_queries` frame, per-stage histograms in `stats`),
+//! process-wide walk metrics ([`RequestHandler::with_walk_metrics`]), and
+//! Prometheus text exposition through the `metrics` frame or the
+//! plaintext HTTP [`exporter`].  Tracing is off by default and never
+//! changes answers: instrumentation only reads clocks and bumps relaxed
+//! counters, so responses stay byte-identical traced or not.
+//!
 //! The frame-by-frame protocol reference lives in `docs/PROTOCOL.md`; the
 //! CLI front-end is `usim serve` (crate `usim_cli`).  Answers are
 //! bit-identical to the same entry points called on a local engine with the
@@ -34,11 +43,13 @@
 #![deny(unsafe_code)]
 
 pub mod coalesce;
+pub mod exporter;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use coalesce::{CoalesceError, CoalesceOptions, Coalescer};
+pub use exporter::{ExporterHandle, MetricsExporter};
 pub use metrics::{
     CoalescerCounters, CoalescerSnapshot, LatencyHistogram, RequestKind, ServeMetrics,
 };

@@ -1,4 +1,4 @@
-//! Lock-free serving metrics: a fixed-bucket latency histogram, per
+//! Lock-free serving metrics: the shared latency histogram, per
 //! request-type counters, and the coalescer's batching counters.
 //!
 //! Everything here is plain relaxed atomics — recording sits on the serving
@@ -8,72 +8,17 @@
 //! is an observability view, not a linearisable read (exactly like the
 //! cache counters it sits next to).
 //!
-//! The histogram is log-spaced: bucket `i` covers latencies in
-//! `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`), 32 buckets in
-//! total, so the top bucket absorbs everything from ~36 minutes up.
-//! Percentiles are read back as the upper bound of the bucket the rank
-//! falls in — exact enough to alarm on, two orders of magnitude cheaper
-//! than recording every sample.
+//! The histogram itself lives in `usim_obs` (re-exported here for
+//! compatibility): log-spaced power-of-two buckets, percentile read-back as
+//! the bucket's upper bound — exact enough to alarm on, two orders of
+//! magnitude cheaper than recording every sample.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Number of log-spaced buckets (`2^31` µs ≈ 36 minutes in the last one).
-const NUM_BUCKETS: usize = 32;
+pub use usim_obs::LatencyHistogram;
 
-/// A lock-free fixed-bucket latency histogram (log-spaced, microseconds).
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; NUM_BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample.
-    pub fn record(&self, latency: Duration) {
-        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let index = (64 - micros.leading_zeros() as usize).min(NUM_BUCKETS - 1);
-        self.buckets[index].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper bound of
-    /// the bucket the rank falls in, `0` when nothing was recorded.
-    pub fn quantile_upper_bound_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        // Rank of the quantile sample, 1-based; ceil so q = 1.0 lands on
-        // the last sample and q = 0.0 on the first.
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (index, count) in counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                // Bucket i covers [2^(i-1), 2^i) µs; report the upper bound.
-                return 1u64 << index;
-            }
-        }
-        1u64 << (NUM_BUCKETS - 1)
-    }
-}
-
-/// The request types the server counts — the six wire request types plus a
-/// bucket for lines that never resolved to one (malformed JSON, unknown
+/// The request types the server counts — the eight wire request types plus
+/// a bucket for lines that never resolved to one (malformed JSON, unknown
 /// types).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestKind {
@@ -89,19 +34,25 @@ pub enum RequestKind {
     Update,
     /// A `stats` frame.
     Stats,
+    /// A `metrics` (Prometheus exposition) frame.
+    Metrics,
+    /// A `slow_queries` frame.
+    SlowQueries,
     /// A line that parsed to no known request type.
     Invalid,
 }
 
 impl RequestKind {
     /// All kinds, in stats-frame order.
-    pub const ALL: [RequestKind; 7] = [
+    pub const ALL: [RequestKind; 9] = [
         RequestKind::Similarity,
         RequestKind::Profile,
         RequestKind::TopK,
         RequestKind::Batch,
         RequestKind::Update,
         RequestKind::Stats,
+        RequestKind::Metrics,
+        RequestKind::SlowQueries,
         RequestKind::Invalid,
     ];
 
@@ -114,6 +65,8 @@ impl RequestKind {
             RequestKind::Batch => "batch",
             RequestKind::Update => "update",
             RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
+            RequestKind::SlowQueries => "slow_queries",
             RequestKind::Invalid => "invalid",
         }
     }
@@ -126,7 +79,9 @@ impl RequestKind {
             RequestKind::Batch => 3,
             RequestKind::Update => 4,
             RequestKind::Stats => 5,
-            RequestKind::Invalid => 6,
+            RequestKind::Metrics => 6,
+            RequestKind::SlowQueries => 7,
+            RequestKind::Invalid => 8,
         }
     }
 }
@@ -167,7 +122,7 @@ pub struct CoalescerSnapshot {
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     latency: LatencyHistogram,
-    kinds: [AtomicU64; 7],
+    kinds: [AtomicU64; 9],
     coalescer: CoalescerCounters,
 }
 
@@ -219,6 +174,7 @@ impl ServeMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_buckets_by_powers_of_two() {

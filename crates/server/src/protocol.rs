@@ -11,6 +11,8 @@
 //! | `batch`      | [`usim_core::QueryEngine::batch_similarities`]          |
 //! | `update`     | [`usim_core::QueryEngine::apply_updates`]               |
 //! | `stats`      | engine metadata (vertices, arcs, epoch, sampler backend, configuration, result-cache counters) |
+//! | `metrics`    | Prometheus text exposition of every serving counter (see [`RequestHandler::prometheus_exposition`]) |
+//! | `slow_queries` | the slow-query log kept by the stage tracer (empty unless [`RequestHandler::with_tracing`] enabled it) |
 //!
 //! Vertices are addressed by the graph file's *original labels* (the same
 //! labels the `usim` CLI speaks), resolved here against the label table.
@@ -59,11 +61,13 @@ use parking_lot::Mutex;
 use serde::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use ugraph::{GraphUpdate, UpdateError, UpdateLog, VertexId};
 use usim_core::{
     CachedQueryEngine, CoalescedAnswer, CoalescedQuery, QueryError, ShardedQueryEngine,
     SharedQueryEngine,
 };
+use usim_obs::{time_stage, walk_metrics, PromWriter, Stage, StageTrace, Tracer};
 
 /// Default cap on `batch` pairs, `top_k` candidates and `update` batches —
 /// a bound on per-request memory and lock-hold time, not a protocol limit.
@@ -203,6 +207,12 @@ pub struct RequestHandler {
     /// and stats always bypass it — updates need the write gate, stats is
     /// metadata).
     coalescer: Option<Coalescer>,
+    /// When present, a deterministic fraction of requests carries a
+    /// [`StageTrace`] through the serving stack; finished traces feed the
+    /// per-stage histograms and the slow-query log.  Answers are
+    /// bit-identical with tracing on or off — instrumentation only reads
+    /// clocks, never RNG streams.
+    tracer: Option<Tracer>,
 }
 
 impl RequestHandler {
@@ -268,6 +278,7 @@ impl RequestHandler {
             update_log: None,
             metrics: Arc::new(ServeMetrics::new()),
             coalescer: None,
+            tracer: None,
         }
     }
 
@@ -292,6 +303,32 @@ impl RequestHandler {
         self
     }
 
+    /// Enables sampled per-query stage tracing: every `round(1/sample_rate)`-th
+    /// request carries a [`StageTrace`] through parse, coalescer,
+    /// cache, shard routing, sampling, merge and serialisation; finished
+    /// traces feed per-stage latency histograms (the `stats` frame's
+    /// `tracing.stages` section) and a slow-query log keeping the
+    /// `slow_log_capacity` slowest traced requests (the `slow_queries`
+    /// frame).  A rate ≤ 0 builds the tracer disabled.
+    ///
+    /// Tracing never changes an answer: instrumentation reads clocks, never
+    /// the engine's RNG streams, so responses are byte-identical with
+    /// tracing on or off.
+    pub fn with_tracing(mut self, sample_rate: f64, slow_log_capacity: usize) -> Self {
+        self.tracer = Some(Tracer::new(sample_rate, slow_log_capacity));
+        self
+    }
+
+    /// Turns on the process-global walk/engine counters
+    /// ([`usim_obs::walk_metrics`]): walks, steps per sampler backend,
+    /// deaths, meetings, overlay patched-vs-base row reads, lazy row
+    /// instantiations, arena invalidations and compactions — surfaced by
+    /// the `stats` frame's `walks` section and the Prometheus exposition.
+    pub fn with_walk_metrics(self) -> Self {
+        walk_metrics().set_enabled(true);
+        self
+    }
+
     /// The serving metrics this handler feeds (the transport records
     /// latencies into the same object, so one `stats` frame tells the whole
     /// story).
@@ -302,6 +339,11 @@ impl RequestHandler {
     /// The coalescer, when [`RequestHandler::with_coalescing`] enabled one.
     pub fn coalescer(&self) -> Option<&Coalescer> {
         self.coalescer.as_ref()
+    }
+
+    /// The stage tracer, when [`RequestHandler::with_tracing`] attached one.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The shared engine behind shard 0 (every shard replica answers
@@ -328,11 +370,19 @@ impl RequestHandler {
     /// Handles one wire line.  Returns `None` for blank lines (keep-alives
     /// are free); otherwise always returns exactly one response frame.
     pub fn handle_line(&self, line: &str) -> Option<Frame> {
-        let (value, is_error) = self.response(line)?;
-        Some(Frame {
-            json: serde_json::to_string(&value).expect("response values are finite"),
-            is_error,
-        })
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let trace = self.tracer.as_ref().and_then(Tracer::begin);
+        let started = trace.as_ref().map(|_| Instant::now());
+        let mut kind = "invalid";
+        let (value, is_error) = self.dispatch(line, trace.as_ref(), &mut kind);
+        let json = time_stage(trace.as_ref(), Stage::Serialize, || {
+            serde_json::to_string(&value).expect("response values are finite")
+        });
+        self.finish_trace(trace, kind, started, None);
+        Some(Frame { json, is_error })
     }
 
     /// Like [`RequestHandler::handle_line`], but serialises the response
@@ -341,20 +391,68 @@ impl RequestHandler {
     /// (same serialiser, same field order), so the wire format is
     /// indistinguishable; only the allocation profile changes.
     pub fn handle_line_into(&self, line: &str, out: &mut BytesMut) -> Option<ResponseMeta> {
-        let (value, is_error) = self.response(line)?;
-        serde_json::to_writer(&mut *out, &value).expect("response values are finite");
-        out.put_slice(b"\n");
-        Some(ResponseMeta { is_error })
+        self.handle_line_into_traced(line, out, None)
     }
 
-    /// The shared core of both entry points: `None` for blank lines,
-    /// otherwise the response as a JSON tree plus its error flag.
-    fn response(&self, line: &str) -> Option<(Value, bool)> {
+    /// Like [`RequestHandler::handle_line_into`], additionally crediting
+    /// `queue_wait` (the transport's accept-to-worker-pickup delay, which
+    /// only the transport can measure) to this frame's trace when the
+    /// frame is sampled.  The wait also extends the trace's total, so the
+    /// per-request stage sum stays within the end-to-end latency sample
+    /// the transport records for the same frame.
+    pub fn handle_line_into_traced(
+        &self,
+        line: &str,
+        out: &mut BytesMut,
+        queue_wait: Option<Duration>,
+    ) -> Option<ResponseMeta> {
         let line = line.trim();
         if line.is_empty() {
             return None;
         }
-        Some(match self.handle(line) {
+        let trace = self.tracer.as_ref().and_then(Tracer::begin);
+        let started = trace.as_ref().map(|_| Instant::now());
+        let mut kind = "invalid";
+        let (value, is_error) = self.dispatch(line, trace.as_ref(), &mut kind);
+        time_stage(trace.as_ref(), Stage::Serialize, || {
+            serde_json::to_writer(&mut *out, &value).expect("response values are finite");
+            out.put_slice(b"\n");
+        });
+        self.finish_trace(trace, kind, started, queue_wait);
+        Some(ResponseMeta { is_error })
+    }
+
+    /// Folds a finished trace into the tracer (no-op for un-sampled
+    /// requests).
+    fn finish_trace(
+        &self,
+        trace: Option<StageTrace>,
+        kind: &'static str,
+        started: Option<Instant>,
+        queue_wait: Option<Duration>,
+    ) {
+        let (Some(tracer), Some(trace), Some(started)) = (self.tracer.as_ref(), trace, started)
+        else {
+            return;
+        };
+        let mut total = started.elapsed();
+        if let Some(wait) = queue_wait {
+            trace.add(Stage::QueueWait, wait);
+            total += wait;
+        }
+        tracer.finish(&trace, kind, total);
+    }
+
+    /// The shared core of both entry points: the response as a JSON tree
+    /// plus its error flag; `kind_out` is set to the resolved request type
+    /// (for the slow-query log) as soon as it is known.
+    fn dispatch(
+        &self,
+        line: &str,
+        trace: Option<&StageTrace>,
+        kind_out: &mut &'static str,
+    ) -> (Value, bool) {
+        match self.handle(line, trace, kind_out) {
             Ok(value) => (value, false),
             Err(reject) => {
                 // Lines that never resolved to a known request type count
@@ -368,11 +466,16 @@ impl RequestHandler {
                 }
                 (error_value(&reject), true)
             }
-        })
+        }
     }
 
-    fn handle(&self, line: &str) -> Result<Value, Reject> {
-        let value: Value = serde_json::from_str(line)
+    fn handle(
+        &self,
+        line: &str,
+        trace: Option<&StageTrace>,
+        kind_out: &mut &'static str,
+    ) -> Result<Value, Reject> {
+        let value: Value = time_stage(trace, Stage::Parse, || serde_json::from_str(line))
             .map_err(|e| Reject::new(ErrorCode::MalformedFrame, format!("invalid JSON: {e}")))?;
         let entries = value.as_map().ok_or_else(|| {
             Reject::new(
@@ -402,44 +505,56 @@ impl RequestHandler {
             "batch" => RequestKind::Batch,
             "update" => RequestKind::Update,
             "stats" => RequestKind::Stats,
+            "metrics" => RequestKind::Metrics,
+            "slow_queries" => RequestKind::SlowQueries,
             other => {
                 return Err(Reject::new(
                     ErrorCode::UnknownRequestType,
                     format!(
                         "unknown request type {other:?}; expected one of \
-                         \"similarity\", \"profile\", \"top_k\", \"batch\", \"update\", \"stats\""
+                         \"similarity\", \"profile\", \"top_k\", \"batch\", \"update\", \
+                         \"stats\", \"metrics\", \"slow_queries\""
                     ),
                 ))
             }
         };
+        *kind_out = kind.as_str();
         // Counted at dispatch, before the handler runs: a stats frame
         // therefore includes itself, and field-level rejections still count
         // under the type the client named.
         self.metrics.count_request(kind);
         match kind {
-            RequestKind::Similarity => self.similarity(entries),
-            RequestKind::Profile => self.profile(entries),
-            RequestKind::TopK => self.top_k(entries),
-            RequestKind::Batch => self.batch(entries),
+            RequestKind::Similarity => self.similarity(entries, trace),
+            RequestKind::Profile => self.profile(entries, trace),
+            RequestKind::TopK => self.top_k(entries, trace),
+            RequestKind::Batch => self.batch(entries, trace),
             RequestKind::Update => self.update(entries),
             RequestKind::Stats => self.stats(entries),
+            RequestKind::Metrics => self.metrics_frame(entries),
+            RequestKind::SlowQueries => self.slow_queries(entries),
             RequestKind::Invalid => unreachable!("invalid kinds never dispatch"),
         }
     }
 
     // -- request type handlers ---------------------------------------------
 
-    fn similarity(&self, entries: &Entries) -> Result<Value, Reject> {
+    fn similarity(&self, entries: &Entries, trace: Option<&StageTrace>) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "similarity", &["source", "target"])?;
         let u = self.resolve(require_label(entries, "source")?)?;
         let v = self.resolve(require_label(entries, "target")?)?;
         let (epoch, score) = if self.coalescer.is_some() {
-            self.coalesced(CoalescedQuery::Similarity(u, v), |answer| match answer {
-                CoalescedAnswer::Similarity(score) => Some(score),
-                _ => None,
-            })?
+            self.coalesced(
+                CoalescedQuery::Similarity(u, v),
+                trace,
+                |answer| match answer {
+                    CoalescedAnswer::Similarity(score) => Some(score),
+                    _ => None,
+                },
+            )?
         } else {
-            self.engine.similarity(u, v).map_err(query_rejected)?
+            self.engine
+                .similarity_with_trace(u, v, trace)
+                .map_err(query_rejected)?
         };
         Ok(ok_value(
             "similarity",
@@ -448,17 +563,23 @@ impl RequestHandler {
         ))
     }
 
-    fn profile(&self, entries: &Entries) -> Result<Value, Reject> {
+    fn profile(&self, entries: &Entries, trace: Option<&StageTrace>) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "profile", &["source", "target"])?;
         let u = self.resolve(require_label(entries, "source")?)?;
         let v = self.resolve(require_label(entries, "target")?)?;
         let (epoch, profile) = if self.coalescer.is_some() {
-            self.coalesced(CoalescedQuery::Profile(u, v), |answer| match answer {
-                CoalescedAnswer::Profile(profile) => Some(profile),
-                _ => None,
-            })?
+            self.coalesced(
+                CoalescedQuery::Profile(u, v),
+                trace,
+                |answer| match answer {
+                    CoalescedAnswer::Profile(profile) => Some(profile),
+                    _ => None,
+                },
+            )?
         } else {
-            self.engine.profile(u, v).map_err(query_rejected)?
+            self.engine
+                .profile_with_trace(u, v, trace)
+                .map_err(query_rejected)?
         };
         Ok(ok_value(
             "profile",
@@ -474,7 +595,7 @@ impl RequestHandler {
         ))
     }
 
-    fn top_k(&self, entries: &Entries) -> Result<Value, Reject> {
+    fn top_k(&self, entries: &Entries, trace: Option<&StageTrace>) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "top_k", &["source", "k", "candidates"])?;
         let source = self.resolve(require_label(entries, "source")?)?;
         let k = require_usize(entries, "k")?;
@@ -503,6 +624,7 @@ impl RequestHandler {
                     candidates,
                     k,
                 },
+                trace,
                 |answer| match answer {
                     CoalescedAnswer::TopK(ranked) => Some(ranked),
                     _ => None,
@@ -510,7 +632,7 @@ impl RequestHandler {
             )?
         } else {
             self.engine
-                .batch_top_k_similar_to(source, &candidates, k)
+                .batch_top_k_similar_to_with_trace(source, &candidates, k, trace)
                 .map_err(query_rejected)?
         };
         let results = ranked
@@ -532,7 +654,7 @@ impl RequestHandler {
         ))
     }
 
-    fn batch(&self, entries: &Entries) -> Result<Value, Reject> {
+    fn batch(&self, entries: &Entries, trace: Option<&StageTrace>) -> Result<Value, Reject> {
         reject_unknown_fields(entries, "batch", &["pairs"])?;
         let items = expect_seq(require_field(entries, "pairs")?, "pairs")?;
         self.check_batch_len(items.len(), "pairs")?;
@@ -555,13 +677,17 @@ impl RequestHandler {
             ));
         }
         let (epoch, scores) = if self.coalescer.is_some() {
-            self.coalesced(CoalescedQuery::Scores(pairs), |answer| match answer {
-                CoalescedAnswer::Scores(scores) => Some(scores),
-                _ => None,
-            })?
+            self.coalesced(
+                CoalescedQuery::Scores(pairs),
+                trace,
+                |answer| match answer {
+                    CoalescedAnswer::Scores(scores) => Some(scores),
+                    _ => None,
+                },
+            )?
         } else {
             self.engine
-                .batch_similarities(&pairs)
+                .batch_similarities_with_trace(&pairs, trace)
                 .map_err(query_rejected)?
         };
         Ok(ok_value(
@@ -750,6 +876,88 @@ impl RequestHandler {
             ),
             ("cap_flushes".to_string(), Value::Uint(snapshot.cap_flushes)),
         ];
+        // Tracing and walk-counter sections: like `latency` and `coalescer`,
+        // every field is always present (zeroed when the feature is off).
+        let tracer = self.tracer.as_ref();
+        let stages = match tracer {
+            Some(tracer) => tracer
+                .stage_snapshots()
+                .iter()
+                .map(|snap| {
+                    Value::Map(vec![
+                        (
+                            "stage".to_string(),
+                            Value::Str(snap.stage.as_str().to_string()),
+                        ),
+                        ("count".to_string(), Value::Uint(snap.count)),
+                        ("p50_us".to_string(), Value::Uint(snap.p50_us)),
+                        ("p99_us".to_string(), Value::Uint(snap.p99_us)),
+                    ])
+                })
+                .collect(),
+            None => Stage::ALL
+                .iter()
+                .map(|stage| {
+                    Value::Map(vec![
+                        ("stage".to_string(), Value::Str(stage.as_str().to_string())),
+                        ("count".to_string(), Value::Uint(0)),
+                        ("p50_us".to_string(), Value::Uint(0)),
+                        ("p99_us".to_string(), Value::Uint(0)),
+                    ])
+                })
+                .collect(),
+        };
+        let tracing = vec![
+            (
+                "enabled".to_string(),
+                Value::Bool(tracer.is_some_and(Tracer::enabled)),
+            ),
+            (
+                "sample_every".to_string(),
+                Value::Uint(tracer.map(Tracer::sample_every).unwrap_or(0)),
+            ),
+            (
+                "traced".to_string(),
+                Value::Uint(tracer.map(Tracer::traced).unwrap_or(0)),
+            ),
+            ("stages".to_string(), Value::Seq(stages)),
+        ];
+        let walk = walk_metrics();
+        let walk_snapshot = walk.snapshot();
+        let walks = vec![
+            ("enabled".to_string(), Value::Bool(walk.enabled())),
+            ("walks".to_string(), Value::Uint(walk_snapshot.walks)),
+            (
+                "steps_legacy".to_string(),
+                Value::Uint(walk_snapshot.steps_legacy),
+            ),
+            (
+                "steps_alias".to_string(),
+                Value::Uint(walk_snapshot.steps_alias),
+            ),
+            ("deaths".to_string(), Value::Uint(walk_snapshot.deaths)),
+            ("meetings".to_string(), Value::Uint(walk_snapshot.meetings)),
+            (
+                "rows_patched".to_string(),
+                Value::Uint(walk_snapshot.rows_patched),
+            ),
+            (
+                "rows_base".to_string(),
+                Value::Uint(walk_snapshot.rows_base),
+            ),
+            (
+                "rows_instantiated".to_string(),
+                Value::Uint(walk_snapshot.rows_instantiated),
+            ),
+            (
+                "arena_invalidations".to_string(),
+                Value::Uint(walk_snapshot.arena_invalidations),
+            ),
+            (
+                "compactions".to_string(),
+                Value::Uint(walk_snapshot.compactions),
+            ),
+        ];
         Ok(ok_value(
             "stats",
             epoch,
@@ -766,9 +974,206 @@ impl RequestHandler {
                 ("cache".into(), Value::Map(cache)),
                 ("latency".into(), Value::Map(latency)),
                 ("coalescer".into(), Value::Map(coalescer)),
+                ("tracing".into(), Value::Map(tracing)),
+                ("walks".into(), Value::Map(walks)),
                 ("config".into(), config),
             ],
         ))
+    }
+
+    /// Serves the `metrics` frame: the Prometheus exposition body wrapped
+    /// in a JSON envelope (scrapers preferring plain HTTP use
+    /// `usim serve --metrics-port`, which serves the identical body).
+    fn metrics_frame(&self, entries: &Entries) -> Result<Value, Reject> {
+        reject_unknown_fields(entries, "metrics", &[])?;
+        let epoch = self.engine.update_epoch();
+        Ok(ok_value(
+            "metrics",
+            epoch,
+            vec![("body".into(), Value::Str(self.prometheus_exposition()))],
+        ))
+    }
+
+    /// Serves the `slow_queries` frame: the tracer's ring of slowest traced
+    /// requests, slowest first (empty when tracing is off).
+    fn slow_queries(&self, entries: &Entries) -> Result<Value, Reject> {
+        reject_unknown_fields(entries, "slow_queries", &[])?;
+        let epoch = self.engine.update_epoch();
+        let slow = match &self.tracer {
+            Some(tracer) => tracer
+                .slow_log()
+                .snapshot()
+                .into_iter()
+                .map(|entry| {
+                    let stages = Stage::ALL
+                        .iter()
+                        .zip(entry.stages_us.iter())
+                        .map(|(stage, &us)| (stage.as_str().to_string(), Value::Uint(us)))
+                        .collect();
+                    Value::Map(vec![
+                        ("trace_id".to_string(), Value::Uint(entry.trace_id)),
+                        ("kind".to_string(), Value::Str(entry.kind.to_string())),
+                        ("total_us".to_string(), Value::Uint(entry.total_us)),
+                        ("stages_us".to_string(), Value::Map(stages)),
+                    ])
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok(ok_value(
+            "slow_queries",
+            epoch,
+            vec![
+                (
+                    "tracing".into(),
+                    Value::Bool(self.tracer.as_ref().is_some_and(|t| t.enabled())),
+                ),
+                ("entries".into(), Value::Seq(slow)),
+            ],
+        ))
+    }
+
+    /// Renders every serving counter as a Prometheus text exposition
+    /// (format 0.0.4): request counters, the end-to-end latency histogram,
+    /// coalescer and result-cache counters, the walk/engine counters, and —
+    /// when tracing is enabled — one histogram series per pipeline stage.
+    /// Served by the `metrics` frame and `usim serve --metrics-port`.
+    pub fn prometheus_exposition(&self) -> String {
+        let mut w = PromWriter::new();
+        w.gauge(
+            "usim_epoch",
+            "Update epoch the engine is serving at.",
+            self.engine.update_epoch() as f64,
+        );
+        w.gauge(
+            "usim_vertices",
+            "Vertices in the served graph.",
+            self.engine.num_vertices() as f64,
+        );
+        w.gauge(
+            "usim_arcs",
+            "Arcs in the served graph.",
+            self.engine.num_arcs() as f64,
+        );
+        w.gauge(
+            "usim_shards",
+            "Shards behind the scatter-gather router.",
+            self.engine.num_shards() as f64,
+        );
+        let kinds: Vec<(&str, u64)> = RequestKind::ALL
+            .iter()
+            .map(|&kind| (kind.as_str(), self.metrics.requests_of(kind)))
+            .collect();
+        w.counter_family(
+            "usim_requests_total",
+            "Requests handled, by wire request type.",
+            "kind",
+            &kinds,
+        );
+        w.latency_histogram(
+            "usim_request_duration_seconds",
+            "End-to-end request latency (read to flush; sum approximated from bucket bounds).",
+            None,
+            self.metrics.latency(),
+        );
+        let coalescer = self.metrics.coalescer_snapshot();
+        w.counter(
+            "usim_coalescer_requests_total",
+            "Requests served through the coalescer.",
+            coalescer.requests,
+        );
+        w.counter_family(
+            "usim_coalescer_batches_total",
+            "Coalesced engine batches, by flush reason.",
+            "reason",
+            &[
+                ("window", coalescer.window_flushes),
+                ("cap", coalescer.cap_flushes),
+            ],
+        );
+        if let Some(stats) = self.engine.cache_stats() {
+            w.gauge(
+                "usim_cache_entries",
+                "Live result-cache entries across shards.",
+                stats.entries as f64,
+            );
+            w.counter_family(
+                "usim_cache_events_total",
+                "Result-cache events across shards.",
+                "event",
+                &[
+                    ("hit", stats.hits),
+                    ("miss", stats.misses),
+                    ("stale", stats.stale),
+                    ("eviction", stats.evictions),
+                    ("insertion", stats.insertions),
+                    ("survived", stats.survived),
+                    ("killed", stats.killed),
+                ],
+            );
+        }
+        let walk = walk_metrics().snapshot();
+        w.counter(
+            "usim_walks_total",
+            "Random walks simulated (two per sampled pair).",
+            walk.walks,
+        );
+        w.counter_family(
+            "usim_walk_steps_total",
+            "Walk steps taken, by sampler backend.",
+            "backend",
+            &[("legacy", walk.steps_legacy), ("alias", walk.steps_alias)],
+        );
+        w.counter(
+            "usim_walk_deaths_total",
+            "Walks that died before the horizon.",
+            walk.deaths,
+        );
+        w.counter(
+            "usim_walk_meetings_total",
+            "First-meeting events between paired walks.",
+            walk.meetings,
+        );
+        w.counter_family(
+            "usim_walk_row_reads_total",
+            "Adjacency-row reads, by which layer served them.",
+            "source",
+            &[("patched", walk.rows_patched), ("base", walk.rows_base)],
+        );
+        w.counter(
+            "usim_rows_instantiated_total",
+            "Possible-world rows lazily instantiated by the legacy sampler.",
+            walk.rows_instantiated,
+        );
+        w.counter(
+            "usim_arena_invalidations_total",
+            "Walk-arena invalidations after update epochs.",
+            walk.arena_invalidations,
+        );
+        w.counter(
+            "usim_compactions_total",
+            "Delta-overlay compactions into a fresh CSR base.",
+            walk.compactions,
+        );
+        if let Some(tracer) = &self.tracer {
+            w.counter(
+                "usim_traced_requests_total",
+                "Requests that carried a stage trace.",
+                tracer.traced(),
+            );
+            w.histogram_family(
+                "usim_stage_duration_seconds",
+                "Per-stage time of traced requests (sum approximated from bucket bounds).",
+            );
+            for stage in Stage::ALL {
+                w.latency_histogram_series(
+                    "usim_stage_duration_seconds",
+                    Some(("stage", stage.as_str())),
+                    tracer.stage_histogram(stage),
+                );
+            }
+        }
+        w.finish()
     }
 
     /// Routes one query through the coalescer (the caller checked it is
@@ -776,13 +1181,14 @@ impl RequestHandler {
     fn coalesced<T>(
         &self,
         query: CoalescedQuery,
+        trace: Option<&StageTrace>,
         narrow: impl FnOnce(CoalescedAnswer) -> Option<T>,
     ) -> Result<(u64, T), Reject> {
         let coalescer = self
             .coalescer
             .as_ref()
             .expect("coalesced() is only called when coalescing is enabled");
-        match coalescer.submit(&self.engine, query) {
+        match coalescer.submit(&self.engine, query, trace) {
             // The engine pairs every slot with its own answer variant, so a
             // mismatch cannot happen; reject rather than panic regardless —
             // a server bug must never take the process down.
@@ -1878,6 +2284,125 @@ mod tests {
         assert_eq!(get(section, "cap"), &Value::Uint(4));
         assert_eq!(get(section, "requests"), &Value::Uint(1));
         assert_eq!(get(section, "batches"), &Value::Uint(1));
+    }
+
+    #[test]
+    fn stats_reports_tracing_and_walk_sections_zeroed_without_a_tracer() {
+        let (handler, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let entries = parse(&handler.handle_line(r#"{"type":"stats"}"#).unwrap());
+        let tracing = get(&entries, "tracing").as_map().unwrap();
+        assert_eq!(get(tracing, "enabled"), &Value::Bool(false));
+        assert_eq!(get(tracing, "sample_every"), &Value::Uint(0));
+        assert_eq!(get(tracing, "traced"), &Value::Uint(0));
+        // The stage list is always present (zeroed) so dashboards need no
+        // schema branching on whether tracing is on.
+        let stages = get(tracing, "stages").as_seq().unwrap();
+        assert_eq!(stages.len(), usim_obs::Stage::ALL.len());
+        let first = stages[0].as_map().unwrap();
+        assert_eq!(get(first, "stage"), &Value::Str("parse".to_string()));
+        assert_eq!(get(first, "count"), &Value::Uint(0));
+        let walks = get(&entries, "walks").as_map().unwrap();
+        assert!(field(walks, "walks").is_some());
+    }
+
+    #[test]
+    fn traced_stats_count_stages_and_slow_queries_report_them() {
+        let (handler, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let handler = handler.with_tracing(1.0, 4);
+        handler
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        handler
+            .handle_line(r#"{"type":"batch","pairs":[[10,14],[11,12]]}"#)
+            .unwrap();
+
+        let entries = parse(&handler.handle_line(r#"{"type":"stats"}"#).unwrap());
+        let tracing = get(&entries, "tracing").as_map().unwrap();
+        assert_eq!(get(tracing, "enabled"), &Value::Bool(true));
+        assert_eq!(get(tracing, "sample_every"), &Value::Uint(1));
+        assert_eq!(get(tracing, "traced"), &Value::Uint(2));
+        let stages = get(tracing, "stages").as_seq().unwrap();
+        let walk_sample = stages
+            .iter()
+            .map(|s| s.as_map().unwrap())
+            .find(|s| get(s, "stage") == &Value::Str("walk_sample".to_string()))
+            .expect("walk_sample stage present");
+        assert_eq!(get(walk_sample, "count"), &Value::Uint(2));
+
+        let frame = handler.handle_line(r#"{"type":"slow_queries"}"#).unwrap();
+        assert!(!frame.is_error, "{}", frame.json);
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "tracing"), &Value::Bool(true));
+        let slow = get(&entries, "entries").as_seq().unwrap();
+        // Both queries plus the stats frame itself were traced; the log
+        // keeps them slowest-first.
+        assert_eq!(slow.len(), 3);
+        let mut previous = u64::MAX;
+        for entry in slow {
+            let entry = entry.as_map().unwrap();
+            let total = match get(entry, "total_us") {
+                Value::Uint(n) => *n,
+                other => panic!("total_us: {other:?}"),
+            };
+            assert!(total <= previous, "slow log must be slowest-first");
+            previous = total;
+            let stages = get(entry, "stages_us").as_map().unwrap();
+            assert_eq!(stages.len(), usim_obs::Stage::ALL.len());
+            let stage_sum: u64 = stages
+                .iter()
+                .map(|(_, v)| match v {
+                    Value::Uint(n) => *n,
+                    other => panic!("stage value: {other:?}"),
+                })
+                .sum();
+            assert!(
+                stage_sum <= total,
+                "stage sum {stage_sum}us > total {total}us"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_queries_without_tracing_is_empty_not_an_error() {
+        let (handler, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let frame = handler.handle_line(r#"{"type":"slow_queries"}"#).unwrap();
+        assert!(!frame.is_error, "{}", frame.json);
+        let entries = parse(&frame);
+        assert_eq!(get(&entries, "tracing"), &Value::Bool(false));
+        assert!(get(&entries, "entries").as_seq().unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_frame_wraps_the_prometheus_exposition() {
+        let (handler, _) = fig1_handler(DEFAULT_MAX_BATCH);
+        let handler = handler.with_tracing(1.0, 4);
+        handler
+            .handle_line(r#"{"type":"similarity","source":10,"target":11}"#)
+            .unwrap();
+        let frame = handler.handle_line(r#"{"type":"metrics"}"#).unwrap();
+        assert!(!frame.is_error, "{}", frame.json);
+        let entries = parse(&frame);
+        let body = get(&entries, "body").as_str().unwrap();
+        for needle in [
+            "# TYPE usim_requests_total counter",
+            "usim_requests_total{kind=\"similarity\"} 1",
+            "# TYPE usim_request_duration_seconds histogram",
+            "usim_request_duration_seconds_bucket{le=\"+Inf\"}",
+            "usim_epoch 0",
+            "usim_traced_requests_total",
+            "usim_stage_duration_seconds_bucket{stage=\"walk_sample\"",
+        ] {
+            assert!(body.contains(needle), "missing {needle} in:\n{body}");
+        }
+        // Rejects stray fields like every other frame.
+        let frame = handler
+            .handle_line(r#"{"type":"metrics","verbose":true}"#)
+            .unwrap();
+        assert!(frame.is_error, "{}", frame.json);
+        let frame = handler
+            .handle_line(r#"{"type":"slow_queries","limit":5}"#)
+            .unwrap();
+        assert!(frame.is_error, "{}", frame.json);
     }
 
     #[test]

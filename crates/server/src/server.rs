@@ -134,6 +134,12 @@ impl Server {
             .expect("a bound listener has an address")
     }
 
+    /// A shared handle to the request handler — what the Prometheus
+    /// exporter ([`crate::exporter`]) scrapes while the server runs.
+    pub fn handler(&self) -> Arc<RequestHandler> {
+        Arc::clone(&self.handler)
+    }
+
     /// Serves on the calling thread: spawns the workers, runs the accept
     /// loop, and returns the final counters once the connection budget is
     /// exhausted (or a [`ServerHandle::shutdown`] woke the loop).  Workers
@@ -146,7 +152,9 @@ impl Server {
         }
         let workers = self.options.workers.max(1);
         let queue_depth = self.options.queue_depth.max(1);
-        let (sender, receiver) = mpsc::sync_channel::<TcpStream>(queue_depth);
+        // Connections are stamped at accept so the worker that picks one up
+        // can credit the queue wait to the first frame's stage trace.
+        let (sender, receiver) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_depth);
         let receiver = Arc::new(Mutex::new(receiver));
         let frames = Arc::new(AtomicU64::new(0));
         let errors = Arc::new(AtomicU64::new(0));
@@ -162,7 +170,9 @@ impl Server {
                 // serving: other workers keep draining the queue.
                 let next = receiver.lock().recv();
                 match next {
-                    Ok(stream) => serve_connection(stream, &handler, &frames, &errors),
+                    Ok((stream, accepted)) => {
+                        serve_connection(stream, accepted, &handler, &frames, &errors)
+                    }
                     Err(_) => break, // accept loop dropped the sender
                 }
             }));
@@ -180,7 +190,7 @@ impl Server {
                 continue;
             };
             connections += 1;
-            if sender.send(stream).is_err() {
+            if sender.send((stream, Instant::now())).is_err() {
                 break;
             }
             if Some(connections) == self.options.max_connections {
@@ -250,6 +260,7 @@ impl ServerHandle {
 /// handler's histogram, surfaced by the `stats` frame.
 fn serve_connection(
     stream: TcpStream,
+    accepted: Instant,
     handler: &RequestHandler,
     frames: &AtomicU64,
     errors: &AtomicU64,
@@ -262,6 +273,11 @@ fn serve_connection(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Accept-to-pickup queueing is charged to the connection's *first*
+    // frame — both its latency sample and (when sampled) its stage trace —
+    // so a saturated worker pool shows up in the histograms rather than
+    // vanishing between clocks.
+    let mut queue_wait = Some(accepted.elapsed());
     let mut writer = stream;
     let mut reader = BufReader::new(read_half);
     let mut line = String::new();
@@ -277,9 +293,10 @@ fn serve_connection(
         // request counts, idle time between requests does not.
         let started = Instant::now();
         out.clear();
-        let Some(meta) = handler.handle_line_into(&line, &mut out) else {
-            continue;
+        let Some(meta) = handler.handle_line_into_traced(&line, &mut out, queue_wait) else {
+            continue; // a blank keep-alive; the queue wait stays pending
         };
+        let waited = queue_wait.take().unwrap_or_default();
         frames.fetch_add(1, Ordering::Relaxed);
         if meta.is_error {
             errors.fetch_add(1, Ordering::Relaxed);
@@ -288,7 +305,10 @@ fn serve_connection(
         // buffer (TcpStream is unbuffered, so separate writes would be
         // separate syscalls and potentially separate segments).
         let delivered = writer.write_all(&out).and_then(|()| writer.flush()).is_ok();
-        handler.metrics().latency().record(started.elapsed());
+        handler
+            .metrics()
+            .latency()
+            .record(started.elapsed() + waited);
         if !delivered {
             break;
         }

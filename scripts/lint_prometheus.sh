@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# lint-prometheus: structural linter for a Prometheus text exposition
+# (format 0.0.4), pure awk — no promtool in the container.
+#
+# Checks, per the exposition format spec:
+#   * every line is a comment (# HELP / # TYPE), blank, or a well-formed
+#     sample `name{labels} value`;
+#   * every sampled metric family is preceded by a # TYPE with a valid
+#     type (counter | gauge | histogram | summary | untyped);
+#   * counter and histogram sample values are non-negative and finite
+#     (+Inf is legal only as a `le` label value, never as a sample);
+#   * every histogram *series* (family + labels minus `le`) ends at
+#     `le="+Inf"`, its cumulative bucket counts are non-decreasing in
+#     emission order, the +Inf bucket equals the series' _count sample,
+#     and _count and _sum are both present.
+#
+# Usage: scripts/lint_prometheus.sh EXPOSITION_FILE
+set -euo pipefail
+
+FILE=${1:?usage: lint_prometheus.sh EXPOSITION_FILE}
+[ -s "$FILE" ] || { echo "lint-prometheus: FAIL: $FILE is missing or empty"; exit 1; }
+
+awk '
+function fail(message) {
+    printf "lint-prometheus: FAIL (line %d): %s: %s\n", NR, message, $0
+    bad = 1
+}
+# The histogram family a _bucket/_count/_sum sample belongs to.
+function family_of(name) {
+    sub(/_(bucket|count|sum)$/, "", name)
+    return name
+}
+# The series key: family plus its labels with any le="..." removed.
+function series_key(fam, labels) {
+    gsub(/le="[^"]*",?/, "", labels)
+    gsub(/,\}/, "}", labels)
+    sub(/\{\}/, "", labels)
+    return fam labels
+}
+/^$/ { next }
+/^# HELP / {
+    if (!match($0, /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* ./)) fail("malformed HELP")
+    next
+}
+/^# TYPE / {
+    if (!match($0, /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$/))
+        fail("malformed or unknown TYPE")
+    type[$3] = $4
+    next
+}
+/^#/ { fail("unknown comment form (only HELP and TYPE exist in 0.0.4)"); next }
+{
+    # One sample: name, optional {labels}, one value (no timestamps here).
+    if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$/)) {
+        fail("not a comment, blank, or sample line")
+        next
+    }
+    name = $1
+    labels = ""
+    if (match(name, /\{.*\}/)) {
+        labels = substr(name, RSTART, RLENGTH)
+        name = substr(name, 1, RSTART - 1)
+    }
+    value = $2
+    if (!match(value, /^(-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|[-+]Inf|NaN)$/)) {
+        fail("malformed sample value")
+        next
+    }
+    fam = family_of(name)
+    if (name in type) declared = name
+    else if (fam in type && type[fam] == "histogram") declared = fam
+    else { fail("sample with no preceding # TYPE"); next }
+    t = type[declared]
+    if (value == "NaN" || value == "+Inf" || value == "-Inf") {
+        if (t == "counter" || t == "histogram") fail("non-finite " t " value")
+        next
+    }
+    if ((t == "counter" || t == "histogram") && value + 0 < 0)
+        fail("negative " t " value")
+    if (t == "histogram") {
+        series = series_key(declared, labels)
+        if (name == declared "_count") count[series] = value + 0
+        else if (name == declared "_sum") sum_seen[series] = 1
+        else if (name == declared "_bucket") {
+            if (!match(labels, /le="[^"]*"/)) { fail("bucket without le label"); next }
+            le = substr(labels, RSTART + 4, RLENGTH - 5)
+            if ((series in last_bucket) && value + 0 < last_bucket[series])
+                fail("cumulative bucket count decreased")
+            last_bucket[series] = value + 0
+            last_le[series] = le
+            if (le == "+Inf") inf_bucket[series] = value + 0
+        }
+    }
+}
+END {
+    for (series in last_le) {
+        if (last_le[series] != "+Inf") {
+            printf "lint-prometheus: FAIL: histogram %s does not end at le=\"+Inf\"\n", series
+            bad = 1
+        }
+        if (!(series in count)) {
+            printf "lint-prometheus: FAIL: histogram %s misses _count\n", series
+            bad = 1
+        } else if (inf_bucket[series] != count[series]) {
+            printf "lint-prometheus: FAIL: histogram %s +Inf bucket %d != _count %d\n", \
+                series, inf_bucket[series], count[series]
+            bad = 1
+        }
+        if (!(series in sum_seen)) {
+            printf "lint-prometheus: FAIL: histogram %s misses _sum\n", series
+            bad = 1
+        }
+    }
+    for (series in count) {
+        if (!(series in last_le)) {
+            printf "lint-prometheus: FAIL: histogram %s has _count but no buckets\n", series
+            bad = 1
+        }
+    }
+    if (bad) exit 1
+}
+' "$FILE"
+
+echo "lint-prometheus: OK ($FILE)"

@@ -368,4 +368,115 @@ case "$S_STATS" in
 esac
 echo "--- snapshot server: replay restored epoch 1, answers byte-identical ---"
 
+# --- observability round -------------------------------------------------
+# Trace every request (--trace-sample-rate 1), run the Prometheus exporter
+# on a free port, and assert the whole observability surface on the shipped
+# binary: trace/stage fields in `stats`, the `slow_queries` ring, the
+# `metrics` frame, the plaintext HTTP exporter (exposition saved to
+# $USIM_SMOKE_METRICS_OUT and linted), and the stage-sum invariant — every
+# slow-query entry's stage timings sum to at most its end-to-end total.
+# Tracing must not change a single response byte: the traced batch is
+# compared against the main round's.
+METRICS_OUT=${USIM_SMOKE_METRICS_OUT:-$TMP/exposition.txt}
+"$USIM" serve "$TMP/graph.tsv" --addr 127.0.0.1:0 --port-file "$TMP/port" \
+    --workers 2 --max-connections 1 --trace-sample-rate 1 --slow-log 8 \
+    --metrics-port 0 --metrics-port-file "$TMP/mport" \
+    --samples "$SAMPLES" --seed "$SEED" --sampler "$SMOKE_SAMPLER" \
+    > "$TMP/server_obs.log" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    [ -s "$TMP/port" ] && [ -s "$TMP/mport" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/port" ] || { echo "FAIL: traced server never wrote the port file"; exit 1; }
+[ -s "$TMP/mport" ] || { echo "FAIL: traced server never wrote the metrics port file"; exit 1; }
+ADDR=$(cat "$TMP/port")
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+METRICS_ADDR=$(cat "$TMP/mport")
+echo "--- traced server up on $ADDR (exporter on $METRICS_ADDR) ---"
+grep -q 'trace = 1/slow 8' "$TMP/server_obs.log" || {
+    echo "FAIL: banner misses the trace settings:"; cat "$TMP/server_obs.log"; exit 1; }
+grep -q "metrics = $METRICS_ADDR" "$TMP/server_obs.log" || {
+    echo "FAIL: banner misses the exporter address:"; cat "$TMP/server_obs.log"; exit 1; }
+
+connect3 "$HOST" "$PORT"
+T_SIM=$(ask '{"type":"similarity","source":10,"target":20}')
+T_BATCH=$(ask '{"type":"batch","pairs":[[10,20],[20,30],[30,40]]}')
+T_STATS=$(ask '{"type":"stats"}')
+T_SLOW=$(ask '{"type":"slow_queries"}')
+T_METRICS=$(ask '{"type":"metrics"}')
+
+# The exporter answers a plain HTTP/1.0 scrape while the server runs.
+exec 4<>"/dev/tcp/${METRICS_ADDR%:*}/${METRICS_ADDR##*:}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+SCRAPE=$(cat <&4)
+exec 4<&- 4>&-
+printf '%s\n' "$SCRAPE" | sed '1,/^\r*$/d' > "$METRICS_OUT"
+
+exec 3<&- 3>&-
+wait "$SERVER_PID"
+SERVER_PID=""
+[ ! -f "$TMP/mport" ] || {
+    echo "FAIL: clean shutdown left the metrics port file behind"; exit 1; }
+
+# Tracing is byte-invisible: the traced answers equal the main round's.
+[ "$T_SIM" = "$R_SIM" ] || {
+    echo "FAIL: traced similarity differs from the untraced answer"
+    echo "traced:   $T_SIM"; echo "untraced: $R_SIM"; exit 1; }
+[ "$T_BATCH" = "$R_BATCH" ] || {
+    echo "FAIL: traced batch differs from the untraced answer"
+    echo "traced:   $T_BATCH"; echo "untraced: $R_BATCH"; exit 1; }
+# Trace/stage fields on the wire: the stats frame was the connection's
+# third, so two query frames (plus it) have been traced by then.
+case "$T_STATS" in
+    *'"tracing":{"enabled":true,"sample_every":1,"traced":'*) ;;
+    *) echo "FAIL: stats frame misses the tracing section: $T_STATS"; exit 1 ;;
+esac
+case "$T_STATS" in
+    *'"stage":"walk_sample","count":2,'*) ;;
+    *) echo "FAIL: walk_sample stage did not count both queries: $T_STATS"; exit 1 ;;
+esac
+case "$T_STATS" in
+    *'"walks":{"enabled":true,"walks":'*) ;;
+    *) echo "FAIL: stats frame misses the walk counters: $T_STATS"; exit 1 ;;
+esac
+case "$T_SLOW" in
+    *'"tracing":true'*'"trace_id":'*'"stages_us":{"parse":'*) echo "$T_SLOW" ;;
+    *) echo "FAIL: slow_queries frame misses trace entries: $T_SLOW"; exit 1 ;;
+esac
+# Stage-sum invariant on every slow-log entry the wire reports.
+# (Stage names carry no digits, so summing every number after "stages_us"
+# sums exactly the eight per-stage values.)
+printf '%s\n' "$T_SLOW" | awk '
+    { line = $0
+      while (match(line, /"total_us":[0-9]+,"stages_us":\{[^}]*\}/)) {
+          entry = substr(line, RSTART, RLENGTH)
+          line = substr(line, RSTART + RLENGTH)
+          match(entry, /[0-9]+/)
+          total = substr(entry, RSTART, RLENGTH) + 0
+          sub(/^.*"stages_us":\{/, "", entry)
+          n = split(entry, nums, /[^0-9]+/)
+          sum = 0
+          for (i = 1; i <= n; i++) sum += nums[i]
+          if (sum > total) {
+              printf "FAIL: stage sum %dus > total %dus\n", sum, total
+              exit 1
+          }
+          checked++
+      } }
+    END { if (checked == 0) { print "FAIL: no slow-query entries checked"; exit 1 }
+          printf "stage-sum invariant held on %d slow-query entries\n", checked }' || exit 1
+case "$T_METRICS" in
+    *'"body":"'*'usim_requests_total'*) ;;
+    *) echo "FAIL: metrics frame misses the exposition body: $T_METRICS"; exit 1 ;;
+esac
+# The scrape carried the same exposition over HTTP, and it lints clean.
+grep -q 'usim_requests_total{kind="similarity"} 1' "$METRICS_OUT" || {
+    echo "FAIL: exporter exposition misses the similarity counter:"; cat "$METRICS_OUT"; exit 1; }
+grep -q 'usim_stage_duration_seconds_bucket{stage="walk_sample"' "$METRICS_OUT" || {
+    echo "FAIL: exporter exposition misses the stage histograms:"; cat "$METRICS_OUT"; exit 1; }
+scripts/lint_prometheus.sh "$METRICS_OUT"
+echo "--- traced server: stages on the wire, exporter scraped and linted, answers byte-identical ---"
+
 echo "serve-smoke: OK (server answers match the CLI bit for bit at 6 decimals)"
